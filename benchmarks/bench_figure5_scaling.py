@@ -1,0 +1,61 @@
+"""Figure 5: linear-regression (v0.3) execution time vs number of variables,
+one series per segment count, plus the parallel-speedup claim.
+
+The paper's observation: "the Greenplum database achieves perfect linear
+speedup in the example shown" — doubling the number of segments roughly halves
+the execution time, and the curves grow super-linearly in the number of
+independent variables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import DEFAULT_ROWS, build_regression_database, run_linregr
+
+
+SEGMENT_SERIES = [6, 12, 24]
+VARIABLE_AXIS = [10, 40, 80]
+
+
+@pytest.fixture(scope="module")
+def figure5_database():
+    return build_regression_database(DEFAULT_ROWS, max(VARIABLE_AXIS), segments=SEGMENT_SERIES[0])
+
+
+@pytest.mark.parametrize("segments", SEGMENT_SERIES)
+@pytest.mark.parametrize("variables", VARIABLE_AXIS)
+def test_scaling_series(benchmark, segments, variables):
+    database = build_regression_database(DEFAULT_ROWS, variables, segments=segments)
+
+    def run():
+        return run_linregr(database, version="v0.3", segments=segments)
+
+    measurement = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["segments"] = segments
+    benchmark.extra_info["variables"] = variables
+    benchmark.extra_info["simulated_parallel_seconds"] = measurement.simulated_parallel_seconds
+    benchmark.extra_info["speedup_vs_serial"] = measurement.speedup
+
+
+def test_more_segments_reduce_simulated_time(figure5_database):
+    """The Figure 5 speedup shape: 24 segments beat 6 segments on the same data."""
+    slow = run_linregr(figure5_database, version="v0.3", segments=6)
+    fast = run_linregr(figure5_database, version="v0.3", segments=24)
+    assert fast.simulated_parallel_seconds < slow.simulated_parallel_seconds
+    # Near-linear speedup in the simulation: at least 2x out of the ideal 4x.
+    assert slow.simulated_parallel_seconds / fast.simulated_parallel_seconds > 2.0
+
+
+def test_speedup_is_close_to_segment_count(figure5_database):
+    measurement = run_linregr(figure5_database, version="v0.3", segments=12)
+    assert measurement.speedup > 6.0  # ideal is 12
+
+
+def test_single_query_overhead_is_small(figure5_database):
+    """Paper: 'The overhead for a single query is very low and only a fraction of a second.'"""
+    measurement = run_linregr(figure5_database, version="v0.3", segments=6)
+    overhead = measurement.wall_seconds - sum(
+        t for t in [measurement.simulated_parallel_seconds] if t is not None
+    )
+    assert abs(overhead) < 5.0  # engine bookkeeping stays bounded at this scale

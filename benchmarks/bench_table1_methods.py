@@ -1,0 +1,180 @@
+"""Table 1: the method catalogue.
+
+One benchmark per Table 1 entry, running the method end-to-end on a small
+synthetic workload.  The point is coverage (every method in the paper's
+catalogue is implemented and runnable), with per-method runtimes as a bonus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datasets import (
+    load_baskets_table,
+    load_logistic_table,
+    load_points_table,
+    load_regression_table,
+    make_baskets,
+    make_blobs,
+    make_documents,
+    make_logistic,
+    make_low_rank_matrix,
+    make_regression,
+)
+from repro.methods import (
+    association_rules,
+    decision_tree,
+    kmeans,
+    lda,
+    linear_regression,
+    logistic_regression,
+    naive_bayes,
+    profile,
+    quantiles,
+    svd,
+    svm,
+)
+from repro.methods.decision_tree import FeatureSpec
+from repro.methods.sketches import count_distinct, sketch_column
+from repro.support import SparseVector, conjugate_gradient, install_array_ops
+
+
+@pytest.fixture(scope="module")
+def table1_db():
+    database = Database(num_segments=4)
+    regression = make_regression(1500, 5, seed=61)
+    load_regression_table(database, "regr", regression)
+    classification = make_logistic(1500, 4, seed=62)
+    load_logistic_table(database, "logi", classification)
+    signed = make_logistic(1000, 4, seed=63, labels_plus_minus=True)
+    load_logistic_table(database, "signed", signed)
+    points, _, _ = make_blobs(800, 3, 4, seed=64)
+    load_points_table(database, "pts", points)
+    baskets = make_baskets(300, 25, seed=65)
+    load_baskets_table(database, "baskets", baskets)
+    documents, _ = make_documents(25, 40, 3, document_length=25, seed=66)
+    lda.load_corpus_table(database, "corpus", documents)
+    return database
+
+
+def test_linear_regression(benchmark, table1_db):
+    model = benchmark(lambda: linear_regression.train(table1_db, "regr"))
+    assert model.r2 > 0.9
+
+
+def test_logistic_regression(benchmark, table1_db):
+    model = benchmark.pedantic(
+        lambda: logistic_regression.train(table1_db, "logi", max_iterations=10),
+        rounds=1, iterations=1,
+    )
+    assert model.num_rows == 1500
+
+
+def test_naive_bayes(benchmark, table1_db):
+    model = benchmark(lambda: naive_bayes.train_gaussian(table1_db, "logi", "y", "x"))
+    assert len(model.classes) == 2
+
+
+def test_decision_tree(benchmark, table1_db):
+    table1_db.execute("DROP TABLE IF EXISTS tree_data")
+    table1_db.execute(
+        "CREATE TABLE tree_data AS SELECT y, x[1] AS f1, x[2] AS f2 FROM logi"
+    )
+    model = benchmark.pedantic(
+        lambda: decision_tree.train(
+            table1_db, "tree_data", "y", [FeatureSpec("f1"), FeatureSpec("f2")],
+            max_depth=3, max_numeric_candidates=8,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert model.num_nodes() >= 1
+
+
+def test_svm(benchmark, table1_db):
+    model = benchmark.pedantic(
+        lambda: svm.train_classifier(table1_db, "signed", max_iterations=10),
+        rounds=1, iterations=1,
+    )
+    assert model.weights.shape == (4,)
+
+
+def test_kmeans(benchmark, table1_db):
+    result = benchmark.pedantic(
+        lambda: kmeans.train(table1_db, "pts", k=4, seed=67, max_iterations=10),
+        rounds=1, iterations=1,
+    )
+    assert result.centroids.shape == (4, 3)
+
+
+def test_svd_factorization(benchmark):
+    matrix = make_low_rank_matrix(60, 40, 5, seed=68)
+    result = benchmark(lambda: svd.truncated_svd(matrix, rank=5, seed=69))
+    assert result.relative_error(matrix) < 0.05
+
+
+def test_lda(benchmark, table1_db):
+    model = benchmark.pedantic(
+        lambda: lda.train(table1_db, "corpus", num_topics=3, num_iterations=5, seed=70),
+        rounds=1, iterations=1,
+    )
+    assert model.num_topics == 3
+
+
+def test_association_rules(benchmark, table1_db):
+    itemsets, rules = benchmark.pedantic(
+        lambda: association_rules.mine(table1_db, "baskets", min_support=0.3, min_confidence=0.6),
+        rounds=1, iterations=1,
+    )
+    assert itemsets
+
+
+def test_count_min_sketch(benchmark, table1_db):
+    sketch = benchmark(lambda: sketch_column(table1_db, "regr", "id", eps=0.02, delta=0.02))
+    assert sketch.total == 1500
+
+
+def test_flajolet_martin_sketch(benchmark, table1_db):
+    estimate = benchmark(lambda: count_distinct(table1_db, "regr", "id"))
+    assert 800 <= estimate <= 2800
+
+
+def test_data_profiling(benchmark, table1_db):
+    result = benchmark(lambda: profile.profile(table1_db, "regr"))
+    assert result.row_count == 1500
+
+
+def test_quantiles(benchmark, table1_db):
+    values = benchmark(
+        lambda: quantiles.approximate_quantiles(table1_db, "regr", "y", [0.25, 0.5, 0.75])
+    )
+    assert values[0] <= values[1] <= values[2]
+
+
+def test_sparse_vectors(benchmark):
+    dense = np.zeros(5000)
+    dense[::100] = 1.0
+
+    def run():
+        vector = SparseVector.from_dense(dense)
+        return vector.dot(vector)
+
+    assert benchmark(run) == 50.0
+
+
+def test_array_operations(benchmark, table1_db):
+    install_array_ops(table1_db)
+    value = benchmark(
+        lambda: table1_db.query_scalar("SELECT sum(madlib_array_dot(x, x)) FROM regr")
+    )
+    assert value > 0
+
+
+def test_conjugate_gradient(benchmark):
+    rng = np.random.default_rng(71)
+    basis = rng.normal(size=(30, 30))
+    matrix = basis @ basis.T + 30 * np.eye(30)
+    rhs = rng.normal(size=30)
+    result = benchmark(lambda: conjugate_gradient(lambda v: matrix @ v, rhs, tolerance=1e-8))
+    assert result.converged

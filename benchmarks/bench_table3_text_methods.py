@@ -1,0 +1,109 @@
+"""Table 3: statistical text-analysis methods (feature extraction, Viterbi, MCMC,
+approximate string matching) exercised on the POS/NER/ER-style synthetic tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datasets import make_name_variants, make_tag_corpus
+from repro.text import (
+    TokenFeatureExtractor,
+    TrigramIndex,
+    gibbs_sample,
+    metropolis_hastings,
+    train_crf,
+    viterbi,
+    viterbi_sql,
+)
+
+
+@pytest.fixture(scope="module")
+def text_setup():
+    corpus = make_tag_corpus(120, seed=91)
+    train_corpus, test_corpus = corpus.split(0.8)
+    model = train_crf(train_corpus, num_epochs=4, seed=92)
+    return model, train_corpus, test_corpus
+
+
+def test_text_feature_extraction(benchmark, text_setup):
+    _, train_corpus, _ = text_setup
+    extractor = TokenFeatureExtractor(dictionaries={"names": {"tebow", "denver", "smith"}})
+
+    def run():
+        return sum(
+            len(features)
+            for sequence in train_corpus.sequences
+            for features in extractor.sequence_features(sequence.tokens)
+        )
+
+    total_features = benchmark(run)
+    benchmark.extra_info["features_extracted"] = total_features
+    assert total_features > train_corpus.token_count()
+
+
+def test_viterbi_inference(benchmark, text_setup):
+    model, _, test_corpus = text_setup
+
+    def run():
+        correct = total = 0
+        for sequence in test_corpus.sequences:
+            predicted, _ = viterbi(model, sequence.tokens)
+            correct += sum(p == g for p, g in zip(predicted, sequence.labels))
+            total += len(sequence)
+        return correct / total
+
+    accuracy = benchmark(run)
+    benchmark.extra_info["token_accuracy"] = accuracy
+    assert accuracy > 0.75
+
+
+def test_viterbi_sql_macro_coordination(benchmark, text_setup):
+    model, _, test_corpus = text_setup
+    database = Database(num_segments=2)
+    sentence = test_corpus.sequences[0]
+
+    result = benchmark.pedantic(
+        lambda: viterbi_sql(database, model, sentence.tokens), rounds=1, iterations=1
+    )
+    assert result[0] == viterbi(model, sentence.tokens)[0]
+
+
+def test_mcmc_gibbs_inference(benchmark, text_setup):
+    model, _, test_corpus = text_setup
+    sentence = test_corpus.sequences[0]
+
+    result = benchmark.pedantic(
+        lambda: gibbs_sample(model, sentence.tokens, num_samples=150, burn_in=50, seed=93),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["map_confidence"] = float(np.mean([result.confidence(i) for i in range(len(sentence.tokens))]))
+    assert len(result.map_labels) == len(sentence.tokens)
+
+
+def test_mcmc_metropolis_hastings(benchmark, text_setup):
+    model, _, test_corpus = text_setup
+    sentence = test_corpus.sequences[1]
+    result = benchmark.pedantic(
+        lambda: metropolis_hastings(model, sentence.tokens, num_samples=200, burn_in=50, seed=94),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["acceptance_rate"] = result.acceptance_rate
+    assert 0 < result.acceptance_rate <= 1
+
+
+def test_approximate_string_matching(benchmark):
+    database = Database(num_segments=2)
+    pairs = make_name_variants(variants_per_name=8, seed=95)
+    database.create_table("mentions", [("doc_id", "integer"), ("text", "text")])
+    database.load_rows("mentions", [(i, mention) for i, (_, mention) in enumerate(pairs)])
+    index = TrigramIndex(database, "mentions")
+    index.build()
+
+    def run():
+        return index.search("Tim Tebow", threshold=0.4)
+
+    matches = benchmark(run)
+    benchmark.extra_info["matches_found"] = len(matches)
+    assert matches and matches[0].similarity == 1.0

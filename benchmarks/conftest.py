@@ -1,0 +1,33 @@
+"""Benchmark fixtures shared by the figure/table targets."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import DEFAULT_ROWS, build_regression_database  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_rows() -> int:
+    return DEFAULT_ROWS
+
+
+@pytest.fixture(scope="module")
+def regression_database_factory():
+    """Factory (with caching) for the linregr workload databases."""
+    cache = {}
+
+    def factory(num_rows: int, num_variables: int, segments: int):
+        key = (num_rows, num_variables)
+        if key not in cache:
+            cache[key] = build_regression_database(num_rows, num_variables, segments=segments)
+        database = cache[key]
+        database.set_num_segments(segments)
+        return database
+
+    return factory

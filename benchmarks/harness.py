@@ -1,0 +1,186 @@
+"""Shared benchmark harness.
+
+Builds the synthetic workloads, runs the linear-regression aggregate the way
+Section 4.4 does (sweeping the number of independent variables, the number of
+segments and the implementation version), and formats paper-style rows.
+
+Scale note: the paper uses 10 million rows on a 24-core Greenplum cluster; the
+default here is ``DEFAULT_ROWS`` rows on the in-process engine so the full
+sweep finishes on a laptop.  Absolute numbers are therefore not comparable —
+the quantities being reproduced are the *relative* ones: version ordering,
+growth with the number of variables, and speedup with the number of segments.
+Set the environment variable ``REPRO_BENCH_ROWS`` to raise the row count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import Database
+from repro.datasets import make_regression, load_regression_table
+from repro.methods import linear_regression
+
+#: Figure 4 sweep values in the paper.
+PAPER_SEGMENTS = [6, 12, 18, 24]
+PAPER_VARIABLES = [10, 20, 40, 80, 160, 320]
+PAPER_VERSIONS = ["v0.3", "v0.2.1beta", "v0.1alpha"]
+PAPER_ROWS = 10_000_000
+
+#: Paper-reported execution times (seconds) from Figure 4, keyed by
+#: (segments, variables, version).  Used by the report script to print the
+#: paper column next to the measured column.
+PAPER_FIGURE4: Dict[tuple, float] = {}
+_FIGURE4_TABLE = """
+6 10 4.447 9.501 1.337
+6 20 4.688 11.60 1.874
+6 40 6.843 17.96 3.828
+6 80 13.28 52.94 12.98
+6 160 35.66 181.4 51.20
+6 320 186.2 683.8 333.4
+12 10 2.115 4.756 0.9600
+12 20 2.432 5.760 1.212
+12 40 3.420 9.010 2.046
+12 80 6.797 26.48 6.469
+12 160 17.71 90.95 25.67
+12 320 92.41 341.5 166.6
+18 10 1.418 3.206 0.6197
+18 20 1.648 3.805 1.003
+18 40 2.335 5.994 1.183
+18 80 4.461 17.73 4.314
+18 160 11.90 60.58 17.14
+18 320 61.66 227.7 111.4
+24 10 1.197 2.383 0.3904
+24 20 1.276 2.869 0.4769
+24 40 1.698 4.475 1.151
+24 80 3.363 13.35 3.263
+24 160 8.840 45.48 13.10
+24 320 46.18 171.7 84.59
+"""
+for _line in _FIGURE4_TABLE.strip().splitlines():
+    _segments, _variables, _v03, _v021, _v01 = _line.split()
+    PAPER_FIGURE4[(int(_segments), int(_variables), "v0.3")] = float(_v03)
+    PAPER_FIGURE4[(int(_segments), int(_variables), "v0.2.1beta")] = float(_v021)
+    PAPER_FIGURE4[(int(_segments), int(_variables), "v0.1alpha")] = float(_v01)
+
+
+DEFAULT_ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "4000"))
+#: Reduced sweeps used by the pytest-benchmark targets (full sweeps are
+#: available through ``python benchmarks/report.py``).
+BENCH_SEGMENTS = [int(s) for s in os.environ.get("REPRO_BENCH_SEGMENTS", "6,24").split(",")]
+BENCH_VARIABLES = [int(v) for v in os.environ.get("REPRO_BENCH_VARIABLES", "10,40,80").split(",")]
+
+
+@dataclass
+class LinregrMeasurement:
+    """One cell of the Figure 4 table."""
+
+    segments: int
+    variables: int
+    version: str
+    rows: int
+    simulated_parallel_seconds: float
+    serial_seconds: float
+    wall_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.simulated_parallel_seconds == 0:
+            return float(self.segments)
+        return self.serial_seconds / self.simulated_parallel_seconds
+
+
+def build_regression_database(num_rows: int, num_variables: int, *, segments: int = 6,
+                              seed: int = 7) -> Database:
+    """A database with one regression table ``data`` of the requested shape."""
+    database = Database(num_segments=segments)
+    data = make_regression(num_rows, num_variables, noise=0.5, seed=seed)
+    load_regression_table(database, "data", data)
+    return database
+
+
+def run_linregr(
+    database: Database,
+    *,
+    version: str = "v0.3",
+    segments: Optional[int] = None,
+) -> LinregrMeasurement:
+    """Run one ``SELECT linregr(y, x) FROM data`` and collect the timings."""
+    if segments is not None and segments != database.num_segments:
+        database.set_num_segments(segments)
+    kernel = linear_regression.VERSION_KERNELS[version]
+    linear_regression.install_linear_regression(database, kernel=kernel)
+    start = time.perf_counter()
+    result = database.execute("SELECT linregr(y, x) FROM data")
+    wall = time.perf_counter() - start
+    stats = result.stats
+    timings = stats.aggregate_timings[0]
+    num_rows = sum(timings.rows_per_segment)
+    variables = len(result.rows[0][0]["coef"])
+    return LinregrMeasurement(
+        segments=database.num_segments,
+        variables=variables,
+        version=version,
+        rows=num_rows,
+        simulated_parallel_seconds=stats.simulated_parallel_seconds,
+        serial_seconds=wall,
+        wall_seconds=wall,
+    )
+
+
+def sweep_figure4(
+    *,
+    rows: int = DEFAULT_ROWS,
+    segments_list: Sequence[int] = PAPER_SEGMENTS,
+    variables_list: Sequence[int] = PAPER_VARIABLES,
+    versions: Sequence[str] = PAPER_VERSIONS,
+    seed: int = 7,
+) -> List[LinregrMeasurement]:
+    """The full Figure 4 sweep (reduced row count), one measurement per cell."""
+    measurements: List[LinregrMeasurement] = []
+    for variables in variables_list:
+        database = build_regression_database(rows, variables, segments=segments_list[0], seed=seed)
+        for segments in segments_list:
+            database.set_num_segments(segments)
+            for version in versions:
+                measurements.append(run_linregr(database, version=version, segments=segments))
+    return measurements
+
+
+def scale_paper_time(segments: int, variables: int, version: str, *, rows: int) -> Optional[float]:
+    """Paper time for a cell, linearly rescaled from 10M rows to ``rows`` rows.
+
+    Only used for side-by-side display; the scaling is in rows only (the k- and
+    segment-dependence is what the experiment measures).
+    """
+    reference = PAPER_FIGURE4.get((segments, variables, version))
+    if reference is None:
+        return None
+    return reference * rows / PAPER_ROWS
+
+
+def format_table(rows: List[dict], columns: Sequence[str]) -> str:
+    """Fixed-width text table used by the report script."""
+    widths = {column: len(column) for column in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {}
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            rendered[column] = text
+            widths[column] = max(widths[column], len(text))
+        rendered_rows.append(rendered)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)

@@ -1,0 +1,4 @@
+"""Setup shim so that ``pip install -e .`` works with legacy (pre-PEP 660) tooling."""
+from setuptools import setup
+
+setup()

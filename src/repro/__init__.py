@@ -1,0 +1,27 @@
+"""repro — a reproduction of "The MADlib Analytics Library" (VLDB 2012).
+
+The package is organised the way the paper describes the system:
+
+* :mod:`repro.engine` — the database substrate (SQL parser, executor,
+  user-defined aggregates, shared-nothing segments).
+* :mod:`repro.abstraction` — the analog of MADlib's C++ abstraction layer
+  (type bridging, array handles, linear-algebra integration).
+* :mod:`repro.support` — support modules (sparse vectors, array operations,
+  conjugate gradient).
+* :mod:`repro.methods` — the Table 1 method suite (regression, classification,
+  clustering, factorization, sketches, profiling, quantiles).
+* :mod:`repro.convex` — the Wisconsin SGD/convex-optimization framework
+  (Table 2 models).
+* :mod:`repro.text` — the Florida/Berkeley statistical text analytics
+  (Table 3 methods).
+* :mod:`repro.driver` — macro-programming helpers: iteration controllers and
+  templated-SQL generation.
+* :mod:`repro.datasets` — synthetic workload generators used by examples,
+  tests and the benchmark harness.
+"""
+
+from .engine import Database, connect
+
+__version__ = "0.3.0"
+
+__all__ = ["Database", "connect", "__version__"]

@@ -1,0 +1,34 @@
+"""The Python analog of MADlib's C++ abstraction layer (Section 3.3).
+
+Three classes of functionality, as in the paper: *type bridging*
+(:class:`AnyType`, :func:`composite`), *resource-management shims*
+(:class:`ArrayHandle`, :class:`MutableArrayHandle`, :func:`allocate_array`)
+and *math-library integration*
+(:class:`SymmetricPositiveDefiniteEigenDecomposition` and friends), plus the
+transition-state classes built on top of them.
+"""
+
+from .anytype import AnyType, composite
+from .handles import ArrayHandle, MutableArrayHandle, allocate_array
+from .linalg import (
+    SymmetricPositiveDefiniteEigenDecomposition,
+    condition_number,
+    symmetrize_from_lower,
+    triangular_rank_one_update,
+)
+from .state import LinRegrTransitionState, LogRegrIRLSState, TransitionState
+
+__all__ = [
+    "AnyType",
+    "composite",
+    "ArrayHandle",
+    "MutableArrayHandle",
+    "allocate_array",
+    "SymmetricPositiveDefiniteEigenDecomposition",
+    "condition_number",
+    "symmetrize_from_lower",
+    "triangular_rank_one_update",
+    "TransitionState",
+    "LinRegrTransitionState",
+    "LogRegrIRLSState",
+]

@@ -1,0 +1,141 @@
+"""``AnyType``: the value-bridging type of MADlib's C++ abstraction layer.
+
+Listings 1 and 2 in the paper show UDFs receiving an ``AnyType& args``
+parameter and indexing it (``args[0]``, ``args[1].getAs<double>()``,
+``args[2].getAs<MappedColumnVector>()``), then returning either a single value
+or a composite built with ``tuple << coef << conditionNo``.  This module
+reproduces that interface so the method implementations read like the paper's
+listings while running on the Python engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from ..errors import FunctionError, TypeMismatchError
+
+__all__ = ["AnyType", "composite"]
+
+
+_CASTS: Dict[type, Callable[[Any], Any]] = {
+    float: float,
+    int: int,
+    bool: bool,
+    str: str,
+}
+
+
+class AnyType:
+    """A positional bundle of argument values with typed accessors.
+
+    ``AnyType`` wraps either a sequence of values (an argument pack) or a
+    single value.  ``args[i]`` returns an ``AnyType`` wrapping the i-th value;
+    ``get_as(float)`` / ``get_as(np.ndarray)`` performs the type bridging the
+    C++ layer does with ``getAs<T>()``.
+    """
+
+    def __init__(self, value: Any = None, *, is_composite: bool = False) -> None:
+        self._value = value
+        self._is_composite = is_composite or isinstance(value, (list, tuple))
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def args(cls, *values: Any) -> "AnyType":
+        """Build an argument pack (what the engine passes to a UDF)."""
+        return cls(list(values), is_composite=True)
+
+    # -- indexing -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self._is_composite:
+            return 1
+        return len(self._value)
+
+    def __getitem__(self, index: int) -> "AnyType":
+        if not self._is_composite:
+            raise FunctionError("cannot index a scalar AnyType")
+        try:
+            return AnyType(self._value[index])
+        except IndexError:
+            raise FunctionError(
+                f"argument {index} requested but only {len(self._value)} provided"
+            ) from None
+
+    def __iter__(self) -> Iterator["AnyType"]:
+        for i in range(len(self)):
+            yield self[i]
+
+    # -- value access ----------------------------------------------------------
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def is_null(self) -> bool:
+        return self._value is None
+
+    def get_as(self, target: Union[type, str]) -> Any:
+        """Bridge the wrapped value to ``target`` (``float``, ``int``, ``bool``,
+        ``str``, ``np.ndarray`` or the string aliases used in the paper's
+        listings: ``"double"``, ``"MappedColumnVector"``, ``"Matrix"``)."""
+        value = self._value
+        if value is None:
+            return None
+        if isinstance(target, str):
+            alias = target.lower()
+            if alias in ("double", "float", "float8"):
+                target = float
+            elif alias in ("int", "integer", "bigint"):
+                target = int
+            elif alias in ("bool", "boolean"):
+                target = bool
+            elif alias in ("text", "str", "string"):
+                target = str
+            elif alias in ("mappedcolumnvector", "columnvector", "vector", "array"):
+                target = np.ndarray
+            elif alias in ("matrix", "mappedmatrix"):
+                return np.atleast_2d(np.asarray(value, dtype=np.float64))
+            else:
+                raise TypeMismatchError(f"unknown getAs target {target!r}")
+        if target is np.ndarray:
+            return np.asarray(value, dtype=np.float64)
+        if target in _CASTS:
+            try:
+                return _CASTS[target](value)
+            except (TypeError, ValueError) as exc:
+                raise TypeMismatchError(f"cannot bridge {value!r} to {target.__name__}") from exc
+        if isinstance(value, target):
+            return value
+        raise TypeMismatchError(f"cannot bridge {type(value).__name__} to {target}")
+
+    # -- composite building (the ``tuple << x << y`` idiom) ----------------------
+
+    def __lshift__(self, value: Any) -> "AnyType":
+        """Append a field to a composite return value (Listing 2's ``tuple << coef``)."""
+        if self._value is None and not self._is_composite:
+            return AnyType([value], is_composite=True)
+        if not self._is_composite:
+            return AnyType([self._value, value], is_composite=True)
+        return AnyType(list(self._value) + [value], is_composite=True)
+
+    def to_python(self) -> Any:
+        """Unwrap to a plain Python value (lists stay lists for composites)."""
+        if self._is_composite:
+            return list(self._value)
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AnyType({self._value!r})"
+
+
+def composite(**fields: Any) -> Dict[str, Any]:
+    """Build a named composite value (PostgreSQL composite/record type analog).
+
+    The linear-regression UDA's final function returns a record with ``coef``,
+    ``r2``, ``std_err``, ``t_stats``, ``p_values`` and ``condition_no`` fields;
+    in this reproduction such records are plain dictionaries.
+    """
+    return dict(fields)

@@ -1,0 +1,89 @@
+"""Array handles: immutable vs mutable views over backend-managed arrays.
+
+The paper stresses that the C++ abstraction layer "only pays for copies when
+modifying immutable structures" (Section 6, in the rebuttal of SciDB's
+claims).  :class:`ArrayHandle` is a read-only view; :class:`MutableArrayHandle`
+allows in-place updates; ``copy-on-write`` happens exactly once, when a
+read-only handle is promoted to a mutable one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import FunctionError
+
+__all__ = ["ArrayHandle", "MutableArrayHandle", "allocate_array"]
+
+
+class ArrayHandle:
+    """A read-only view over a ``double precision[]`` value."""
+
+    def __init__(self, data: Union[np.ndarray, Sequence[float]]) -> None:
+        array = np.asarray(data, dtype=np.float64)
+        array.setflags(write=False)
+        self._array = array
+        self._copies = 0
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying (read-only) NumPy array."""
+        return self._array
+
+    @property
+    def copies_made(self) -> int:
+        """How many defensive copies this handle has paid for (testing hook)."""
+        return self._copies
+
+    def __len__(self) -> int:
+        return int(self._array.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._array.tolist())
+
+    def __getitem__(self, index) -> Any:
+        return self._array[index]
+
+    def to_mutable(self) -> "MutableArrayHandle":
+        """Promote to a mutable handle; this is the single place a copy happens."""
+        self._copies += 1
+        return MutableArrayHandle(np.array(self._array, dtype=np.float64, copy=True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ArrayHandle(size={self._array.size})"
+
+
+class MutableArrayHandle(ArrayHandle):
+    """A writable view; mutations happen in place, with no further copies."""
+
+    def __init__(self, data: Union[np.ndarray, Sequence[float]]) -> None:
+        array = np.asarray(data, dtype=np.float64)
+        if not array.flags.writeable:
+            array = np.array(array, dtype=np.float64, copy=True)
+        self._array = array
+        self._copies = 0
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+    def __setitem__(self, index, value) -> None:
+        self._array[index] = value
+
+    def fill(self, value: float) -> None:
+        self._array.fill(value)
+
+    def to_mutable(self) -> "MutableArrayHandle":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MutableArrayHandle(size={self._array.size})"
+
+
+def allocate_array(size: int, *, fill: float = 0.0) -> MutableArrayHandle:
+    """Backend array allocation (Listing 2's ``allocateArray<double>``)."""
+    if size < 0:
+        raise FunctionError("cannot allocate a negative-sized array")
+    return MutableArrayHandle(np.full(int(size), fill, dtype=np.float64))

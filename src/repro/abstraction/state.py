@@ -1,0 +1,171 @@
+"""Transition-state classes shared by the aggregate-based methods.
+
+MADlib stores aggregate transition states as flat double-precision arrays so
+that states can be shipped between segments and stored in tables; the C++
+layer then wraps those arrays in typed views (``LinRegrTransitionState`` in
+Listing 1).  We keep the same discipline: every state class can serialize to
+and from a flat NumPy vector, which is what makes states storable in the
+engine's ``double precision[]`` columns and mergeable across segments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+from ..errors import FunctionError
+
+__all__ = ["TransitionState", "LinRegrTransitionState", "LogRegrIRLSState"]
+
+S = TypeVar("S", bound="TransitionState")
+
+
+class TransitionState:
+    """Base class: a state that can round-trip through a flat double array."""
+
+    def to_array(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @classmethod
+    def from_array(cls: Type[S], array: np.ndarray) -> S:
+        raise NotImplementedError
+
+    def merge(self: S, other: S) -> S:
+        raise NotImplementedError
+
+
+class LinRegrTransitionState(TransitionState):
+    """State for ordinary-least-squares linear regression (Section 4.1).
+
+    Holds the running sums the single-pass aggregate needs:
+    ``n``, ``sum(y)``, ``sum(y^2)``, ``X^T y`` and the lower triangle of
+    ``X^T X``.
+    """
+
+    def __init__(self, width: int = 0) -> None:
+        self.num_rows = 0
+        self.width_of_x = width
+        self.y_sum = 0.0
+        self.y_square_sum = 0.0
+        self.x_transp_y = np.zeros(width, dtype=np.float64)
+        self.x_transp_x = np.zeros((width, width), dtype=np.float64)
+
+    def initialize(self, width: int) -> None:
+        """Size the state from the first row (Listing 1 lines 16-19)."""
+        self.width_of_x = width
+        self.x_transp_y = np.zeros(width, dtype=np.float64)
+        self.x_transp_x = np.zeros((width, width), dtype=np.float64)
+
+    @property
+    def is_initialized(self) -> bool:
+        return self.width_of_x > 0
+
+    def merge(self, other: "LinRegrTransitionState") -> "LinRegrTransitionState":
+        if not other.is_initialized or other.num_rows == 0:
+            return self
+        if not self.is_initialized or self.num_rows == 0:
+            return other
+        if self.width_of_x != other.width_of_x:
+            raise FunctionError(
+                "cannot merge linear-regression states with different widths "
+                f"({self.width_of_x} vs {other.width_of_x})"
+            )
+        merged = LinRegrTransitionState(self.width_of_x)
+        merged.num_rows = self.num_rows + other.num_rows
+        merged.y_sum = self.y_sum + other.y_sum
+        merged.y_square_sum = self.y_square_sum + other.y_square_sum
+        merged.x_transp_y = self.x_transp_y + other.x_transp_y
+        merged.x_transp_x = self.x_transp_x + other.x_transp_x
+        return merged
+
+    def to_array(self) -> np.ndarray:
+        width = self.width_of_x
+        header = np.array(
+            [float(self.num_rows), float(width), self.y_sum, self.y_square_sum], dtype=np.float64
+        )
+        return np.concatenate([header, self.x_transp_y, self.x_transp_x.ravel()])
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "LinRegrTransitionState":
+        array = np.asarray(array, dtype=np.float64)
+        if array.size < 4:
+            raise FunctionError("linear-regression state array is too short")
+        width = int(array[1])
+        expected = 4 + width + width * width
+        if array.size != expected:
+            raise FunctionError(
+                f"linear-regression state array has size {array.size}, expected {expected}"
+            )
+        state = cls(width)
+        state.num_rows = int(array[0])
+        state.y_sum = float(array[2])
+        state.y_square_sum = float(array[3])
+        state.x_transp_y = array[4:4 + width].copy()
+        state.x_transp_x = array[4 + width:].reshape(width, width).copy()
+        return state
+
+
+class LogRegrIRLSState(TransitionState):
+    """Per-iteration state for logistic regression via IRLS (Section 4.2).
+
+    One iteration of iteratively-reweighted least squares accumulates the
+    weighted normal equations ``X^T D X`` and ``X^T D z`` plus the
+    log-likelihood used for the convergence test.
+    """
+
+    def __init__(self, width: int = 0, coef: Optional[np.ndarray] = None) -> None:
+        self.num_rows = 0
+        self.width_of_x = width
+        self.coef = np.zeros(width, dtype=np.float64) if coef is None else np.asarray(coef, float)
+        self.x_trans_d_x = np.zeros((width, width), dtype=np.float64)
+        self.x_trans_d_z = np.zeros(width, dtype=np.float64)
+        self.log_likelihood = 0.0
+
+    def initialize(self, width: int, coef: Optional[np.ndarray] = None) -> None:
+        self.width_of_x = width
+        self.coef = np.zeros(width, dtype=np.float64) if coef is None else np.asarray(coef, float)
+        self.x_trans_d_x = np.zeros((width, width), dtype=np.float64)
+        self.x_trans_d_z = np.zeros(width, dtype=np.float64)
+
+    @property
+    def is_initialized(self) -> bool:
+        return self.width_of_x > 0
+
+    def merge(self, other: "LogRegrIRLSState") -> "LogRegrIRLSState":
+        if not other.is_initialized or other.num_rows == 0:
+            return self
+        if not self.is_initialized or self.num_rows == 0:
+            return other
+        if self.width_of_x != other.width_of_x:
+            raise FunctionError("cannot merge IRLS states with different widths")
+        merged = LogRegrIRLSState(self.width_of_x, self.coef)
+        merged.num_rows = self.num_rows + other.num_rows
+        merged.x_trans_d_x = self.x_trans_d_x + other.x_trans_d_x
+        merged.x_trans_d_z = self.x_trans_d_z + other.x_trans_d_z
+        merged.log_likelihood = self.log_likelihood + other.log_likelihood
+        return merged
+
+    def to_array(self) -> np.ndarray:
+        width = self.width_of_x
+        header = np.array([float(self.num_rows), float(width), self.log_likelihood], dtype=np.float64)
+        return np.concatenate(
+            [header, self.coef, self.x_trans_d_z, self.x_trans_d_x.ravel()]
+        )
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "LogRegrIRLSState":
+        array = np.asarray(array, dtype=np.float64)
+        if array.size < 3:
+            raise FunctionError("IRLS state array is too short")
+        width = int(array[1])
+        expected = 3 + 2 * width + width * width
+        if array.size != expected:
+            raise FunctionError(f"IRLS state array has size {array.size}, expected {expected}")
+        state = cls(width)
+        state.num_rows = int(array[0])
+        state.log_likelihood = float(array[2])
+        state.coef = array[3:3 + width].copy()
+        state.x_trans_d_z = array[3 + width:3 + 2 * width].copy()
+        state.x_trans_d_x = array[3 + 2 * width:].reshape(width, width).copy()
+        return state

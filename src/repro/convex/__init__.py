@@ -1,0 +1,45 @@
+"""The convex-optimization / SGD framework (Section 5.1, Table 2)."""
+
+from .igd import install_igd, make_igd_aggregate
+from .models import (
+    RecommendationModel,
+    train_crf_labeling,
+    train_lasso,
+    train_least_squares,
+    train_logistic,
+    train_recommendation,
+    train_svm,
+)
+from .objectives import (
+    CRFObjective,
+    HingeObjective,
+    LassoObjective,
+    LeastSquaresObjective,
+    LogisticObjective,
+    Objective,
+    RecommendationObjective,
+    TABLE2_OBJECTIVES,
+)
+from .sgd import SGDResult, train
+
+__all__ = [
+    "Objective",
+    "LeastSquaresObjective",
+    "LassoObjective",
+    "LogisticObjective",
+    "HingeObjective",
+    "RecommendationObjective",
+    "CRFObjective",
+    "TABLE2_OBJECTIVES",
+    "install_igd",
+    "make_igd_aggregate",
+    "train",
+    "SGDResult",
+    "train_least_squares",
+    "train_lasso",
+    "train_logistic",
+    "train_svm",
+    "train_recommendation",
+    "train_crf_labeling",
+    "RecommendationModel",
+]

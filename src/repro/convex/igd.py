@@ -1,0 +1,79 @@
+"""Incremental gradient descent as a user-defined aggregate (Section 5.1).
+
+"We use the micro-programming interfaces ... to perform the mapping from the
+tuples to the vector representation that is used in Eq. 1.  Then, we observe
+Eq. 1 is simply an expression over each tuple (to compute G_i(x)) which is
+then averaged together.  Instead of averaging a single number, we average a
+vector of numbers.  Here, we use the macro-programming provided by MADlib to
+handle all data access, spills to disk, parallelized scans, etc."
+
+:func:`install_igd` builds exactly that aggregate for a given
+:class:`~repro.convex.objectives.Objective`: the transition function folds one
+example's gradient step into the model, the merge function averages the
+per-segment models (weighted by example counts — the model-averaging scheme of
+Zinkevich et al.), and the final function returns the model plus the summed
+loss of the epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..engine.aggregates import AggregateDefinition
+from .objectives import Objective
+
+__all__ = ["install_igd", "make_igd_aggregate"]
+
+
+def make_igd_aggregate(objective: Objective, *, name: str = "igd_epoch") -> AggregateDefinition:
+    """Build the per-epoch IGD aggregate for ``objective``.
+
+    SQL signature: ``igd_epoch(model_in, stepsize, col1, col2, ...)`` where the
+    trailing columns form the objective's row format.  ``model_in`` may be NULL
+    on the first epoch.
+    """
+
+    def transition(state, model_in, stepsize, *row):
+        if state is None:
+            if model_in is None:
+                model = objective.initial_model()
+            else:
+                model = np.array(model_in, dtype=np.float64, copy=True)
+            state = {"model": model, "n": 0, "loss": 0.0}
+        if any(value is None for value in row):
+            return state
+        state["loss"] += objective.loss(state["model"], row)
+        objective.apply_gradient(state["model"], row, float(stepsize))
+        state["n"] += 1
+        return state
+
+    def merge(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        total = a["n"] + b["n"]
+        if total == 0:
+            return a
+        weight_a = a["n"] / total
+        weight_b = b["n"] / total
+        a["model"] = weight_a * a["model"] + weight_b * b["model"]
+        a["loss"] += b["loss"]
+        a["n"] = total
+        return a
+
+    def final(state):
+        if state is None:
+            return None
+        return {"model": state["model"], "loss": float(state["loss"]), "n": int(state["n"])}
+
+    return AggregateDefinition(
+        name, transition, merge=merge, final=final, initial_state=None, strict=False
+    )
+
+
+def install_igd(database, objective: Objective, *, name: str = "igd_epoch") -> None:
+    """Register the IGD epoch aggregate for ``objective`` on a database."""
+    database.catalog.register_aggregate(make_igd_aggregate(objective, name=name))

@@ -1,0 +1,164 @@
+"""User-facing wrappers: one function per Table 2 model, all through one solver.
+
+The point of the abstraction (and what the paper reports: "we were able to add
+in implementations of all the models in Table 2 in a matter of days") is that
+every model below is just an :class:`~repro.convex.objectives.Objective`
+plugged into the same SGD driver; the wrappers only prepare the data table and
+interpret the returned model vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.text_corpus import TagCorpus
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+from ..text.crf import featurize_corpus
+from .objectives import (
+    CRFObjective,
+    HingeObjective,
+    LassoObjective,
+    LeastSquaresObjective,
+    LogisticObjective,
+    RecommendationObjective,
+)
+from .sgd import SGDResult, train
+
+__all__ = [
+    "train_least_squares",
+    "train_lasso",
+    "train_logistic",
+    "train_svm",
+    "train_recommendation",
+    "train_crf_labeling",
+    "RecommendationModel",
+]
+
+
+def _feature_dimension(database, table: str, column: str) -> int:
+    result = database.execute(f"SELECT {column} FROM {table} LIMIT 1")
+    if not result.rows or result.rows[0][0] is None:
+        raise ValidationError(f"table {table!r} has no usable rows")
+    return int(np.asarray(result.rows[0][0]).shape[0])
+
+
+def train_least_squares(
+    database, source_table: str, dependent_column: str = "y", independent_column: str = "x", **kwargs
+) -> SGDResult:
+    """Least squares (Table 2 row 1) via SGD."""
+    validate_columns_exist(database, source_table, [dependent_column, independent_column])
+    dimension = _feature_dimension(database, source_table, independent_column)
+    objective = LeastSquaresObjective(dimension)
+    return train(database, source_table, [dependent_column, independent_column], objective, **kwargs)
+
+
+def train_lasso(
+    database, source_table: str, dependent_column: str = "y", independent_column: str = "x",
+    *, mu: float = 0.1, **kwargs
+) -> SGDResult:
+    """Lasso (Table 2 row 2): squared loss with L1 regularization."""
+    validate_columns_exist(database, source_table, [dependent_column, independent_column])
+    dimension = _feature_dimension(database, source_table, independent_column)
+    objective = LassoObjective(dimension, mu)
+    return train(database, source_table, [dependent_column, independent_column], objective, **kwargs)
+
+
+def train_logistic(
+    database, source_table: str, dependent_column: str = "y", independent_column: str = "x", **kwargs
+) -> SGDResult:
+    """Logistic regression (Table 2 row 3); labels may be {0,1} or {-1,+1}."""
+    validate_columns_exist(database, source_table, [dependent_column, independent_column])
+    dimension = _feature_dimension(database, source_table, independent_column)
+    objective = LogisticObjective(dimension)
+    return train(database, source_table, [dependent_column, independent_column], objective, **kwargs)
+
+
+def train_svm(
+    database, source_table: str, dependent_column: str = "y", independent_column: str = "x",
+    *, regularization: float = 1e-4, **kwargs
+) -> SGDResult:
+    """SVM classification (Table 2 row 4): hinge loss; labels {-1,+1} (or {0,1})."""
+    validate_columns_exist(database, source_table, [dependent_column, independent_column])
+    dimension = _feature_dimension(database, source_table, independent_column)
+    objective = HingeObjective(dimension, regularization)
+    return train(database, source_table, [dependent_column, independent_column], objective, **kwargs)
+
+
+@dataclass
+class RecommendationModel:
+    """Unpacked low-rank factors from the recommendation objective."""
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+    result: SGDResult
+
+    def predict(self, user: int, item: int) -> float:
+        return float(self.user_factors[user] @ self.item_factors[item])
+
+    def rmse(self, triples: Sequence[Tuple[int, int, float]]) -> float:
+        errors = [
+            (self.predict(int(u), int(i)) - float(r)) ** 2 for u, i, r in triples
+        ]
+        return float(np.sqrt(np.mean(errors))) if errors else float("nan")
+
+
+def train_recommendation(
+    database,
+    ratings_table: str,
+    *,
+    rank: int = 8,
+    mu: float = 0.05,
+    user_column: str = "user_id",
+    item_column: str = "item_id",
+    rating_column: str = "rating",
+    seed: Optional[int] = 0,
+    **kwargs,
+) -> RecommendationModel:
+    """Low-rank matrix factorization (Table 2 row 5) via SGD."""
+    validate_table_exists(database, ratings_table)
+    validate_columns_exist(database, ratings_table, [user_column, item_column, rating_column])
+    num_users = int(database.query_scalar(f"SELECT max({user_column}) FROM {ratings_table}")) + 1
+    num_items = int(database.query_scalar(f"SELECT max({item_column}) FROM {ratings_table}")) + 1
+    objective = RecommendationObjective(num_users, num_items, rank, mu, seed=seed)
+    kwargs.setdefault("stepsize", 0.1)
+    kwargs.setdefault("decay", 0.97)
+    result = train(
+        database, ratings_table, [user_column, item_column, rating_column], objective, **kwargs
+    )
+    split = num_users * rank
+    return RecommendationModel(
+        user_factors=result.model[:split].reshape(num_users, rank),
+        item_factors=result.model[split:].reshape(num_items, rank),
+        result=result,
+    )
+
+
+def train_crf_labeling(
+    database,
+    corpus: TagCorpus,
+    *,
+    table_name: str = "crf_training_data",
+    **kwargs,
+) -> SGDResult:
+    """CRF labeling (Table 2 row 6): sentences become rows, trained by the same SGD driver.
+
+    The corpus is featurized, each sentence is stored as one row
+    ``(features, labels)`` in a training table, and the CRF negative
+    log-likelihood objective is minimized with the shared IGD aggregate.
+    """
+    feature_map, encoded, labels, _ = featurize_corpus(corpus)
+    database.create_table(
+        table_name, [("features", "any"), ("labels", "integer[]")], replace=True
+    )
+    database.load_rows(
+        table_name,
+        [(sequence.token_features, np.asarray(sequence.labels, dtype=np.int64)) for sequence in encoded],
+    )
+    objective = CRFObjective(num_features=len(feature_map), num_labels=len(labels))
+    kwargs.setdefault("stepsize", 0.1)
+    kwargs.setdefault("max_epochs", 5)
+    return train(database, table_name, ["features", "labels"], objective, **kwargs)

@@ -1,0 +1,117 @@
+"""The SGD driver: epochs over the data via the IGD aggregate (Section 5.1).
+
+The driver is deliberately thin, as the paper prescribes: it kicks off one
+aggregate query per epoch (``SELECT igd_epoch(model, stepsize, cols...) FROM
+data``), decays the stepsize (``alpha = 1/k``-style), and tests convergence on
+the per-epoch loss.  All data access, parallel scanning and model averaging
+happens inside the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..driver import IterationController, validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+from .igd import install_igd
+from .objectives import Objective
+
+__all__ = ["SGDResult", "train"]
+
+
+@dataclass
+class SGDResult:
+    """The trained model vector plus the optimization trace."""
+
+    model: np.ndarray
+    objective_name: str
+    loss_history: List[float] = field(default_factory=list)
+    num_epochs: int = 0
+    converged: bool = False
+    num_rows: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+    @property
+    def initial_loss(self) -> float:
+        return self.loss_history[0] if self.loss_history else float("nan")
+
+    def loss_decrease(self) -> float:
+        """Relative decrease of the epoch loss from the first to the last epoch."""
+        if not self.loss_history or self.loss_history[0] == 0:
+            return 0.0
+        return 1.0 - self.loss_history[-1] / self.loss_history[0]
+
+
+def train(
+    database,
+    source_table: str,
+    row_columns: Sequence[str],
+    objective: Objective,
+    *,
+    max_epochs: int = 20,
+    stepsize: float = 0.05,
+    decay: float = 0.85,
+    tolerance: float = 1e-5,
+    min_epochs: int = 2,
+) -> SGDResult:
+    """Train ``objective`` by SGD over ``source_table``.
+
+    ``row_columns`` are the table columns forming the objective's row format,
+    in order (e.g. ``["y", "x"]`` for the vector models, ``["user_id",
+    "item_id", "rating"]`` for recommendation).
+    """
+    validate_table_exists(database, source_table)
+    validate_columns_exist(database, source_table, row_columns)
+    if max_epochs < 1:
+        raise ValidationError("max_epochs must be at least 1")
+    install_igd(database, objective)
+
+    columns_sql = ", ".join(row_columns)
+    update_sql = (
+        f"SELECT igd_epoch(%(model)s, %(stepsize)s, {columns_sql}) FROM {source_table}"
+    )
+
+    model: Optional[np.ndarray] = None
+    loss_history: List[float] = []
+    converged = False
+    num_rows = 0
+    current_step = stepsize
+    controller = IterationController(
+        database, max_iterations=max_epochs, temp_prefix="sgd_state", fail_on_max_iterations=False
+    )
+    with controller:
+        previous_loss: Optional[float] = None
+        for epoch in range(max_epochs):
+            record = controller.update(
+                update_sql, {"model": model, "stepsize": current_step}
+            )
+            if record is None:
+                raise ValidationError(f"table {source_table!r} has no usable rows")
+            model = np.asarray(record["model"], dtype=np.float64)
+            num_rows = int(record["n"])
+            epoch_loss = float(record["loss"]) / max(num_rows, 1)
+            loss_history.append(epoch_loss)
+            current_step *= decay
+            if (
+                previous_loss is not None
+                and epoch + 1 >= min_epochs
+                and abs(previous_loss - epoch_loss) <= tolerance * max(abs(previous_loss), 1e-12)
+            ):
+                converged = True
+                break
+            previous_loss = epoch_loss
+
+    return SGDResult(
+        model=model,
+        objective_name=objective.name,
+        loss_history=loss_history,
+        num_epochs=len(loss_history),
+        converged=converged,
+        num_rows=num_rows,
+    )

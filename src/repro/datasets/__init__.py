@@ -1,0 +1,45 @@
+"""Synthetic workload generators used by examples, tests and benchmarks."""
+
+from .synthetic import (
+    ClassificationData,
+    RegressionData,
+    load_baskets_table,
+    load_logistic_table,
+    load_points_table,
+    load_regression_table,
+    make_baskets,
+    make_blobs,
+    make_documents,
+    make_logistic,
+    make_low_rank_matrix,
+    make_ratings,
+    make_regression,
+)
+from .text_corpus import (
+    LabeledSequence,
+    TagCorpus,
+    load_documents_table,
+    make_name_variants,
+    make_tag_corpus,
+)
+
+__all__ = [
+    "RegressionData",
+    "ClassificationData",
+    "make_regression",
+    "make_logistic",
+    "make_blobs",
+    "make_baskets",
+    "make_low_rank_matrix",
+    "make_ratings",
+    "make_documents",
+    "load_regression_table",
+    "load_logistic_table",
+    "load_points_table",
+    "load_baskets_table",
+    "LabeledSequence",
+    "TagCorpus",
+    "make_tag_corpus",
+    "make_name_variants",
+    "load_documents_table",
+]

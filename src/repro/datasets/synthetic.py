@@ -1,0 +1,273 @@
+"""Synthetic workload generators.
+
+The paper's evaluation ran on customer-style tables loaded into a Greenplum
+test cluster; those tables are not available, so every experiment in this
+reproduction runs on synthetic data whose generative model matches the method
+being exercised (linear/logistic responses, Gaussian cluster blobs, market
+baskets, low-rank ratings matrices, ...).  Each generator can either return
+NumPy arrays or load a table into a :class:`~repro.engine.database.Database`,
+since the methods consume their input through SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "RegressionData",
+    "ClassificationData",
+    "make_regression",
+    "make_logistic",
+    "make_blobs",
+    "make_baskets",
+    "make_low_rank_matrix",
+    "make_ratings",
+    "make_documents",
+    "load_regression_table",
+    "load_logistic_table",
+    "load_points_table",
+    "load_baskets_table",
+]
+
+
+@dataclass
+class RegressionData:
+    """A regression design matrix, response vector and the true coefficients."""
+
+    features: np.ndarray
+    response: np.ndarray
+    coefficients: np.ndarray
+    intercept: float
+
+
+@dataclass
+class ClassificationData:
+    """A binary-classification design matrix with labels in {0, 1} (or {-1, +1})."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    coefficients: np.ndarray
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def make_regression(
+    num_rows: int,
+    num_features: int,
+    *,
+    noise: float = 0.1,
+    intercept: float = 0.0,
+    seed: Optional[int] = None,
+) -> RegressionData:
+    """Linear-response data ``y = X b + intercept + noise`` (Section 4.1 workload)."""
+    if num_rows < 1 or num_features < 1:
+        raise ValidationError("num_rows and num_features must be positive")
+    rng = _rng(seed)
+    features = rng.normal(size=(num_rows, num_features))
+    coefficients = rng.uniform(-2.0, 2.0, size=num_features)
+    response = features @ coefficients + intercept + rng.normal(scale=noise, size=num_rows)
+    return RegressionData(features, response, coefficients, intercept)
+
+
+def make_logistic(
+    num_rows: int,
+    num_features: int,
+    *,
+    seed: Optional[int] = None,
+    labels_plus_minus: bool = False,
+) -> ClassificationData:
+    """Binary labels drawn from a logistic model (Section 4.2 workload)."""
+    if num_rows < 1 or num_features < 1:
+        raise ValidationError("num_rows and num_features must be positive")
+    rng = _rng(seed)
+    features = rng.normal(size=(num_rows, num_features))
+    coefficients = rng.uniform(-1.5, 1.5, size=num_features)
+    probabilities = 1.0 / (1.0 + np.exp(-(features @ coefficients)))
+    labels = (rng.uniform(size=num_rows) < probabilities).astype(np.float64)
+    if labels_plus_minus:
+        labels = 2.0 * labels - 1.0
+    return ClassificationData(features, labels, coefficients)
+
+
+def make_blobs(
+    num_rows: int,
+    num_features: int,
+    num_clusters: int,
+    *,
+    spread: float = 0.5,
+    separation: float = 6.0,
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gaussian cluster blobs for k-means: returns (points, labels, true_centroids)."""
+    if num_clusters < 1:
+        raise ValidationError("num_clusters must be positive")
+    rng = _rng(seed)
+    centroids = rng.uniform(-separation, separation, size=(num_clusters, num_features))
+    labels = rng.integers(0, num_clusters, size=num_rows)
+    points = centroids[labels] + rng.normal(scale=spread, size=(num_rows, num_features))
+    return points, labels.astype(np.int64), centroids
+
+
+def make_baskets(
+    num_baskets: int,
+    num_items: int,
+    *,
+    patterns: Optional[Sequence[Sequence[int]]] = None,
+    pattern_probability: float = 0.4,
+    basket_size: int = 5,
+    seed: Optional[int] = None,
+) -> List[List[int]]:
+    """Market baskets with planted co-occurrence patterns (association-rule workload)."""
+    rng = _rng(seed)
+    if patterns is None:
+        patterns = [[0, 1, 2], [3, 4], [5, 6, 7]]
+    baskets: List[List[int]] = []
+    for _ in range(num_baskets):
+        basket = set(rng.integers(0, num_items, size=basket_size).tolist())
+        for pattern in patterns:
+            if rng.uniform() < pattern_probability:
+                basket.update(int(i) for i in pattern)
+        baskets.append(sorted(int(i) for i in basket))
+    return baskets
+
+
+def make_low_rank_matrix(
+    num_rows: int,
+    num_cols: int,
+    rank: int,
+    *,
+    noise: float = 0.01,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """A noisy low-rank matrix for the SVD-factorization workload."""
+    if rank < 1 or rank > min(num_rows, num_cols):
+        raise ValidationError("rank must be between 1 and min(num_rows, num_cols)")
+    rng = _rng(seed)
+    left = rng.normal(size=(num_rows, rank))
+    right = rng.normal(size=(rank, num_cols))
+    return left @ right + rng.normal(scale=noise, size=(num_rows, num_cols))
+
+
+def make_ratings(
+    num_users: int,
+    num_items: int,
+    rank: int,
+    *,
+    density: float = 0.2,
+    noise: float = 0.05,
+    seed: Optional[int] = None,
+) -> List[Tuple[int, int, float]]:
+    """Sparse (user, item, rating) triples from a low-rank model (recommendation workload)."""
+    rng = _rng(seed)
+    users = rng.normal(size=(num_users, rank)) / np.sqrt(rank)
+    items = rng.normal(size=(num_items, rank)) / np.sqrt(rank)
+    triples: List[Tuple[int, int, float]] = []
+    for user in range(num_users):
+        for item in range(num_items):
+            if rng.uniform() < density:
+                rating = float(users[user] @ items[item] + rng.normal(scale=noise))
+                triples.append((user, item, rating))
+    return triples
+
+
+def make_documents(
+    num_documents: int,
+    vocabulary_size: int,
+    num_topics: int,
+    *,
+    document_length: int = 50,
+    concentration: float = 0.1,
+    seed: Optional[int] = None,
+) -> Tuple[List[List[int]], np.ndarray]:
+    """Bag-of-words documents drawn from an LDA generative model.
+
+    Returns ``(documents, topic_word_distributions)`` where each document is a
+    list of word ids.
+    """
+    rng = _rng(seed)
+    topic_word = rng.dirichlet([concentration] * vocabulary_size, size=num_topics)
+    documents: List[List[int]] = []
+    for _ in range(num_documents):
+        topic_mixture = rng.dirichlet([concentration * 5] * num_topics)
+        topics = rng.choice(num_topics, size=document_length, p=topic_mixture)
+        words = [int(rng.choice(vocabulary_size, p=topic_word[topic])) for topic in topics]
+        documents.append(words)
+    return documents, topic_word
+
+
+# ---------------------------------------------------------------------------
+# Table loaders (methods consume their input through SQL)
+# ---------------------------------------------------------------------------
+
+
+def load_regression_table(
+    database,
+    table_name: str,
+    data: RegressionData,
+    *,
+    replace: bool = True,
+) -> None:
+    """Load regression data as ``(id, x double precision[], y double precision)``."""
+    database.create_table(
+        table_name,
+        [("id", "integer"), ("x", "double precision[]"), ("y", "double precision")],
+        replace=replace,
+    )
+    rows = [
+        (i, data.features[i], float(data.response[i]))
+        for i in range(data.features.shape[0])
+    ]
+    database.load_rows(table_name, rows)
+
+
+def load_logistic_table(
+    database,
+    table_name: str,
+    data: ClassificationData,
+    *,
+    replace: bool = True,
+    boolean_labels: bool = False,
+) -> None:
+    """Load classification data as ``(id, x double precision[], y)``."""
+    label_type = "boolean" if boolean_labels else "double precision"
+    database.create_table(
+        table_name,
+        [("id", "integer"), ("x", "double precision[]"), ("y", label_type)],
+        replace=replace,
+    )
+    rows = []
+    for i in range(data.features.shape[0]):
+        label = bool(data.labels[i] > 0) if boolean_labels else float(data.labels[i])
+        rows.append((i, data.features[i], label))
+    database.load_rows(table_name, rows)
+
+
+def load_points_table(database, table_name: str, points: np.ndarray, *, replace: bool = True) -> None:
+    """Load clustering points as ``(id, coords double precision[], centroid_id)``."""
+    database.create_table(
+        table_name,
+        [("id", "integer"), ("coords", "double precision[]"), ("centroid_id", "integer")],
+        replace=replace,
+    )
+    database.load_rows(table_name, [(i, points[i], None) for i in range(points.shape[0])])
+
+
+def load_baskets_table(database, table_name: str, baskets: List[List[int]], *, replace: bool = True) -> None:
+    """Load baskets as ``(basket_id, item integer)`` pairs (relational form)."""
+    database.create_table(
+        table_name,
+        [("basket_id", "integer"), ("item", "integer")],
+        replace=replace,
+    )
+    rows = []
+    for basket_id, basket in enumerate(baskets):
+        for item in basket:
+            rows.append((basket_id, int(item)))
+    database.load_rows(table_name, rows)

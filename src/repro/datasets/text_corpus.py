@@ -1,0 +1,152 @@
+"""Synthetic text corpora for the statistical text-analytics stack (Section 5.2).
+
+The paper's Florida/Berkeley work evaluates part-of-speech tagging, named
+entity recognition and entity resolution over real corpora we do not have.
+These generators produce token/label sequences from a small hidden-Markov-like
+generative model with realistic feature structure (dictionaries, suffixes,
+capitalization, digits) so the feature-extraction, Viterbi and MCMC code paths
+are exercised end-to-end, plus name lists with typos for approximate string
+matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LabeledSequence", "TagCorpus", "make_tag_corpus", "make_name_variants", "load_documents_table"]
+
+
+#: The simplified part-of-speech tag set used by the synthetic corpus.
+TAGS = ["DET", "NOUN", "VERB", "ADJ", "NUM", "NAME"]
+
+_VOCABULARY: Dict[str, List[str]] = {
+    "DET": ["the", "a", "an", "this", "that"],
+    "NOUN": ["team", "game", "player", "city", "season", "record", "coach", "score"],
+    "VERB": ["wins", "plays", "throws", "scores", "runs", "leads", "beats"],
+    "ADJ": ["fast", "strong", "new", "young", "great", "final"],
+    "NUM": ["one", "two", "three", "2010", "2011", "42", "7"],
+    "NAME": ["tim", "tebow", "denver", "smith", "jones", "miller", "jordan"],
+}
+
+_TRANSITIONS: Dict[str, List[Tuple[str, float]]] = {
+    "<start>": [("DET", 0.4), ("NAME", 0.3), ("NOUN", 0.2), ("NUM", 0.1)],
+    "DET": [("NOUN", 0.6), ("ADJ", 0.4)],
+    "ADJ": [("NOUN", 0.9), ("ADJ", 0.1)],
+    "NOUN": [("VERB", 0.6), ("NOUN", 0.2), ("NUM", 0.2)],
+    "VERB": [("DET", 0.4), ("NAME", 0.3), ("NUM", 0.3)],
+    "NUM": [("NOUN", 0.6), ("VERB", 0.4)],
+    "NAME": [("NAME", 0.3), ("VERB", 0.5), ("NOUN", 0.2)],
+}
+
+
+@dataclass
+class LabeledSequence:
+    """One sentence: parallel token and label lists."""
+
+    tokens: List[str]
+    labels: List[str]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class TagCorpus:
+    """A collection of labeled sequences plus the label alphabet."""
+
+    sequences: List[LabeledSequence]
+    labels: List[str] = field(default_factory=lambda: list(TAGS))
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def split(self, train_fraction: float = 0.8) -> Tuple["TagCorpus", "TagCorpus"]:
+        cut = max(1, int(len(self.sequences) * train_fraction))
+        return (
+            TagCorpus(self.sequences[:cut], self.labels),
+            TagCorpus(self.sequences[cut:], self.labels),
+        )
+
+    def token_count(self) -> int:
+        return sum(len(sequence) for sequence in self.sequences)
+
+
+def make_tag_corpus(
+    num_sentences: int,
+    *,
+    min_length: int = 4,
+    max_length: int = 12,
+    capitalize_names: bool = True,
+    seed: Optional[int] = None,
+) -> TagCorpus:
+    """Generate a synthetic POS/NER-style corpus from the built-in Markov model."""
+    rng = np.random.default_rng(seed)
+    sequences: List[LabeledSequence] = []
+    for _ in range(num_sentences):
+        length = int(rng.integers(min_length, max_length + 1))
+        tokens: List[str] = []
+        labels: List[str] = []
+        state = "<start>"
+        for _ in range(length):
+            choices, weights = zip(*_TRANSITIONS.get(state, _TRANSITIONS["<start>"]))
+            state = str(rng.choice(choices, p=np.asarray(weights) / sum(weights)))
+            word = str(rng.choice(_VOCABULARY[state]))
+            if capitalize_names and state == "NAME":
+                word = word.capitalize()
+            tokens.append(word)
+            labels.append(state)
+        sequences.append(LabeledSequence(tokens, labels))
+    return TagCorpus(sequences)
+
+
+def make_name_variants(
+    names: Optional[Sequence[str]] = None,
+    *,
+    variants_per_name: int = 5,
+    typo_probability: float = 0.3,
+    seed: Optional[int] = None,
+) -> List[Tuple[str, str]]:
+    """Produce (canonical_name, observed_mention) pairs with typos and truncations.
+
+    This is the entity-resolution workload for approximate string matching: a
+    mention like ``"Tim Tebow"`` should be matched to its canonical entity even
+    when misspelled ("Tim Tibow") or truncated ("T. Tebow").
+    """
+    rng = np.random.default_rng(seed)
+    if names is None:
+        names = [
+            "Tim Tebow", "Peyton Manning", "Eli Manning", "Tom Brady",
+            "Aaron Rodgers", "Drew Brees", "Joe Montana", "John Elway",
+        ]
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    pairs: List[Tuple[str, str]] = []
+    for name in names:
+        pairs.append((name, name))
+        for _ in range(variants_per_name - 1):
+            mention = list(name)
+            if rng.uniform() < typo_probability and len(mention) > 3:
+                position = int(rng.integers(1, len(mention) - 1))
+                mention[position] = str(rng.choice(list(alphabet)))
+            if rng.uniform() < 0.2:
+                first, _, last = name.partition(" ")
+                pairs.append((name, f"{first[0]}. {last}"))
+                continue
+            pairs.append((name, "".join(mention)))
+    return pairs
+
+
+def load_documents_table(database, table_name: str, corpus: TagCorpus, *, replace: bool = True) -> None:
+    """Load a corpus as ``(doc_id, position, token, label)`` rows."""
+    database.create_table(
+        table_name,
+        [("doc_id", "integer"), ("position", "integer"), ("token", "text"), ("label", "text")],
+        replace=replace,
+    )
+    rows = []
+    for doc_id, sequence in enumerate(corpus.sequences):
+        for position, (token, label) in enumerate(zip(sequence.tokens, sequence.labels)):
+            rows.append((doc_id, position, token, label))
+    database.load_rows(table_name, rows)

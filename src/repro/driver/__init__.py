@@ -1,0 +1,28 @@
+"""Macro-programming helpers: driver iteration and templated SQL (Section 3.1)."""
+
+from .iteration import IterationController, IterationTrace
+from .templating import (
+    QueryTemplate,
+    is_valid_identifier,
+    quote_identifier,
+    quote_literal,
+    validate_column_type,
+    validate_columns_exist,
+    validate_identifier,
+    validate_table_absent,
+    validate_table_exists,
+)
+
+__all__ = [
+    "IterationController",
+    "IterationTrace",
+    "QueryTemplate",
+    "quote_identifier",
+    "quote_literal",
+    "is_valid_identifier",
+    "validate_identifier",
+    "validate_table_exists",
+    "validate_table_absent",
+    "validate_columns_exist",
+    "validate_column_type",
+]

@@ -1,0 +1,187 @@
+"""Driver-function iteration with temp-table state (Figure 3 of the paper).
+
+The paper's pattern for multipass iterative algorithms (Section 3.1.2): a
+Python driver UDF
+
+1. creates a temporary table for inter-iteration states,
+2. repeatedly runs generated SQL that computes the next state (one
+   user-defined-aggregate pass over the data per iteration) and appends it to
+   the temp table, and
+3. checks a convergence predicate, finally converting the last state into the
+   return value —
+
+with "no data movement between the driver function and the database engine":
+only the (small) model state crosses the boundary.
+
+:class:`IterationController` packages that pattern for the iterative methods
+in this library (logistic regression, k-means, SVM, LDA, SGD, ...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConvergenceError, ValidationError
+
+__all__ = ["IterationController", "IterationTrace"]
+
+
+@dataclass
+class IterationTrace:
+    """Record of one driver iteration (used for overhead accounting)."""
+
+    iteration: int
+    seconds: float
+    state_summary: Optional[float] = None
+
+
+class IterationController:
+    """Runs the CREATE TEMP TABLE / INSERT ... SELECT / converged? loop.
+
+    Parameters
+    ----------
+    database:
+        The engine the generated SQL runs against.
+    initial_state:
+        State stored for iteration 0.
+    max_iterations:
+        Hard iteration budget; exceeding it raises :class:`ConvergenceError`
+        unless ``fail_on_max_iterations=False``.
+    temp_prefix:
+        Prefix for the inter-iteration state table name.
+    keep_state_table:
+        Keep the temp table after completion (useful for debugging and the
+        ablation benchmarks); by default it is dropped.
+    """
+
+    def __init__(
+        self,
+        database,
+        *,
+        initial_state: Any = None,
+        max_iterations: int = 100,
+        temp_prefix: str = "madlib_iterative",
+        fail_on_max_iterations: bool = True,
+        keep_state_table: bool = False,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValidationError("max_iterations must be at least 1")
+        self.database = database
+        self.max_iterations = max_iterations
+        self.fail_on_max_iterations = fail_on_max_iterations
+        self.keep_state_table = keep_state_table
+        self.state_table = database.unique_temp_name(temp_prefix)
+        self.iteration = 0
+        self.traces: List[IterationTrace] = []
+        self._finished = False
+        # CREATE TEMPORARY TABLE iterative_algorithm AS SELECT 0 AS iteration, NULL AS state
+        database.create_table(
+            self.state_table,
+            [("iteration", "integer"), ("state", "any")],
+            temporary=True,
+        )
+        database.load_rows(self.state_table, [(0, initial_state)])
+
+    # -- state access --------------------------------------------------------------
+
+    @property
+    def state(self) -> Any:
+        """The most recent inter-iteration state."""
+        return self.database.query_scalar(
+            f"SELECT state FROM {self.state_table} WHERE iteration = %(it)s",
+            {"it": self.iteration},
+        )
+
+    def state_at(self, iteration: int) -> Any:
+        return self.database.query_scalar(
+            f"SELECT state FROM {self.state_table} WHERE iteration = %(it)s",
+            {"it": iteration},
+        )
+
+    def history(self) -> List[Any]:
+        """All stored states in iteration order."""
+        result = self.database.execute(
+            f"SELECT state FROM {self.state_table} ORDER BY iteration"
+        )
+        return [row[0] for row in result.rows]
+
+    # -- iteration ----------------------------------------------------------------------
+
+    def update(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> Any:
+        """Run one iteration.
+
+        ``sql`` must be a SELECT producing exactly one value: the new state.
+        It may reference the bind parameters ``%(previous_state)s`` and
+        ``%(iteration)s`` in addition to anything in ``parameters``, and the
+        literal placeholder ``{state_table}`` for joining against the state
+        table directly (the exact shape used in Figure 3).
+        """
+        if self._finished:
+            raise ValidationError("iteration controller already finished")
+        bound = dict(parameters or {})
+        bound.setdefault("previous_state", self.state)
+        bound.setdefault("iteration", self.iteration)
+        rendered = sql.replace("{state_table}", self.state_table)
+        start = time.perf_counter()
+        new_state = self.database.execute(rendered, bound).scalar()
+        elapsed = time.perf_counter() - start
+        self.iteration += 1
+        self.database.execute(
+            f"INSERT INTO {self.state_table} (iteration, state) VALUES (%(it)s, %(state)s)",
+            {"it": self.iteration, "state": new_state},
+        )
+        self.traces.append(IterationTrace(self.iteration, elapsed))
+        return new_state
+
+    def run(
+        self,
+        update_sql: str,
+        *,
+        converged: Callable[[Any, Any], bool],
+        parameters: Optional[Dict[str, Any]] = None,
+        min_iterations: int = 1,
+    ) -> Any:
+        """Iterate ``update_sql`` until ``converged(previous, current)`` or the budget runs out."""
+        previous = self.state
+        for _ in range(self.max_iterations):
+            current = self.update(update_sql, parameters)
+            if self.iteration >= min_iterations and converged(previous, current):
+                return self.finish()
+            previous = current
+        if self.fail_on_max_iterations:
+            self.cleanup()
+            raise ConvergenceError(
+                f"did not converge within {self.max_iterations} iterations"
+            )
+        return self.finish()
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def finish(self) -> Any:
+        """Return the final state and drop the temp table (unless kept)."""
+        final_state = self.state
+        self._finished = True
+        self.cleanup()
+        return final_state
+
+    def cleanup(self) -> None:
+        if not self.keep_state_table:
+            self.database.drop_table(self.state_table, if_exists=True)
+
+    def __enter__(self) -> "IterationController":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cleanup()
+
+    # -- accounting -----------------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(trace.seconds for trace in self.traces)
+
+    @property
+    def per_iteration_seconds(self) -> List[float]:
+        return [trace.seconds for trace in self.traces]

@@ -1,0 +1,135 @@
+"""Templated SQL: catalog-driven query synthesis with up-front validation.
+
+Section 3.1.3 of the paper: driver UDFs "interrogate the database catalog for
+details of input tables, and then synthesize customized SQL queries based on
+templates".  Because the backend only discovers syntax errors when the
+generated SQL runs — "often leading to error messages that are enigmatic to
+the user" — MADlib validates identifiers before templating.  This module is
+the "Python library that ships with MADlib and provides useful programmer
+APIs and user feedback" the paper says it plans to provide.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import ValidationError
+
+__all__ = [
+    "quote_identifier",
+    "quote_literal",
+    "is_valid_identifier",
+    "validate_identifier",
+    "validate_table_exists",
+    "validate_table_absent",
+    "validate_columns_exist",
+    "validate_column_type",
+    "QueryTemplate",
+]
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def is_valid_identifier(name: str) -> bool:
+    """Whether ``name`` is a plain SQL identifier (no quoting required)."""
+    return bool(isinstance(name, str) and _IDENTIFIER_RE.match(name))
+
+
+def validate_identifier(name: str, *, what: str = "identifier") -> str:
+    """Return ``name`` if it is a safe identifier; raise :class:`ValidationError` otherwise."""
+    if not is_valid_identifier(name):
+        raise ValidationError(f"invalid {what}: {name!r}")
+    return name
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an identifier for inclusion in generated SQL."""
+    validate_identifier(name)
+    return name
+
+
+def quote_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal (strings are escaped)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise ValidationError(f"cannot render {type(value).__name__} as a SQL literal")
+
+
+def validate_table_exists(database, table_name: str) -> None:
+    validate_identifier(table_name, what="table name")
+    if not database.has_table(table_name):
+        raise ValidationError(f"source table {table_name!r} does not exist")
+
+
+def validate_table_absent(database, table_name: str) -> None:
+    validate_identifier(table_name, what="table name")
+    if database.has_table(table_name):
+        raise ValidationError(f"output table {table_name!r} already exists")
+
+
+def validate_columns_exist(database, table_name: str, columns: Iterable[str]) -> None:
+    validate_table_exists(database, table_name)
+    schema = database.catalog.table_schema(table_name)
+    for column in columns:
+        validate_identifier(column, what="column name")
+        if not schema.has_column(column):
+            raise ValidationError(
+                f"column {column!r} does not exist in table {table_name!r} "
+                f"(available: {', '.join(schema.names)})"
+            )
+
+
+def validate_column_type(database, table_name: str, column: str, *, expect_array: Optional[bool] = None,
+                         expect_numeric: Optional[bool] = None) -> None:
+    validate_columns_exist(database, table_name, [column])
+    sql_type = database.catalog.table_schema(table_name).type_of(column)
+    if expect_array is not None and sql_type.is_array != expect_array:
+        expected = "an array" if expect_array else "a scalar"
+        raise ValidationError(f"column {column!r} of {table_name!r} must be {expected}, is {sql_type}")
+    if expect_numeric and not (sql_type.is_numeric or sql_type.is_array or sql_type.name == "any"):
+        raise ValidationError(f"column {column!r} of {table_name!r} must be numeric, is {sql_type}")
+
+
+class QueryTemplate:
+    """A SQL template whose ``{placeholders}`` are identifiers, validated on render.
+
+    Only identifier-shaped values may be substituted; data values must be
+    passed as bind parameters instead.  This separation (identifiers templated
+    and validated, values bound) is the error-handling discipline the paper
+    calls for.
+    """
+
+    def __init__(self, template: str) -> None:
+        self.template = template
+        self.placeholders = self._find_placeholders(template)
+
+    @staticmethod
+    def _find_placeholders(template: str) -> List[str]:
+        formatter = string.Formatter()
+        names = []
+        for _, field_name, _, _ in formatter.parse(template):
+            if field_name:
+                names.append(field_name)
+        return names
+
+    def render(self, **identifiers: str) -> str:
+        missing = [name for name in self.placeholders if name not in identifiers]
+        if missing:
+            raise ValidationError(f"missing template identifiers: {', '.join(missing)}")
+        for name, value in identifiers.items():
+            if name not in self.placeholders:
+                raise ValidationError(f"unknown template identifier {name!r}")
+            # Allow dotted and comma-separated identifier lists (column lists).
+            parts = re.split(r"[,\s.]+", str(value).strip())
+            for part in parts:
+                if part:
+                    validate_identifier(part, what=f"substitution for {name!r}")
+        return self.template.format(**identifiers)

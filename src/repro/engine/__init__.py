@@ -1,0 +1,59 @@
+"""A from-scratch, in-memory parallel SQL engine: the substrate MADlib runs on.
+
+The engine plays the role PostgreSQL / Greenplum play in the paper: it parses
+and executes a practical subset of SQL, supports user-defined scalar
+functions and user-defined aggregates (transition / merge / final), stores
+tables hash-distributed across shared-nothing *segments*, and exposes the
+catalog introspection that templated queries need.
+"""
+
+from .aggregates import AggregateDefinition, AggregateRunner, builtin_aggregates
+from .catalog import Catalog
+from .database import Database, connect
+from .functions import FunctionDefinition, builtin_functions
+from .result import ResultSet
+from .schema import Column, Schema
+from .segments import AggregateTimings, ExecutionStats, SegmentedAggregator
+from .table import Table
+from .types import (
+    ANY,
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    DOUBLE_ARRAY,
+    INTEGER,
+    INTEGER_ARRAY,
+    TEXT,
+    TEXT_ARRAY,
+    SQLType,
+    type_from_name,
+)
+
+__all__ = [
+    "Database",
+    "connect",
+    "Catalog",
+    "Table",
+    "Schema",
+    "Column",
+    "ResultSet",
+    "FunctionDefinition",
+    "AggregateDefinition",
+    "AggregateRunner",
+    "SegmentedAggregator",
+    "AggregateTimings",
+    "ExecutionStats",
+    "builtin_functions",
+    "builtin_aggregates",
+    "SQLType",
+    "type_from_name",
+    "ANY",
+    "BIGINT",
+    "BOOLEAN",
+    "DOUBLE",
+    "DOUBLE_ARRAY",
+    "INTEGER",
+    "INTEGER_ARRAY",
+    "TEXT",
+    "TEXT_ARRAY",
+]

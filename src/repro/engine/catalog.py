@@ -1,0 +1,123 @@
+"""The system catalog: tables, scalar functions and aggregates.
+
+The paper's templated-query pattern (Section 3.1.3) has Python driver UDFs
+"interrogate the database catalog for details of input tables, and then
+synthesize customized SQL queries based on templates".  This module is that
+catalog.  It also doubles as the extension-function registry: MADlib installs
+its methods as user-defined scalar functions and user-defined aggregates, so
+``register_function`` / ``register_aggregate`` are the analog of running the
+library's installation SQL scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import CatalogError
+from .aggregates import AggregateDefinition
+from .functions import FunctionDefinition
+from .schema import Schema
+from .table import Table
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Namespace of tables, scalar functions and aggregates."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._functions: Dict[str, FunctionDefinition] = {}
+        self._aggregates: Dict[str, AggregateDefinition] = {}
+
+    # -- tables --------------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def create_table(self, table: Table, *, replace: bool = False) -> Table:
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+        return table
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def rename_table(self, old: str, new: str) -> None:
+        table = self.get_table(old)
+        if self.has_table(new):
+            raise CatalogError(f"table {new!r} already exists")
+        del self._tables[old.lower()]
+        table.name = new
+        self._tables[new.lower()] = table
+
+    def table_names(self, *, include_temporary: bool = True) -> List[str]:
+        return sorted(
+            table.name
+            for table in self._tables.values()
+            if include_temporary or not table.temporary
+        )
+
+    def table_schema(self, name: str) -> Schema:
+        """Schema lookup used by templated-query generation."""
+        return self.get_table(name).schema
+
+    def drop_temporary_tables(self) -> int:
+        """Drop all temp tables (end-of-session cleanup); returns count dropped."""
+        temp_names = [name for name, table in self._tables.items() if table.temporary]
+        for name in temp_names:
+            del self._tables[name]
+        return len(temp_names)
+
+    # -- scalar functions ----------------------------------------------------
+
+    def register_function(self, definition: FunctionDefinition, *, replace: bool = True) -> None:
+        key = definition.name.lower()
+        if key in self._functions and not replace:
+            raise CatalogError(f"function {definition.name!r} already exists")
+        self._functions[key] = definition
+
+    def has_function(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def get_function(self, name: str) -> FunctionDefinition:
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise CatalogError(f"function {name!r} does not exist") from None
+
+    def function_names(self) -> List[str]:
+        return sorted(definition.name for definition in self._functions.values())
+
+    # -- aggregates ----------------------------------------------------------
+
+    def register_aggregate(self, definition: AggregateDefinition, *, replace: bool = True) -> None:
+        key = definition.name.lower()
+        if key in self._aggregates and not replace:
+            raise CatalogError(f"aggregate {definition.name!r} already exists")
+        self._aggregates[key] = definition
+
+    def has_aggregate(self, name: str) -> bool:
+        return name.lower() in self._aggregates
+
+    def get_aggregate(self, name: str) -> AggregateDefinition:
+        try:
+            return self._aggregates[name.lower()]
+        except KeyError:
+            raise CatalogError(f"aggregate {name!r} does not exist") from None
+
+    def aggregate_names(self) -> List[str]:
+        return sorted(definition.name for definition in self._aggregates.values())

@@ -1,0 +1,218 @@
+"""The user-facing database facade.
+
+A :class:`Database` bundles a catalog, an executor and a segment count, and
+exposes the operations MADlib-style code needs:
+
+* ``execute(sql, parameters)`` — run one SQL statement (the macro-programming
+  surface),
+* ``create_function`` / ``create_aggregate`` — install user-defined scalar
+  functions and aggregates (the extension interface MADlib's installation
+  scripts use),
+* programmatic helpers (``create_table``, ``load_rows``, ``table``) used by
+  workload generators and tests.
+
+The segment count plays the role of the number of Greenplum query processes;
+``parallel_aggregation`` can be switched off to get the single-stream
+aggregation baseline used by the merge-path ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import CatalogError, ValidationError
+from .aggregates import AggregateDefinition, builtin_aggregates
+from .catalog import Catalog
+from .executor import Executor
+from .functions import FunctionDefinition, builtin_functions
+from .parser import parse_script, parse_statement
+from .result import ResultSet
+from .schema import Column, Schema
+from .segments import ExecutionStats
+from .table import Table
+from .types import ANY, SQLType, type_from_name
+
+__all__ = ["Database", "connect"]
+
+
+class Database:
+    """An in-memory, single-process stand-in for PostgreSQL / Greenplum.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of shared-nothing segments new tables are distributed over.
+        ``1`` behaves like single-node PostgreSQL; larger values emulate a
+        Greenplum cluster with that many query processes.
+    parallel_aggregation:
+        When true (default), aggregates over segmented tables run the
+        per-segment transition + merge path.
+    """
+
+    def __init__(self, num_segments: int = 1, *, parallel_aggregation: bool = True) -> None:
+        if num_segments < 1:
+            raise ValidationError("num_segments must be at least 1")
+        self.num_segments = num_segments
+        self.parallel_aggregation = parallel_aggregation
+        self.catalog = Catalog()
+        self.executor = Executor(self)
+        self.last_stats: Optional[ExecutionStats] = None
+        self._temp_counter = 0
+        for definition in builtin_functions():
+            self.catalog.register_function(definition)
+        for aggregate in builtin_aggregates():
+            self.catalog.register_aggregate(aggregate)
+
+    # ------------------------------------------------------------------ SQL API
+
+    def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> ResultSet:
+        """Parse and execute a single SQL statement."""
+        statement = parse_statement(sql)
+        result = self.executor.execute(statement, parameters)
+        if result.stats is not None:
+            self.last_stats = result.stats
+        return result
+
+    def execute_script(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> List[ResultSet]:
+        """Execute a semicolon-separated script; returns one result per statement."""
+        return [self.executor.execute(stmt, parameters) for stmt in parse_script(sql)]
+
+    def query_dicts(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> List[dict]:
+        """Execute a SELECT and return rows as dictionaries."""
+        return self.execute(sql, parameters).to_dicts()
+
+    def query_scalar(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> Any:
+        """Execute a SELECT expected to produce a single value."""
+        return self.execute(sql, parameters).scalar()
+
+    # ------------------------------------------------------------------ extension API
+
+    def create_function(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        *,
+        return_type: Union[str, SQLType] = ANY,
+        strict: bool = True,
+        volatile: bool = False,
+        replace: bool = True,
+    ) -> FunctionDefinition:
+        """Register a Python callable as a SQL scalar function (a UDF)."""
+        if isinstance(return_type, str):
+            return_type = type_from_name(return_type)
+        definition = FunctionDefinition(name, func, return_type, strict=strict, volatile=volatile)
+        self.catalog.register_function(definition, replace=replace)
+        return definition
+
+    def create_aggregate(
+        self,
+        name: str,
+        *,
+        transition: Callable[..., Any],
+        merge: Optional[Callable[[Any, Any], Any]] = None,
+        final: Optional[Callable[[Any], Any]] = None,
+        initial_state: Any = None,
+        strict: bool = True,
+        return_type: Union[str, SQLType] = ANY,
+        replace: bool = True,
+    ) -> AggregateDefinition:
+        """Register a user-defined aggregate (transition / merge / final)."""
+        if isinstance(return_type, str):
+            return_type = type_from_name(return_type)
+        definition = AggregateDefinition(
+            name,
+            transition,
+            merge=merge,
+            final=final,
+            initial_state=initial_state,
+            strict=strict,
+            return_type=return_type,
+        )
+        self.catalog.register_aggregate(definition, replace=replace)
+        return definition
+
+    # ------------------------------------------------------------------ table helpers
+
+    def create_table(
+        self,
+        name: str,
+        columns: Union[Schema, Sequence[Tuple[str, str]]],
+        *,
+        distributed_by: Optional[str] = None,
+        temporary: bool = False,
+        replace: bool = False,
+    ) -> Table:
+        """Create a table programmatically (columns as ``(name, sql_type)`` pairs)."""
+        if replace and self.catalog.has_table(name):
+            self.catalog.drop_table(name)
+        schema = columns if isinstance(columns, Schema) else Schema.from_pairs(columns)
+        table = Table(
+            name,
+            schema,
+            num_segments=self.num_segments,
+            distributed_by=distributed_by,
+            temporary=temporary,
+        )
+        return self.catalog.create_table(table)
+
+    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-load rows into an existing table; returns the number inserted."""
+        return self.catalog.get_table(name).insert_many(rows)
+
+    def table(self, name: str) -> Table:
+        """Look up a table object (raises CatalogError if missing)."""
+        return self.catalog.get_table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.has_table(name)
+
+    def drop_table(self, name: str, *, if_exists: bool = True) -> None:
+        self.catalog.drop_table(name, if_exists=if_exists)
+
+    def table_names(self) -> List[str]:
+        return self.catalog.table_names()
+
+    # ------------------------------------------------------------------ segments
+
+    def set_num_segments(self, num_segments: int, *, redistribute: bool = True) -> None:
+        """Change the segment count, optionally redistributing existing tables.
+
+        The Figure 4 / Figure 5 harness uses this to sweep cluster sizes over
+        the same loaded data.
+        """
+        if num_segments < 1:
+            raise ValidationError("num_segments must be at least 1")
+        self.num_segments = num_segments
+        if redistribute:
+            for name in self.catalog.table_names():
+                table = self.catalog.get_table(name)
+                table.redistribute(num_segments, table.distributed_by)
+
+    # ------------------------------------------------------------------ temp tables
+
+    def unique_temp_name(self, prefix: str = "madlib_temp") -> str:
+        """A fresh temp-table name (drivers stage inter-iteration state in these)."""
+        self._temp_counter += 1
+        candidate = f"{prefix}_{self._temp_counter}"
+        while self.catalog.has_table(candidate):
+            self._temp_counter += 1
+            candidate = f"{prefix}_{self._temp_counter}"
+        return candidate
+
+    @contextmanager
+    def temporary_table(self, prefix: str = "madlib_temp"):
+        """Context manager yielding a fresh temp-table name, dropped on exit."""
+        name = self.unique_temp_name(prefix)
+        try:
+            yield name
+        finally:
+            self.catalog.drop_table(name, if_exists=True)
+
+    def drop_temporary_tables(self) -> int:
+        return self.catalog.drop_temporary_tables()
+
+
+def connect(num_segments: int = 1, **kwargs: Any) -> Database:
+    """Create a new in-memory database (named to read like a DB-API call)."""
+    return Database(num_segments=num_segments, **kwargs)

@@ -1,0 +1,655 @@
+"""Statement execution.
+
+The executor evaluates parsed statements against the catalog.  The part that
+matters most for the paper is aggregate execution: queries that aggregate a
+single base table run the *segmented* path — independent per-segment
+transition folds followed by a merge — which is the Greenplum execution model
+the Figure 4 / Figure 5 experiments measure.  Everything else (joins,
+subqueries, window functions, DML) exists so that MADlib-style methods can be
+written as plain SQL plus driver functions, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError, ExecutionError, SQLSyntaxError
+from .aggregates import AggregateDefinition
+from .expressions import (
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    RowContext,
+    Star,
+    WindowCall,
+)
+from .parser.ast_nodes import (
+    AlterTableRenameStatement,
+    CreateTableAsStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    FunctionSource,
+    InsertStatement,
+    Join,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    SubquerySource,
+    TableRef,
+    TruncateStatement,
+    UnionStatement,
+    UpdateStatement,
+)
+from .result import ResultSet
+from .schema import Column, Schema
+from .segments import AggregateTimings, ExecutionStats, SegmentedAggregator
+from .table import Table
+from .types import ANY, SQLType, hashable_key, infer_type, type_from_name
+from .window import compute_window_values
+
+__all__ = ["Executor"]
+
+
+@dataclass
+class _Relation:
+    """An intermediate result: named columns, row tuples, segment provenance."""
+
+    columns: List[Tuple[Optional[str], str]]  # (source alias, column name)
+    rows: List[Tuple[Any, ...]]
+    segment_ids: List[int]
+    num_segments: int = 1
+
+    def context_keys(self) -> List[List[str]]:
+        """For each column, the row-dict keys it populates."""
+        bare_counts: Dict[str, int] = {}
+        for _, name in self.columns:
+            bare_counts[name.lower()] = bare_counts.get(name.lower(), 0) + 1
+        keys: List[List[str]] = []
+        for alias, name in self.columns:
+            column_keys = []
+            if alias:
+                column_keys.append(f"{alias.lower()}.{name.lower()}")
+            if bare_counts[name.lower()] == 1:
+                column_keys.append(name.lower())
+            elif not alias:
+                column_keys.append(name.lower())
+            keys.append(column_keys)
+        return keys
+
+
+class Executor:
+    """Executes parsed statements against a :class:`~repro.engine.database.Database`."""
+
+    def __init__(self, database) -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------ utils
+
+    @property
+    def catalog(self):
+        return self.database.catalog
+
+    def _function_registry(self) -> Dict[str, Callable[..., Any]]:
+        return {
+            name.lower(): self.catalog.get_function(name)
+            for name in self.catalog.function_names()
+        }
+
+    def _aggregate_registry(self) -> Dict[str, AggregateDefinition]:
+        return {
+            name.lower(): self.catalog.get_aggregate(name)
+            for name in self.catalog.aggregate_names()
+        }
+
+    def _make_contexts(
+        self, relation: _Relation, parameters: Optional[Dict[str, Any]]
+    ) -> List[RowContext]:
+        functions = self._function_registry()
+        keys_per_column = relation.context_keys()
+        contexts = []
+        for row in relation.rows:
+            values: Dict[str, Any] = {}
+            for column_keys, value in zip(keys_per_column, row):
+                for key in column_keys:
+                    values[key] = value
+            contexts.append(RowContext(values, functions, parameters))
+        return contexts
+
+    # ------------------------------------------------------------------ dispatch
+
+    def execute(self, statement: Statement, parameters: Optional[Dict[str, Any]] = None) -> ResultSet:
+        start = time.perf_counter()
+        if isinstance(statement, SelectStatement):
+            result = self._execute_select(statement, parameters)
+        elif isinstance(statement, UnionStatement):
+            result = self._execute_union(statement, parameters)
+        elif isinstance(statement, CreateTableStatement):
+            result = self._execute_create_table(statement)
+        elif isinstance(statement, CreateTableAsStatement):
+            result = self._execute_create_table_as(statement, parameters)
+        elif isinstance(statement, InsertStatement):
+            result = self._execute_insert(statement, parameters)
+        elif isinstance(statement, UpdateStatement):
+            result = self._execute_update(statement, parameters)
+        elif isinstance(statement, DeleteStatement):
+            result = self._execute_delete(statement, parameters)
+        elif isinstance(statement, DropTableStatement):
+            result = self._execute_drop(statement)
+        elif isinstance(statement, TruncateStatement):
+            result = self._execute_truncate(statement)
+        elif isinstance(statement, AlterTableRenameStatement):
+            result = self._execute_alter(statement)
+        else:
+            raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+        if result.stats is not None:
+            result.stats.total_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ FROM clause
+
+    def _scan_table(self, ref: TableRef) -> _Relation:
+        table = self.catalog.get_table(ref.name)
+        alias = ref.effective_alias
+        columns = [(alias, name) for name in table.schema.names]
+        rows: List[Tuple[Any, ...]] = []
+        segment_ids: List[int] = []
+        for segment in range(table.num_segments):
+            for row in table.segment_rows(segment):
+                rows.append(row)
+                segment_ids.append(segment)
+        return _Relation(columns, rows, segment_ids, table.num_segments)
+
+    def _scan_subquery(self, source: SubquerySource, parameters) -> _Relation:
+        result = self.execute(source.select, parameters)
+        columns = [(source.alias, name) for name in result.columns]
+        rows = list(result.rows)
+        return _Relation(columns, rows, [0] * len(rows), 1)
+
+    def _scan_function(self, source: FunctionSource, parameters) -> _Relation:
+        name = source.name.lower()
+        functions = self._function_registry()
+        context = RowContext({}, functions, parameters)
+        args = [arg.evaluate(context) for arg in source.args]
+        if name == "generate_series":
+            if len(args) == 2:
+                start, stop = int(args[0]), int(args[1])
+                step = 1
+            elif len(args) == 3:
+                start, stop, step = int(args[0]), int(args[1]), int(args[2])
+            else:
+                raise ExecutionError("generate_series takes 2 or 3 arguments")
+            values = list(range(start, stop + (1 if step > 0 else -1), step))
+        else:
+            raise ExecutionError(f"unsupported table function {source.name!r}")
+        column_name = source.column_names[0] if source.column_names else source.name
+        columns = [(source.alias, column_name)]
+        rows = [(value,) for value in values]
+        return _Relation(columns, rows, [0] * len(rows), 1)
+
+    def _scan_from_item(self, item, parameters) -> _Relation:
+        if isinstance(item, TableRef):
+            return self._scan_table(item)
+        if isinstance(item, SubquerySource):
+            return self._scan_subquery(item, parameters)
+        if isinstance(item, FunctionSource):
+            return self._scan_function(item, parameters)
+        if isinstance(item, Join):
+            return self._execute_join(item, parameters)
+        raise ExecutionError(f"unsupported FROM item {type(item).__name__}")
+
+    def _combine(self, left: _Relation, right: _Relation, pairs: List[Tuple[int, Optional[int]]]) -> _Relation:
+        """Build a relation from (left_row_index, right_row_index-or-None) pairs."""
+        columns = left.columns + right.columns
+        right_width = len(right.columns)
+        rows: List[Tuple[Any, ...]] = []
+        segment_ids: List[int] = []
+        for left_index, right_index in pairs:
+            right_row = right.rows[right_index] if right_index is not None else (None,) * right_width
+            rows.append(left.rows[left_index] + right_row)
+            segment_ids.append(left.segment_ids[left_index])
+        num_segments = left.num_segments
+        return _Relation(columns, rows, segment_ids, num_segments)
+
+    def _execute_join(self, join: Join, parameters) -> _Relation:
+        left = self._scan_from_item(join.left, parameters)
+        right = self._scan_from_item(join.right, parameters)
+        pairs: List[Tuple[int, Optional[int]]] = []
+        if join.kind == "cross" or join.condition is None:
+            for i in range(len(left.rows)):
+                for j in range(len(right.rows)):
+                    pairs.append((i, j))
+            return self._combine(left, right, pairs)
+        combined_columns = left.columns + right.columns
+        probe = _Relation(combined_columns, [], [], left.num_segments)
+        keys_per_column = probe.context_keys()
+        functions = self._function_registry()
+        right_width = len(right.columns)
+        for i, left_row in enumerate(left.rows):
+            matched = False
+            for j, right_row in enumerate(right.rows):
+                values: Dict[str, Any] = {}
+                for column_keys, value in zip(keys_per_column, left_row + right_row):
+                    for key in column_keys:
+                        values[key] = value
+                context = RowContext(values, functions, parameters)
+                if join.condition.evaluate(context) is True:
+                    pairs.append((i, j))
+                    matched = True
+            if join.kind == "left" and not matched:
+                pairs.append((i, None))
+        return self._combine(left, right, pairs)
+
+    def _build_relation(self, from_items: List[object], parameters) -> _Relation:
+        if not from_items:
+            # SELECT without FROM: a single empty row.
+            return _Relation([], [()], [0], 1)
+        relation = self._scan_from_item(from_items[0], parameters)
+        for item in from_items[1:]:
+            right = self._scan_from_item(item, parameters)
+            pairs = [(i, j) for i in range(len(relation.rows)) for j in range(len(right.rows))]
+            relation = self._combine(relation, right, pairs)
+        return relation
+
+    # ------------------------------------------------------------------ SELECT
+
+    def _expand_select_items(
+        self, items: List[SelectItem], relation: _Relation
+    ) -> List[SelectItem]:
+        expanded: List[SelectItem] = []
+        for item in items:
+            if isinstance(item.expression, Star):
+                qualifier = item.expression.qualifier
+                matched = False
+                for alias, name in relation.columns:
+                    if qualifier is None or (alias and alias.lower() == qualifier.lower()):
+                        expanded.append(SelectItem(ColumnRef(name, alias), name))
+                        matched = True
+                if not matched:
+                    raise ExecutionError(
+                        f"'*' expansion found no columns for qualifier {qualifier!r}"
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _output_name(self, item: SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        expression = item.expression
+        if isinstance(expression, ColumnRef):
+            return expression.name
+        if isinstance(expression, FunctionCall):
+            return expression.name.lower()
+        if isinstance(expression, WindowCall):
+            return expression.function.name.lower()
+        return f"column{position + 1}"
+
+    def _collect_aggregate_calls(self, expressions: Iterable[Expression]) -> List[FunctionCall]:
+        aggregates = self._aggregate_registry()
+        calls: List[FunctionCall] = []
+        seen = set()
+        for expression in expressions:
+            if expression is None:
+                continue
+            for node in expression.walk():
+                if isinstance(node, WindowCall):
+                    # The aggregate inside an OVER clause is handled by the
+                    # window machinery, not by GROUP BY aggregation.
+                    break
+                if isinstance(node, FunctionCall) and node.name.lower() in aggregates:
+                    if id(node) not in seen:
+                        seen.add(id(node))
+                        calls.append(node)
+        return calls
+
+    def _collect_window_calls(self, expressions: Iterable[Expression]) -> List[WindowCall]:
+        calls: List[WindowCall] = []
+        for expression in expressions:
+            if expression is None:
+                continue
+            for node in expression.walk():
+                if isinstance(node, WindowCall):
+                    calls.append(node)
+        return calls
+
+    def _execute_select(self, statement: SelectStatement, parameters) -> ResultSet:
+        stats = ExecutionStats(statement_kind="select")
+        relation = self._build_relation(statement.from_items, parameters)
+        stats.rows_scanned = len(relation.rows)
+        contexts = self._make_contexts(relation, parameters)
+
+        if statement.where is not None:
+            kept = [i for i, ctx in enumerate(contexts) if statement.where.evaluate(ctx) is True]
+            contexts = [contexts[i] for i in kept]
+            relation = _Relation(
+                relation.columns,
+                [relation.rows[i] for i in kept],
+                [relation.segment_ids[i] for i in kept],
+                relation.num_segments,
+            )
+
+        select_items = self._expand_select_items(statement.select_items, relation)
+        output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
+
+        all_expressions = [item.expression for item in select_items]
+        if statement.having is not None:
+            all_expressions.append(statement.having)
+        for order_item in statement.order_by:
+            all_expressions.append(order_item.expression)
+
+        aggregate_calls = self._collect_aggregate_calls(all_expressions)
+        window_calls = self._collect_window_calls(all_expressions)
+
+        if aggregate_calls or statement.group_by:
+            output_rows = self._execute_grouped(
+                statement, select_items, aggregate_calls, relation, contexts, parameters, stats
+            )
+        else:
+            if window_calls:
+                aggregates = self._aggregate_registry()
+                per_row = compute_window_values(window_calls, contexts, aggregates)
+                contexts = [ctx.with_values(extra) for ctx, extra in zip(contexts, per_row)]
+            output_rows = []
+            for ctx in contexts:
+                output_rows.append(
+                    tuple(item.expression.evaluate(ctx) for item in select_items)
+                )
+            if statement.order_by:
+                output_rows = self._apply_order_by(
+                    statement.order_by, select_items, output_names, contexts, output_rows
+                )
+
+        if statement.distinct:
+            seen = set()
+            unique_rows = []
+            for row in output_rows:
+                key = tuple(hashable_key(value) for value in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique_rows.append(row)
+            output_rows = unique_rows
+
+        if statement.offset:
+            output_rows = output_rows[statement.offset:]
+        if statement.limit is not None:
+            output_rows = output_rows[: statement.limit]
+
+        return ResultSet(output_names, output_rows, stats=stats)
+
+    def _apply_order_by(
+        self,
+        order_by: List[OrderItem],
+        select_items: List[SelectItem],
+        output_names: List[str],
+        contexts: List[RowContext],
+        output_rows: List[Tuple[Any, ...]],
+    ) -> List[Tuple[Any, ...]]:
+        indices = list(range(len(output_rows)))
+        lowered_names = [name.lower() for name in output_names]
+
+        def key_value(order_item: OrderItem, index: int) -> Any:
+            expression = order_item.expression
+            # Ordinal (ORDER BY 1) and output-alias references.
+            if isinstance(expression, Literal) and isinstance(expression.value, int):
+                return output_rows[index][expression.value - 1]
+            if isinstance(expression, ColumnRef) and expression.qualifier is None:
+                name = expression.name.lower()
+                if name in lowered_names:
+                    return output_rows[index][lowered_names.index(name)]
+            if index < len(contexts):
+                return expression.evaluate(contexts[index])
+            raise ExecutionError("cannot evaluate ORDER BY expression for aggregated output")
+
+        for order_item in reversed(order_by):
+            keys = {i: key_value(order_item, i) for i in indices}
+            non_null = [i for i in indices if keys[i] is not None]
+            nulls = [i for i in indices if keys[i] is None]
+            non_null.sort(key=lambda i: hashable_key(keys[i]), reverse=not order_item.ascending)
+            indices = (non_null + nulls) if order_item.nulls_last else (nulls + non_null)
+        return [output_rows[i] for i in indices]
+
+    def _execute_grouped(
+        self,
+        statement: SelectStatement,
+        select_items: List[SelectItem],
+        aggregate_calls: List[FunctionCall],
+        relation: _Relation,
+        contexts: List[RowContext],
+        parameters,
+        stats: ExecutionStats,
+    ) -> List[Tuple[Any, ...]]:
+        aggregates = self._aggregate_registry()
+
+        # Group rows.
+        groups: Dict[Any, List[int]] = {}
+        group_order: List[Any] = []
+        if statement.group_by:
+            for index, ctx in enumerate(contexts):
+                key = tuple(
+                    hashable_key(expression.evaluate(ctx)) for expression in statement.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    group_order.append(key)
+                groups[key].append(index)
+        else:
+            key = ()
+            groups[key] = list(range(len(contexts)))
+            group_order.append(key)
+
+        single_group = len(groups) == 1 and not statement.group_by
+        output_rows: List[Tuple[Any, ...]] = []
+        group_contexts: List[RowContext] = []
+        for key in group_order:
+            member_indices = groups[key]
+            aggregate_values: Dict[str, Any] = {}
+            for call in aggregate_calls:
+                definition = aggregates[call.name.lower()]
+                value, timings = self._run_aggregate(
+                    call, definition, member_indices, relation, contexts
+                )
+                aggregate_values[f"__agg_{id(call)}"] = value
+                if single_group:
+                    stats.aggregate_timings.append(timings)
+            if member_indices:
+                base_context = contexts[member_indices[0]]
+            else:
+                base_context = RowContext({}, self._function_registry(), parameters)
+            group_context = base_context.with_values(aggregate_values)
+            if statement.having is not None:
+                if statement.having.evaluate(group_context) is not True:
+                    continue
+            output_rows.append(
+                tuple(item.expression.evaluate(group_context) for item in select_items)
+            )
+            group_contexts.append(group_context)
+
+        if statement.order_by:
+            output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
+            output_rows = self._apply_order_by(
+                statement.order_by, select_items, output_names, group_contexts, output_rows
+            )
+        return output_rows
+
+    def _run_aggregate(
+        self,
+        call: FunctionCall,
+        definition: AggregateDefinition,
+        member_indices: List[int],
+        relation: _Relation,
+        contexts: List[RowContext],
+    ) -> Tuple[Any, AggregateTimings]:
+        # Build per-segment argument streams.
+        streams: Dict[int, List[Tuple[Any, ...]]] = {}
+        for index in member_indices:
+            segment = relation.segment_ids[index] if index < len(relation.segment_ids) else 0
+            ctx = contexts[index]
+            if call.star:
+                arguments: Tuple[Any, ...] = (1,)
+            else:
+                arguments = tuple(arg.evaluate(ctx) for arg in call.args)
+            streams.setdefault(segment, []).append(arguments)
+        if call.distinct:
+            seen = set()
+            unique: List[Tuple[Any, ...]] = []
+            for stream in streams.values():
+                for arguments in stream:
+                    key = tuple(hashable_key(a) for a in arguments)
+                    if key not in seen:
+                        seen.add(key)
+                        unique.append(arguments)
+            streams = {0: unique}
+        segment_streams = [streams.get(s, []) for s in range(max(relation.num_segments, 1))]
+        aggregator = SegmentedAggregator(definition)
+        force_serial = not definition.supports_parallel or not self.database.parallel_aggregation
+        return aggregator.run(segment_streams, force_serial=force_serial)
+
+    def _execute_union(self, statement: UnionStatement, parameters) -> ResultSet:
+        results = [self._execute_select(select, parameters) for select in statement.selects]
+        width = len(results[0].columns)
+        for result in results[1:]:
+            if len(result.columns) != width:
+                raise ExecutionError("UNION inputs must have the same number of columns")
+        rows: List[Tuple[Any, ...]] = []
+        for result in results:
+            rows.extend(result.rows)
+        if not statement.all:
+            seen = set()
+            unique = []
+            for row in rows:
+                key = tuple(hashable_key(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        return ResultSet(results[0].columns, rows, stats=ExecutionStats(statement_kind="select"))
+
+    # ------------------------------------------------------------------ DDL / DML
+
+    def _execute_create_table(self, statement: CreateTableStatement) -> ResultSet:
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return ResultSet([], [], rowcount=0)
+        schema = Schema(
+            [Column(col.name, type_from_name(col.type_name)) for col in statement.columns]
+        )
+        table = Table(
+            statement.name,
+            schema,
+            num_segments=self.database.num_segments,
+            distributed_by=statement.distributed_by,
+            temporary=statement.temporary,
+        )
+        self.catalog.create_table(table)
+        return ResultSet([], [], rowcount=0)
+
+    def _infer_result_schema(self, result: ResultSet) -> Schema:
+        columns: List[Column] = []
+        for position, name in enumerate(result.columns):
+            sql_type: SQLType = ANY
+            for row in result.rows:
+                value = row[position]
+                if value is not None:
+                    sql_type = infer_type(value)
+                    break
+            columns.append(Column(name, sql_type))
+        return Schema(columns)
+
+    def _execute_create_table_as(self, statement: CreateTableAsStatement, parameters) -> ResultSet:
+        result = self.execute(statement.select, parameters)
+        if self.catalog.has_table(statement.name):
+            raise CatalogError(f"table {statement.name!r} already exists")
+        schema = self._infer_result_schema(result)
+        table = Table(
+            statement.name,
+            schema,
+            num_segments=self.database.num_segments,
+            distributed_by=statement.distributed_by,
+            temporary=statement.temporary,
+        )
+        table.insert_many(result.rows)
+        self.catalog.create_table(table)
+        return ResultSet([], [], rowcount=len(result.rows), stats=result.stats)
+
+    def _execute_insert(self, statement: InsertStatement, parameters) -> ResultSet:
+        table = self.catalog.get_table(statement.table)
+        functions = self._function_registry()
+        context = RowContext({}, functions, parameters)
+        rows: List[List[Any]] = []
+        if statement.select is not None:
+            result = self.execute(statement.select, parameters)
+            rows = [list(row) for row in result.rows]
+        else:
+            for value_row in statement.values_rows:
+                rows.append([expression.evaluate(context) for expression in value_row])
+        if statement.columns:
+            name_to_position = {name.lower(): i for i, name in enumerate(statement.columns)}
+            full_rows = []
+            for row in rows:
+                if len(row) != len(statement.columns):
+                    raise ExecutionError(
+                        "INSERT has a different number of expressions than target columns"
+                    )
+                full_row = []
+                for column in table.schema:
+                    position = name_to_position.get(column.name.lower())
+                    full_row.append(row[position] if position is not None else None)
+                full_rows.append(full_row)
+            rows = full_rows
+        count = table.insert_many(rows)
+        return ResultSet([], [], rowcount=count)
+
+    def _execute_update(self, statement: UpdateStatement, parameters) -> ResultSet:
+        table = self.catalog.get_table(statement.table)
+        relation = self._scan_table(TableRef(statement.table))
+        contexts = self._make_contexts(relation, parameters)
+        assignments = [(table.schema.index_of(name), expr) for name, expr in statement.assignments]
+        new_rows: List[List[Any]] = []
+        updated = 0
+        for row, ctx in zip(relation.rows, contexts):
+            if statement.where is None or statement.where.evaluate(ctx) is True:
+                new_row = list(row)
+                for position, expression in assignments:
+                    new_row[position] = expression.evaluate(ctx)
+                new_rows.append(new_row)
+                updated += 1
+            else:
+                new_rows.append(list(row))
+        table.replace_rows(new_rows)
+        return ResultSet([], [], rowcount=updated)
+
+    def _execute_delete(self, statement: DeleteStatement, parameters) -> ResultSet:
+        table = self.catalog.get_table(statement.table)
+        if statement.where is None:
+            count = len(table)
+            table.truncate()
+            return ResultSet([], [], rowcount=count)
+        functions = self._function_registry()
+
+        def predicate(row_dict: Dict[str, Any]) -> bool:
+            context = RowContext(
+                {key.lower(): value for key, value in row_dict.items()}, functions, parameters
+            )
+            return statement.where.evaluate(context) is True
+
+        count = table.delete_where(predicate)
+        return ResultSet([], [], rowcount=count)
+
+    def _execute_drop(self, statement: DropTableStatement) -> ResultSet:
+        for name in statement.names:
+            self.catalog.drop_table(name, if_exists=statement.if_exists)
+        return ResultSet([], [], rowcount=0)
+
+    def _execute_truncate(self, statement: TruncateStatement) -> ResultSet:
+        table = self.catalog.get_table(statement.name)
+        count = len(table)
+        table.truncate()
+        return ResultSet([], [], rowcount=count)
+
+    def _execute_alter(self, statement: AlterTableRenameStatement) -> ResultSet:
+        self.catalog.rename_table(statement.old_name, statement.new_name)
+        return ResultSet([], [], rowcount=0)

@@ -1,0 +1,187 @@
+"""Scalar function registry and the built-in SQL function library.
+
+MADlib's micro-programming layer exposes its inner loops as user-defined
+scalar functions (Sections 3.2–3.3); the engine therefore needs a uniform way
+to register Python callables under SQL names and to invoke them from
+expressions.  The built-ins below cover the SQL surface the MADlib-style
+methods in this repository rely on: math, string, array and a handful of
+PostgreSQL-isms (``coalesce``, ``array_agg`` lives with aggregates,
+``generate_series`` is a table function handled by the executor).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import FunctionError
+from .types import ANY, BOOLEAN, DOUBLE, DOUBLE_ARRAY, INTEGER, SQLType, TEXT, is_null
+
+__all__ = ["FunctionDefinition", "builtin_functions"]
+
+
+@dataclass
+class FunctionDefinition:
+    """A scalar function callable from SQL.
+
+    Attributes
+    ----------
+    name:
+        SQL name (case-insensitive at call sites).
+    func:
+        The Python callable. Receives already-evaluated argument values.
+    return_type:
+        Declared SQL return type (``ANY`` for polymorphic functions).
+    strict:
+        When true (the PostgreSQL default for most builtins) the function is
+        not called if any argument is NULL — the result is NULL. MADlib's C++
+        abstraction layer provides the same "finiteness checks" service.
+    volatile:
+        Whether repeated calls with equal arguments may differ (e.g. random()).
+        Kept as metadata; the executor does not cache either way.
+    """
+
+    name: str
+    func: Callable[..., Any]
+    return_type: SQLType = ANY
+    strict: bool = True
+    volatile: bool = False
+
+    def __call__(self, *args: Any) -> Any:
+        if self.strict and any(is_null(arg) for arg in args):
+            return None
+        try:
+            return self.func(*args)
+        except FunctionError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive re-wrap
+            raise FunctionError(f"function {self.name!r} failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Built-in function implementations
+# ---------------------------------------------------------------------------
+
+
+def _as_array(value: Any) -> np.ndarray:
+    return np.asarray(value, dtype=np.float64)
+
+
+def _array_dot(left: Any, right: Any) -> float:
+    return float(np.dot(_as_array(left), _as_array(right)))
+
+
+def _array_add(left: Any, right: Any) -> np.ndarray:
+    return _as_array(left) + _as_array(right)
+
+
+def _array_sub(left: Any, right: Any) -> np.ndarray:
+    return _as_array(left) - _as_array(right)
+
+
+def _array_scalar_mult(array: Any, scalar: Any) -> np.ndarray:
+    return _as_array(array) * float(scalar)
+
+
+def _array_squared_distance(left: Any, right: Any) -> float:
+    diff = _as_array(left) - _as_array(right)
+    return float(np.dot(diff, diff))
+
+
+def _closest_column(matrix: Any, vector: Any) -> int:
+    """Index of the matrix column closest (in Euclidean distance) to ``vector``.
+
+    This is the ``closest_column(a, b)`` UDF the paper uses for the explicit
+    k-means point-to-centroid assignment (Section 4.3.1).  The matrix is
+    stored column-major as a 2-D double precision array.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    v = np.asarray(vector, dtype=np.float64)
+    if m.ndim == 1:
+        m = m.reshape(len(v), -1)
+    diffs = m - v[:, None]
+    return int(np.argmin(np.einsum("ij,ij->j", diffs, diffs)))
+
+
+def _regexp_matches(text: str, pattern: str) -> bool:
+    return re.search(pattern, text) is not None
+
+
+def _string_to_array(text: str, delimiter: str) -> List[str]:
+    return text.split(delimiter)
+
+
+def _array_upper(value: Any, dimension: int) -> int:
+    arr = np.asarray(value)
+    if dimension < 1 or dimension > arr.ndim:
+        raise FunctionError(f"array_upper: dimension {dimension} out of range")
+    return int(arr.shape[dimension - 1])
+
+
+def _madlib_version() -> str:
+    return "repro-madlib 0.3 (python engine)"
+
+
+def builtin_functions() -> List[FunctionDefinition]:
+    """The function definitions registered in every new database."""
+    defs: List[FunctionDefinition] = [
+        # math ---------------------------------------------------------------
+        FunctionDefinition("abs", abs, DOUBLE),
+        FunctionDefinition("sqrt", math.sqrt, DOUBLE),
+        FunctionDefinition("exp", math.exp, DOUBLE),
+        FunctionDefinition("ln", math.log, DOUBLE),
+        FunctionDefinition("log", math.log10, DOUBLE),
+        FunctionDefinition("power", lambda a, b: float(a) ** float(b), DOUBLE),
+        FunctionDefinition("floor", lambda x: float(math.floor(x)), DOUBLE),
+        FunctionDefinition("ceil", lambda x: float(math.ceil(x)), DOUBLE),
+        FunctionDefinition("ceiling", lambda x: float(math.ceil(x)), DOUBLE),
+        FunctionDefinition("round", lambda x, digits=0: round(float(x), int(digits)), DOUBLE),
+        FunctionDefinition("sign", lambda x: float(np.sign(x)), DOUBLE),
+        FunctionDefinition("greatest", lambda *xs: max(xs), ANY),
+        FunctionDefinition("least", lambda *xs: min(xs), ANY),
+        FunctionDefinition("mod", lambda a, b: a % b, INTEGER),
+        FunctionDefinition("random", np.random.random, DOUBLE, strict=False, volatile=True),
+        # string --------------------------------------------------------------
+        FunctionDefinition("lower", lambda s: s.lower(), TEXT),
+        FunctionDefinition("upper", lambda s: s.upper(), TEXT),
+        FunctionDefinition("length", lambda s: len(s), INTEGER),
+        FunctionDefinition("substr", lambda s, start, count=None: (
+            s[int(start) - 1:] if count is None else s[int(start) - 1:int(start) - 1 + int(count)]
+        ), TEXT),
+        FunctionDefinition("trim", lambda s: s.strip(), TEXT),
+        FunctionDefinition("btrim", lambda s: s.strip(), TEXT),
+        FunctionDefinition("replace", lambda s, old, new: s.replace(old, new), TEXT),
+        FunctionDefinition("concat", lambda *parts: "".join(str(p) for p in parts if p is not None),
+                           TEXT, strict=False),
+        FunctionDefinition("regexp_matches", _regexp_matches, BOOLEAN),
+        FunctionDefinition("string_to_array", _string_to_array, ANY),
+        FunctionDefinition("position", lambda needle, haystack: haystack.find(needle) + 1, INTEGER),
+        # null handling ---------------------------------------------------------
+        FunctionDefinition(
+            "coalesce",
+            lambda *xs: next((x for x in xs if not is_null(x)), None),
+            ANY,
+            strict=False,
+        ),
+        FunctionDefinition(
+            "nullif", lambda a, b: None if a == b else a, ANY, strict=False
+        ),
+        # arrays (the MADlib array-operations support module surface) -----------
+        FunctionDefinition("array_dot", _array_dot, DOUBLE),
+        FunctionDefinition("array_add", _array_add, DOUBLE_ARRAY),
+        FunctionDefinition("array_sub", _array_sub, DOUBLE_ARRAY),
+        FunctionDefinition("array_scalar_mult", _array_scalar_mult, DOUBLE_ARRAY),
+        FunctionDefinition("array_squared_distance", _array_squared_distance, DOUBLE),
+        FunctionDefinition("array_upper", _array_upper, INTEGER),
+        FunctionDefinition("array_length", lambda a, dim=1: _array_upper(a, dim), INTEGER),
+        FunctionDefinition("cardinality", lambda a: int(np.asarray(a).size), INTEGER),
+        FunctionDefinition("closest_column", _closest_column, INTEGER),
+        FunctionDefinition("array_to_string", lambda a, sep: sep.join(str(v) for v in np.asarray(a).tolist()), TEXT),
+        # misc -------------------------------------------------------------------
+        FunctionDefinition("madlib_version", _madlib_version, TEXT, strict=False),
+    ]
+    return defs

@@ -1,0 +1,170 @@
+"""Statement-level AST nodes produced by the SQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..expressions import Expression
+
+__all__ = [
+    "Statement",
+    "SelectItem",
+    "TableRef",
+    "SubquerySource",
+    "FunctionSource",
+    "Join",
+    "OrderItem",
+    "SelectStatement",
+    "UnionStatement",
+    "ColumnDefinition",
+    "CreateTableStatement",
+    "CreateTableAsStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+    "DropTableStatement",
+    "TruncateStatement",
+    "AlterTableRenameStatement",
+]
+
+
+class Statement:
+    """Base class for executable SQL statements."""
+
+
+@dataclass
+class SelectItem:
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    """A base-table reference in a FROM clause."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubquerySource:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    select: "SelectStatement"
+    alias: str
+
+
+@dataclass
+class FunctionSource:
+    """A table function in FROM, e.g. ``generate_series(1, 10) t(i)``."""
+
+    name: str
+    args: List[Expression]
+    alias: str
+    column_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Join:
+    """A join between two FROM items."""
+
+    left: object
+    right: object
+    kind: str = "inner"  # inner | left | cross
+    condition: Optional[Expression] = None
+
+
+@dataclass
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+    nulls_last: bool = True
+
+
+@dataclass
+class SelectStatement(Statement):
+    select_items: List[SelectItem]
+    from_items: List[object] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class UnionStatement(Statement):
+    """``SELECT ... UNION [ALL] SELECT ...`` (chain of selects)."""
+
+    selects: List[SelectStatement]
+    all: bool = False
+
+
+@dataclass
+class ColumnDefinition:
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateTableStatement(Statement):
+    name: str
+    columns: List[ColumnDefinition]
+    temporary: bool = False
+    if_not_exists: bool = False
+    distributed_by: Optional[str] = None
+    distributed_randomly: bool = False
+
+
+@dataclass
+class CreateTableAsStatement(Statement):
+    name: str
+    select: Statement  # SelectStatement or UnionStatement
+    temporary: bool = False
+    replace: bool = False
+    distributed_by: Optional[str] = None
+
+
+@dataclass
+class InsertStatement(Statement):
+    table: str
+    columns: List[str] = field(default_factory=list)
+    values_rows: List[List[Expression]] = field(default_factory=list)
+    select: Optional[Statement] = None
+
+
+@dataclass
+class UpdateStatement(Statement):
+    table: str
+    assignments: List[Tuple[str, Expression]] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DeleteStatement(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DropTableStatement(Statement):
+    names: List[str]
+    if_exists: bool = False
+
+
+@dataclass
+class TruncateStatement(Statement):
+    name: str
+
+
+@dataclass
+class AlterTableRenameStatement(Statement):
+    old_name: str
+    new_name: str

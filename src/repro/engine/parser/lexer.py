@@ -1,0 +1,148 @@
+"""Tokenizer for the SQL subset understood by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ...errors import SQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit", "offset",
+    "as", "and", "or", "not", "in", "is", "null", "true", "false", "between",
+    "case", "when", "then", "else", "end", "cast", "distinct", "like",
+    "create", "table", "temp", "temporary", "if", "exists", "drop", "truncate",
+    "insert", "into", "values", "update", "set", "delete", "alter", "rename", "to",
+    "join", "inner", "left", "right", "full", "outer", "cross", "on", "using",
+    "union", "all", "asc", "desc", "array", "over", "partition",
+    "distributed", "randomly", "replace", "nulls", "first", "last",
+}
+
+_TWO_CHAR_OPERATORS = {"<=", ">=", "!=", "<>", "||", "::"}
+_SINGLE_CHAR_OPERATORS = set("+-*/%^=<>(),.[];")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``keyword``, ``name``, ``number``, ``string``,
+    ``operator``, ``parameter`` or ``eof``.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: Optional[str] = None) -> bool:
+        if self.kind != kind:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Convert SQL text into a token list (always terminated by an ``eof`` token)."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        # Whitespace ---------------------------------------------------------
+        if ch.isspace():
+            i += 1
+            continue
+        # Comments -----------------------------------------------------------
+        if ch == "-" and sql[i:i + 2] == "--":
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        if ch == "/" and sql[i:i + 2] == "/*":
+            end = sql.find("*/", i)
+            if end == -1:
+                raise SQLSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        # String literal -------------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= length:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < length and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        # Quoted identifier ----------------------------------------------------
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token("name", sql[i + 1:j], i))
+            i = j + 1
+            continue
+        # Parameter ``%(name)s`` ------------------------------------------------
+        if ch == "%" and sql[i:i + 2] == "%(":
+            end = sql.find(")s", i)
+            if end == -1:
+                raise SQLSyntaxError("unterminated parameter reference", i)
+            tokens.append(Token("parameter", sql[i + 2:end], i))
+            i = end + 2
+            continue
+        # Number ------------------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < length:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < length and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        # Identifier / keyword -------------------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (sql[j].isalnum() or sql[j] == "_" or sql[j] == "$"):
+                j += 1
+            word = sql[i:j]
+            kind = "keyword" if word.lower() in KEYWORDS else "name"
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        # Operators ---------------------------------------------------------------------
+        two = sql[i:i + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token("operator", two, i))
+            i += 2
+            continue
+        if ch in _SINGLE_CHAR_OPERATORS or ch == "%":
+            tokens.append(Token("operator", ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", length))
+    return tokens

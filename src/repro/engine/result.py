@@ -1,0 +1,85 @@
+"""Query results returned by the engine."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from .types import format_value
+
+__all__ = ["ResultSet"]
+
+
+class ResultSet:
+    """The rows and metadata produced by executing one statement.
+
+    For statements that do not produce rows (INSERT, UPDATE, CREATE ...) the
+    result has empty ``columns``/``rows`` and a meaningful ``rowcount``.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[Tuple[Any, ...]],
+        *,
+        rowcount: Optional[int] = None,
+        stats: Optional[object] = None,
+    ) -> None:
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+        self.rowcount = len(self.rows) if rowcount is None else rowcount
+        #: Execution statistics (per-segment aggregate timings) when the
+        #: statement exercised the parallel aggregation path.
+        self.stats = stats
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+    # -- accessors --------------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one output column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        """The first row, or None for an empty result."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """psql-style expanded display used by the examples."""
+        lines: List[str] = []
+        for row_number, row in enumerate(self.rows[:max_rows], start=1):
+            lines.append(f"-[ RECORD {row_number} ]-")
+            width = max((len(c) for c in self.columns), default=0)
+            for name, value in zip(self.columns, row):
+                lines.append(f"{name.ljust(width)} | {format_value(value)}")
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

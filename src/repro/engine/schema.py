@@ -1,0 +1,154 @@
+"""Table schemas: ordered, named, typed columns.
+
+A schema is the engine-side contract the paper's "templated queries"
+(Section 3.1.3) introspect: driver UDFs look up input-table schemas in the
+catalog and synthesize SQL whose output schema is a function of the input
+schema.  Schemas are immutable; deriving a new schema (projection, join,
+rename) always creates a new object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError
+from .types import SQLType, type_from_name
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column: a name and a SQL type."""
+
+    name: str
+    sql_type: SQLType
+
+    @classmethod
+    def of(cls, name: str, type_name: str) -> "Column":
+        """Build a column from a SQL type spelling, e.g. ``Column.of("x", "double precision[]")``."""
+        return cls(name, type_from_name(type_name))
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.sql_type)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} {self.sql_type}"
+
+
+class Schema:
+    """An ordered collection of :class:`Column` objects with name lookup."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        index: dict[str, int] = {}
+        for position, column in enumerate(self._columns):
+            key = column.name.lower()
+            if key in index:
+                raise CatalogError(f"duplicate column name {column.name!r} in schema")
+            index[key] = position
+        self._index = index
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, str]]) -> "Schema":
+        """Build a schema from ``(name, type_name)`` pairs."""
+        return cls([Column.of(name, type_name) for name, type_name in pairs])
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __getitem__(self, item) -> Column:
+        if isinstance(item, str):
+            return self._columns[self.index_of(item)]
+        return self._columns[item]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Schema({', '.join(str(c) for c in self._columns)})"
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> List[str]:
+        return [column.name for column in self._columns]
+
+    @property
+    def types(self) -> List[SQLType]:
+        return [column.sql_type for column in self._columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of a column by (case-insensitive) name."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"column {name!r} does not exist (available: {', '.join(self.names) or 'none'})"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.index_of(name)]
+
+    def type_of(self, name: str) -> SQLType:
+        return self.column(name).sql_type
+
+    # -- derivations --------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema containing only the named columns, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Schema with columns renamed per ``mapping`` (old name -> new name)."""
+        lowered = {key.lower(): value for key, value in mapping.items()}
+        return Schema(
+            [
+                column.renamed(lowered.get(column.name.lower(), column.name))
+                for column in self._columns
+            ]
+        )
+
+    def concat(self, other: "Schema", *, on_conflict: str = "error") -> "Schema":
+        """Concatenate two schemas (used by joins).
+
+        ``on_conflict`` may be ``"error"`` or ``"suffix"``; with ``"suffix"``
+        clashing names from ``other`` get a ``_right`` suffix, matching the
+        behaviour methods rely on when joining a data table with a model table.
+        """
+        columns = list(self._columns)
+        taken = {column.name.lower() for column in columns}
+        for column in other:
+            name = column.name
+            if name.lower() in taken:
+                if on_conflict == "error":
+                    raise CatalogError(f"duplicate column {name!r} when concatenating schemas")
+                suffix = 1
+                candidate = f"{name}_right"
+                while candidate.lower() in taken:
+                    suffix += 1
+                    candidate = f"{name}_right{suffix}"
+                name = candidate
+            taken.add(name.lower())
+            columns.append(column.renamed(name))
+        return Schema(columns)

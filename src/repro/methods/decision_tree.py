@@ -1,0 +1,285 @@
+"""Decision trees (C4.5) — Table 1, supervised learning.
+
+MADlib's decision-tree module grows the tree level by level: at each node the
+class histograms needed to score candidate splits are computed by grouped SQL
+aggregation over the node's partition of the data, and only the (small) split
+statistics come back to the driver.  This implementation follows that
+discipline: every split evaluation is a ``GROUP BY`` query; the driver holds
+only node metadata, never the data.
+
+C4.5 specifics implemented: information-gain-ratio split scoring, categorical
+multi-way splits, numeric binary splits on midpoints, a minimum-rows-per-node
+stopping rule, and optional pessimistic-error pruning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..driver import quote_literal, validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+
+__all__ = ["TreeNode", "DecisionTreeModel", "train", "FeatureSpec"]
+
+
+@dataclass
+class FeatureSpec:
+    """Declares one input feature: its column and whether it is categorical."""
+
+    column: str
+    categorical: bool = False
+
+
+@dataclass
+class TreeNode:
+    """A node of the fitted tree."""
+
+    prediction: object
+    num_rows: int
+    class_counts: Dict[object, int]
+    depth: int
+    split_feature: Optional[str] = None
+    split_categorical: bool = False
+    split_threshold: Optional[float] = None
+    #: For categorical splits: value -> child; for numeric: {"le": child, "gt": child}.
+    children: Dict[object, "TreeNode"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children.values())
+
+    def depth_below(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth_below() for child in self.children.values())
+
+
+@dataclass
+class DecisionTreeModel:
+    """A fitted C4.5 tree plus the feature declarations used to grow it."""
+
+    root: TreeNode
+    features: List[FeatureSpec]
+    class_column: str
+
+    def predict_one(self, row: Dict[str, object]) -> object:
+        node = self.root
+        while not node.is_leaf:
+            value = row.get(node.split_feature)
+            if node.split_categorical:
+                child = node.children.get(value)
+                if child is None:
+                    return node.prediction
+                node = child
+            else:
+                if value is None:
+                    return node.prediction
+                key = "le" if float(value) <= node.split_threshold else "gt"
+                node = node.children[key]
+        return node.prediction
+
+    def predict(self, rows: Sequence[Dict[str, object]]) -> List[object]:
+        return [self.predict_one(row) for row in rows]
+
+    def num_nodes(self) -> int:
+        return self.root.node_count()
+
+    def depth(self) -> int:
+        return self.root.depth_below()
+
+
+# ---------------------------------------------------------------------------
+# Split scoring (entropy / gain ratio)
+# ---------------------------------------------------------------------------
+
+
+def _entropy(counts: Sequence[int]) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts:
+        if count > 0:
+            p = count / total
+            result -= p * math.log2(p)
+    return result
+
+
+def _gain_ratio(parent_counts: Dict[object, int], partitions: List[Dict[object, int]]) -> float:
+    total = sum(parent_counts.values())
+    if total == 0:
+        return 0.0
+    parent_entropy = _entropy(list(parent_counts.values()))
+    weighted_entropy = 0.0
+    split_info = 0.0
+    for partition in partitions:
+        size = sum(partition.values())
+        if size == 0:
+            continue
+        weight = size / total
+        weighted_entropy += weight * _entropy(list(partition.values()))
+        split_info -= weight * math.log2(weight)
+    gain = parent_entropy - weighted_entropy
+    if split_info <= 1e-12:
+        return 0.0
+    return gain / split_info
+
+
+# ---------------------------------------------------------------------------
+# Training
+# ---------------------------------------------------------------------------
+
+
+def _class_histogram(database, table: str, class_column: str, predicate: str) -> Dict[object, int]:
+    where = f"WHERE {predicate}" if predicate else ""
+    rows = database.query_dicts(
+        f"SELECT {class_column} AS class, count(*) AS n FROM {table} {where} GROUP BY {class_column}"
+    )
+    return {row["class"]: int(row["n"]) for row in rows}
+
+
+def _categorical_partitions(
+    database, table: str, class_column: str, feature: str, predicate: str
+) -> Dict[object, Dict[object, int]]:
+    where = f"WHERE {predicate}" if predicate else ""
+    rows = database.query_dicts(
+        f"SELECT {feature} AS value, {class_column} AS class, count(*) AS n "
+        f"FROM {table} {where} GROUP BY {feature}, {class_column}"
+    )
+    partitions: Dict[object, Dict[object, int]] = {}
+    for row in rows:
+        partitions.setdefault(row["value"], {})[row["class"]] = int(row["n"])
+    return partitions
+
+
+def _numeric_candidates(database, table: str, feature: str, predicate: str, max_candidates: int) -> List[float]:
+    where = f"WHERE {predicate}" if predicate else ""
+    values = [
+        float(row["value"])
+        for row in database.query_dicts(
+            f"SELECT DISTINCT {feature} AS value FROM {table} {where} ORDER BY {feature}"
+        )
+        if row["value"] is not None
+    ]
+    if len(values) < 2:
+        return []
+    midpoints = [(a + b) / 2.0 for a, b in zip(values, values[1:])]
+    if len(midpoints) > max_candidates:
+        step = len(midpoints) / max_candidates
+        midpoints = [midpoints[int(i * step)] for i in range(max_candidates)]
+    return midpoints
+
+
+def _numeric_partitions(
+    database, table: str, class_column: str, feature: str, threshold: float, predicate: str
+) -> List[Dict[object, int]]:
+    base = f"{predicate} AND " if predicate else ""
+    left = _class_histogram(database, table, class_column, f"{base}{feature} <= {threshold!r}")
+    right = _class_histogram(database, table, class_column, f"{base}{feature} > {threshold!r}")
+    return [left, right]
+
+
+def _predicate_for(feature: FeatureSpec, value, threshold: Optional[float], side: Optional[str]) -> str:
+    if feature.categorical:
+        return f"{feature.column} = {quote_literal(value)}"
+    operator = "<=" if side == "le" else ">"
+    return f"{feature.column} {operator} {threshold!r}"
+
+
+def train(
+    database,
+    source_table: str,
+    class_column: str,
+    features: Sequence[Union[FeatureSpec, str]],
+    *,
+    max_depth: int = 6,
+    min_split_rows: int = 4,
+    min_gain_ratio: float = 1e-4,
+    max_numeric_candidates: int = 32,
+    prune: bool = False,
+) -> DecisionTreeModel:
+    """Grow a C4.5 tree over a table; all counting happens in SQL."""
+    validate_table_exists(database, source_table)
+    specs = [f if isinstance(f, FeatureSpec) else FeatureSpec(f) for f in features]
+    validate_columns_exist(database, source_table, [class_column, *[s.column for s in specs]])
+    if max_depth < 1:
+        raise ValidationError("max_depth must be at least 1")
+
+    def grow(predicate: str, depth: int) -> TreeNode:
+        counts = _class_histogram(database, source_table, class_column, predicate)
+        total = sum(counts.values())
+        prediction = max(counts, key=counts.get) if counts else None
+        node = TreeNode(prediction, total, counts, depth)
+        if depth >= max_depth or total < min_split_rows or len(counts) <= 1:
+            return node
+
+        best: Optional[Tuple[float, FeatureSpec, Optional[float], object]] = None
+        for spec in specs:
+            if spec.categorical:
+                partitions = _categorical_partitions(
+                    database, source_table, class_column, spec.column, predicate
+                )
+                if len(partitions) < 2:
+                    continue
+                score = _gain_ratio(counts, list(partitions.values()))
+                if best is None or score > best[0]:
+                    best = (score, spec, None, partitions)
+            else:
+                for threshold in _numeric_candidates(
+                    database, source_table, spec.column, predicate, max_numeric_candidates
+                ):
+                    partitions_list = _numeric_partitions(
+                        database, source_table, class_column, spec.column, threshold, predicate
+                    )
+                    if any(sum(p.values()) == 0 for p in partitions_list):
+                        continue
+                    score = _gain_ratio(counts, partitions_list)
+                    if best is None or score > best[0]:
+                        best = (score, spec, threshold, None)
+
+        if best is None or best[0] < min_gain_ratio:
+            return node
+        _, spec, threshold, categorical_partitions = best
+        node.split_feature = spec.column
+        node.split_categorical = spec.categorical
+        node.split_threshold = threshold
+        if spec.categorical:
+            for value in categorical_partitions:
+                child_predicate = _predicate_for(spec, value, None, None)
+                if predicate:
+                    child_predicate = f"{predicate} AND {child_predicate}"
+                node.children[value] = grow(child_predicate, depth + 1)
+        else:
+            for side in ("le", "gt"):
+                child_predicate = _predicate_for(spec, None, threshold, side)
+                if predicate:
+                    child_predicate = f"{predicate} AND {child_predicate}"
+                node.children[side] = grow(child_predicate, depth + 1)
+        return node
+
+    root = grow("", 0)
+    model = DecisionTreeModel(root, specs, class_column)
+    if prune:
+        _prune(model.root)
+    return model
+
+
+def _prune(node: TreeNode, *, z: float = 0.674) -> float:
+    """Pessimistic-error pruning (C4.5's default); returns the subtree's estimated errors."""
+    total = max(node.num_rows, 1)
+    leaf_errors = total - node.class_counts.get(node.prediction, 0)
+    leaf_estimate = leaf_errors + z * math.sqrt(leaf_errors * (1 - leaf_errors / total) + 0.25)
+    if node.is_leaf:
+        return leaf_estimate
+    subtree_estimate = sum(_prune(child, z=z) for child in node.children.values())
+    if leaf_estimate <= subtree_estimate:
+        node.children = {}
+        node.split_feature = None
+        node.split_threshold = None
+        return leaf_estimate
+    return subtree_estimate

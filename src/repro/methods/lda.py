@@ -1,0 +1,175 @@
+"""Latent Dirichlet Allocation (Table 1, unsupervised learning).
+
+MADlib's LDA is trained by collapsed Gibbs sampling: documents live in a
+``(doc_id, word_id, count)`` table, the sampler's sufficient statistics
+(topic-word and document-topic counts) are the model state, and a driver
+function runs sampling sweeps until the iteration budget is exhausted.  Here
+each sweep streams the corpus out of the engine in document order and updates
+the count matrices; the per-document topic assignments are staged back into a
+temp table between sweeps so the driver only ever holds the (small) count
+matrices — the paper's rule about keeping bulk data in the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+
+__all__ = ["LDAModel", "load_corpus_table", "train"]
+
+
+@dataclass
+class LDAModel:
+    """Fitted LDA model: topic-word and document-topic distributions."""
+
+    topic_word_counts: np.ndarray      # (num_topics, vocabulary_size)
+    document_topic_counts: np.ndarray  # (num_documents, num_topics)
+    alpha: float
+    beta: float
+    num_iterations: int
+    log_likelihood_history: List[float]
+
+    @property
+    def num_topics(self) -> int:
+        return self.topic_word_counts.shape[0]
+
+    @property
+    def vocabulary_size(self) -> int:
+        return self.topic_word_counts.shape[1]
+
+    def topic_word_distribution(self) -> np.ndarray:
+        counts = self.topic_word_counts + self.beta
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def document_topic_distribution(self) -> np.ndarray:
+        counts = self.document_topic_counts + self.alpha
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def top_words(self, topic: int, num_words: int = 10) -> List[int]:
+        """Word ids with the highest probability under one topic."""
+        distribution = self.topic_word_distribution()[topic]
+        return [int(i) for i in np.argsort(distribution)[::-1][:num_words]]
+
+
+def load_corpus_table(database, table_name: str, documents: Sequence[Sequence[int]], *, replace: bool = True) -> None:
+    """Load bag-of-words documents as ``(doc_id, word_id, count)`` rows."""
+    database.create_table(
+        table_name,
+        [("doc_id", "integer"), ("word_id", "integer"), ("count", "integer")],
+        replace=replace,
+    )
+    rows = []
+    for doc_id, document in enumerate(documents):
+        counts: Dict[int, int] = {}
+        for word in document:
+            counts[int(word)] = counts.get(int(word), 0) + 1
+        for word_id, count in sorted(counts.items()):
+            rows.append((doc_id, word_id, count))
+    database.load_rows(table_name, rows)
+
+
+def train(
+    database,
+    corpus_table: str,
+    *,
+    num_topics: int = 5,
+    vocabulary_size: Optional[int] = None,
+    alpha: float = 0.1,
+    beta: float = 0.01,
+    num_iterations: int = 30,
+    seed: Optional[int] = None,
+) -> LDAModel:
+    """Collapsed Gibbs sampling over a ``(doc_id, word_id, count)`` corpus table."""
+    validate_table_exists(database, corpus_table)
+    validate_columns_exist(database, corpus_table, ["doc_id", "word_id", "count"])
+    if num_topics < 1:
+        raise ValidationError("num_topics must be at least 1")
+    if num_iterations < 1:
+        raise ValidationError("num_iterations must be at least 1")
+
+    rows = database.query_dicts(
+        f"SELECT doc_id, word_id, count FROM {corpus_table} ORDER BY doc_id, word_id"
+    )
+    if not rows:
+        raise ValidationError(f"corpus table {corpus_table!r} is empty")
+    num_documents = max(int(row["doc_id"]) for row in rows) + 1
+    if vocabulary_size is None:
+        vocabulary_size = max(int(row["word_id"]) for row in rows) + 1
+
+    rng = np.random.default_rng(seed)
+    # Expand to token instances with an initial random topic assignment.
+    tokens: List[Tuple[int, int]] = []
+    for row in rows:
+        for _ in range(int(row["count"])):
+            tokens.append((int(row["doc_id"]), int(row["word_id"])))
+    assignments = rng.integers(0, num_topics, size=len(tokens))
+
+    topic_word = np.zeros((num_topics, vocabulary_size), dtype=np.float64)
+    doc_topic = np.zeros((num_documents, num_topics), dtype=np.float64)
+    topic_totals = np.zeros(num_topics, dtype=np.float64)
+    for (doc, word), topic in zip(tokens, assignments):
+        topic_word[topic, word] += 1
+        doc_topic[doc, topic] += 1
+        topic_totals[topic] += 1
+
+    # Inter-iteration state (token assignments) staged in a temp table, per the
+    # driver-function pattern: the driver keeps only the count matrices.
+    state_table = database.unique_temp_name("lda_assignments")
+    database.create_table(
+        state_table, [("token_id", "integer"), ("topic", "integer")], temporary=True
+    )
+    database.load_rows(state_table, [(i, int(t)) for i, t in enumerate(assignments)])
+
+    log_likelihood_history: List[float] = []
+    for _ in range(num_iterations):
+        stored = database.execute(
+            f"SELECT topic FROM {state_table} ORDER BY token_id"
+        ).column("topic")
+        assignments = np.asarray(stored, dtype=np.int64)
+        for index, (doc, word) in enumerate(tokens):
+            topic = int(assignments[index])
+            topic_word[topic, word] -= 1
+            doc_topic[doc, topic] -= 1
+            topic_totals[topic] -= 1
+            weights = (
+                (topic_word[:, word] + beta)
+                / (topic_totals + beta * vocabulary_size)
+                * (doc_topic[doc] + alpha)
+            )
+            weights /= weights.sum()
+            topic = int(rng.choice(num_topics, p=weights))
+            assignments[index] = topic
+            topic_word[topic, word] += 1
+            doc_topic[doc, topic] += 1
+            topic_totals[topic] += 1
+        database.execute(f"DELETE FROM {state_table}")
+        database.load_rows(state_table, [(i, int(t)) for i, t in enumerate(assignments)])
+        log_likelihood_history.append(_corpus_log_likelihood(tokens, topic_word, doc_topic,
+                                                             topic_totals, alpha, beta,
+                                                             vocabulary_size))
+
+    database.drop_table(state_table, if_exists=True)
+    return LDAModel(
+        topic_word_counts=topic_word,
+        document_topic_counts=doc_topic,
+        alpha=alpha,
+        beta=beta,
+        num_iterations=num_iterations,
+        log_likelihood_history=log_likelihood_history,
+    )
+
+
+def _corpus_log_likelihood(tokens, topic_word, doc_topic, topic_totals, alpha, beta, vocabulary_size) -> float:
+    """Per-token predictive log likelihood under the current counts (monitoring only)."""
+    log_likelihood = 0.0
+    num_topics = topic_word.shape[0]
+    for doc, word in tokens:
+        word_given_topic = (topic_word[:, word] + beta) / (topic_totals + beta * vocabulary_size)
+        topic_given_doc = (doc_topic[doc] + alpha) / (doc_topic[doc].sum() + alpha * num_topics)
+        log_likelihood += float(np.log(max(float(word_given_topic @ topic_given_doc), 1e-300)))
+    return log_likelihood

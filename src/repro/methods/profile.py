@@ -1,0 +1,176 @@
+"""Data profiling (Table 1, descriptive statistics).
+
+The ``profile`` module is the paper's running example of a *templated query*
+(Section 3.1.3): it "takes an arbitrary table as input, producing univariate
+summary statistics for each of its columns.  The input schema to this module
+is not fixed, and the output schema is a function of the input schema."
+
+The implementation therefore interrogates the catalog for the input table's
+columns and types, synthesizes one aggregation query per column from
+templates, and validates everything up front so users get readable errors
+rather than engine-level failures from generated SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..driver import QueryTemplate, validate_table_exists
+from ..errors import ValidationError
+from .sketches.fm import count_distinct
+
+__all__ = ["ColumnProfile", "TableProfile", "profile"]
+
+
+_NUMERIC_TEMPLATE = QueryTemplate(
+    "SELECT count({column}) AS non_null_count, "
+    "min({column}) AS min_value, max({column}) AS max_value, "
+    "avg({column}) AS mean, stddev({column}) AS stddev "
+    "FROM {table}"
+)
+
+_TEXT_TEMPLATE = QueryTemplate(
+    "SELECT count({column}) AS non_null_count, "
+    "min(length({column})) AS min_length, max(length({column})) AS max_length "
+    "FROM {table}"
+)
+
+
+@dataclass
+class ColumnProfile:
+    """Summary statistics for one column."""
+
+    name: str
+    sql_type: str
+    row_count: int
+    non_null_count: int
+    distinct_count: float
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+    mean: Optional[float] = None
+    stddev: Optional[float] = None
+    min_length: Optional[int] = None
+    max_length: Optional[int] = None
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return 1.0 - self.non_null_count / self.row_count
+
+
+@dataclass
+class TableProfile:
+    """Profiles for every column of a table."""
+
+    table: str
+    row_count: int
+    columns: List[ColumnProfile] = field(default_factory=list)
+
+    def column(self, name: str) -> ColumnProfile:
+        for column_profile in self.columns:
+            if column_profile.name.lower() == name.lower():
+                return column_profile
+        raise ValidationError(f"no profile for column {name!r}")
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flatten to a list of dictionaries (one per column), for display."""
+        rows = []
+        for column_profile in self.columns:
+            rows.append(
+                {
+                    "column": column_profile.name,
+                    "type": column_profile.sql_type,
+                    "non_null": column_profile.non_null_count,
+                    "distinct": round(column_profile.distinct_count, 1),
+                    "min": column_profile.min_value,
+                    "max": column_profile.max_value,
+                    "mean": column_profile.mean,
+                    "stddev": column_profile.stddev,
+                }
+            )
+        return rows
+
+
+def profile(
+    database,
+    table: str,
+    *,
+    approximate_distinct: bool = True,
+    skip_array_columns: bool = True,
+) -> TableProfile:
+    """Profile every column of ``table``.
+
+    ``approximate_distinct`` uses the Flajolet–Martin sketch for distinct
+    counts (one streaming pass) instead of exact ``COUNT(DISTINCT ...)``.
+    Array-typed columns are skipped by default (only their null counts are
+    reported) since univariate statistics are not defined for them.
+    """
+    validate_table_exists(database, table)
+    schema = database.catalog.table_schema(table)
+    row_count = int(database.query_scalar(f"SELECT count(*) FROM {table}"))
+    result = TableProfile(table=table, row_count=row_count)
+
+    for column in schema:
+        name = column.name
+        sql_type = column.sql_type
+        if sql_type.is_array:
+            if skip_array_columns:
+                non_null = int(database.query_scalar(f"SELECT count({name}) FROM {table}"))
+                result.columns.append(
+                    ColumnProfile(name, str(sql_type), row_count, non_null, float("nan"))
+                )
+                continue
+        if row_count == 0:
+            result.columns.append(ColumnProfile(name, str(sql_type), 0, 0, 0.0))
+            continue
+
+        if approximate_distinct:
+            distinct = count_distinct(database, table, name)
+        else:
+            distinct = float(
+                database.query_scalar(f"SELECT count(DISTINCT {name}) FROM {table}")
+            )
+
+        if sql_type.is_numeric:
+            sql = _NUMERIC_TEMPLATE.render(table=table, column=name)
+            record = database.query_dicts(sql)[0]
+            result.columns.append(
+                ColumnProfile(
+                    name,
+                    str(sql_type),
+                    row_count,
+                    int(record["non_null_count"]),
+                    distinct,
+                    min_value=record["min_value"],
+                    max_value=record["max_value"],
+                    mean=record["mean"],
+                    stddev=record["stddev"],
+                )
+            )
+        elif sql_type.name == "text":
+            sql = _TEXT_TEMPLATE.render(table=table, column=name)
+            record = database.query_dicts(sql)[0]
+            result.columns.append(
+                ColumnProfile(
+                    name,
+                    str(sql_type),
+                    row_count,
+                    int(record["non_null_count"]),
+                    distinct,
+                    min_length=record["min_length"],
+                    max_length=record["max_length"],
+                )
+            )
+        else:
+            non_null = int(database.query_scalar(f"SELECT count({name}) FROM {table}"))
+            minimum = database.query_scalar(f"SELECT min({name}) FROM {table}")
+            maximum = database.query_scalar(f"SELECT max({name}) FROM {table}")
+            result.columns.append(
+                ColumnProfile(
+                    name, str(sql_type), row_count, non_null, distinct,
+                    min_value=minimum, max_value=maximum,
+                )
+            )
+    return result

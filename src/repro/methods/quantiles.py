@@ -1,0 +1,134 @@
+"""Quantiles (Table 1, descriptive statistics).
+
+Two implementations:
+
+* :func:`exact_quantile` — the straightforward ORDER BY / OFFSET approach
+  (one sort of the column inside the engine, linear interpolation between the
+  two straddling rows, matching PostgreSQL's ``percentile_cont`` semantics).
+* :func:`approximate_quantiles` — a mergeable reservoir-sample aggregate so
+  the whole quantile vector is computed in a single streaming pass; this is
+  the pattern MADlib uses for big tables where a full sort is too expensive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+from ..engine.aggregates import AggregateDefinition
+
+__all__ = ["exact_quantile", "exact_quantiles", "approximate_quantiles", "install_quantile_aggregate"]
+
+
+def _validate_fraction(fraction: float) -> None:
+    if not (0.0 <= fraction <= 1.0):
+        raise ValidationError(f"quantile fraction must be in [0, 1], got {fraction}")
+
+
+def exact_quantile(database, table: str, column: str, fraction: float) -> float:
+    """Exact quantile via an in-engine sort (percentile_cont semantics)."""
+    validate_table_exists(database, table)
+    validate_columns_exist(database, table, [column])
+    _validate_fraction(fraction)
+    values = database.execute(
+        f"SELECT {column} FROM {table} WHERE {column} IS NOT NULL ORDER BY {column}"
+    ).column(column)
+    if not values:
+        raise ValidationError(f"column {column!r} of {table!r} has no non-null values")
+    position = fraction * (len(values) - 1)
+    lower = int(np.floor(position))
+    upper = int(np.ceil(position))
+    if lower == upper:
+        return float(values[lower])
+    weight = position - lower
+    return float(values[lower]) * (1 - weight) + float(values[upper]) * weight
+
+
+def exact_quantiles(database, table: str, column: str, fractions: Sequence[float]) -> List[float]:
+    """Several exact quantiles sharing one sorted scan."""
+    validate_table_exists(database, table)
+    validate_columns_exist(database, table, [column])
+    for fraction in fractions:
+        _validate_fraction(fraction)
+    values = database.execute(
+        f"SELECT {column} FROM {table} WHERE {column} IS NOT NULL ORDER BY {column}"
+    ).column(column)
+    if not values:
+        raise ValidationError(f"column {column!r} of {table!r} has no non-null values")
+    array = np.asarray(values, dtype=np.float64)
+    return [float(np.quantile(array, fraction)) for fraction in fractions]
+
+
+# ---------------------------------------------------------------------------
+# Streaming (mergeable reservoir) quantiles
+# ---------------------------------------------------------------------------
+
+
+def install_quantile_aggregate(database, *, reservoir_size: int = 2048, seed: int = 7,
+                               name: str = "quantile_reservoir") -> None:
+    """Register a mergeable reservoir-sampling aggregate.
+
+    The state is ``(count_seen, [(priority, value), ...])`` keeping the
+    ``reservoir_size`` items with the largest random priorities; keeping
+    max-priority items makes the merge of two reservoirs another reservoir of
+    the union, so the aggregate parallelizes across segments correctly.
+    """
+    rng = np.random.default_rng(seed)
+
+    def transition(state, value):
+        if state is None:
+            state = {"n": 0, "sample": []}
+        state["n"] += 1
+        priority = float(rng.random())
+        if len(state["sample"]) < reservoir_size:
+            heapq.heappush(state["sample"], (priority, float(value)))
+        elif priority > state["sample"][0][0]:
+            heapq.heapreplace(state["sample"], (priority, float(value)))
+        return state
+
+    def merge(a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        merged = list(heapq.merge(a["sample"], b["sample"]))
+        merged = heapq.nlargest(reservoir_size, merged)
+        heapq.heapify(merged)
+        return {"n": a["n"] + b["n"], "sample": merged}
+
+    def final(state):
+        if state is None or not state["sample"]:
+            return None
+        values = sorted(value for _, value in state["sample"])
+        return {"n": state["n"], "values": values}
+
+    database.catalog.register_aggregate(
+        AggregateDefinition(name, transition, merge=merge, final=final, initial_state=None, strict=True)
+    )
+
+
+def approximate_quantiles(
+    database,
+    table: str,
+    column: str,
+    fractions: Sequence[float],
+    *,
+    reservoir_size: int = 2048,
+    seed: int = 7,
+) -> List[float]:
+    """Approximate quantiles from one streaming aggregate pass."""
+    validate_table_exists(database, table)
+    validate_columns_exist(database, table, [column])
+    for fraction in fractions:
+        _validate_fraction(fraction)
+    install_quantile_aggregate(database, reservoir_size=reservoir_size, seed=seed)
+    record = database.query_scalar(f"SELECT quantile_reservoir({column}) FROM {table}")
+    if record is None:
+        raise ValidationError(f"column {column!r} of {table!r} has no non-null values")
+    sample = np.asarray(record["values"], dtype=np.float64)
+    return [float(np.quantile(sample, fraction)) for fraction in fractions]

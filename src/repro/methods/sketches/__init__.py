@@ -1,0 +1,13 @@
+"""Sketch-based descriptive statistics: Count-Min and Flajolet–Martin."""
+
+from .countmin import CountMinSketch, install_countmin, sketch_column
+from .fm import FMSketch, count_distinct, install_fm
+
+__all__ = [
+    "CountMinSketch",
+    "install_countmin",
+    "sketch_column",
+    "FMSketch",
+    "install_fm",
+    "count_distinct",
+]

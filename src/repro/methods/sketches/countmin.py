@@ -1,0 +1,103 @@
+"""Count-Min sketch (Table 1, descriptive statistics).
+
+A mergeable frequency sketch: the transition function hashes one value into
+``depth`` rows of a ``depth x width`` counter matrix, the merge function adds
+two matrices, and point queries return the minimum counter — giving frequency
+estimates that overestimate by at most ``eps * N`` with probability
+``1 - delta`` for ``width = ceil(e / eps)`` and ``depth = ceil(ln(1/delta))``.
+Because the sketch is a classic transition/merge/final aggregate it runs on
+the parallel (segmented) path unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from ...errors import ValidationError
+from ...engine.aggregates import AggregateDefinition
+
+__all__ = ["CountMinSketch", "install_countmin", "sketch_column"]
+
+
+def _hash(value: Any, row: int, width: int) -> int:
+    digest = hashlib.blake2b(f"{row}:{value!r}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % width
+
+
+@dataclass
+class CountMinSketch:
+    """The sketch itself: a counter matrix plus the total item count."""
+
+    counters: np.ndarray
+    total: int = 0
+
+    @classmethod
+    def empty(cls, *, eps: float = 0.01, delta: float = 0.01) -> "CountMinSketch":
+        if not (0 < eps < 1) or not (0 < delta < 1):
+            raise ValidationError("eps and delta must be in (0, 1)")
+        width = int(math.ceil(math.e / eps))
+        depth = int(math.ceil(math.log(1.0 / delta)))
+        return cls(np.zeros((max(depth, 1), max(width, 1)), dtype=np.int64))
+
+    @property
+    def depth(self) -> int:
+        return self.counters.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.counters.shape[1]
+
+    def add(self, value: Any, count: int = 1) -> "CountMinSketch":
+        for row in range(self.depth):
+            self.counters[row, _hash(value, row, self.width)] += count
+        self.total += count
+        return self
+
+    def estimate(self, value: Any) -> int:
+        """Point frequency estimate (never underestimates)."""
+        return int(
+            min(self.counters[row, _hash(value, row, self.width)] for row in range(self.depth))
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        if self.counters.shape != other.counters.shape:
+            raise ValidationError("cannot merge sketches with different shapes")
+        return CountMinSketch(self.counters + other.counters, self.total + other.total)
+
+    def error_bound(self) -> float:
+        """The additive error eps*N implied by the sketch width and item count."""
+        return math.e / self.width * self.total
+
+
+def install_countmin(database, *, eps: float = 0.01, delta: float = 0.01, name: str = "cmsketch") -> None:
+    """Register a ``cmsketch(value)`` aggregate returning a :class:`CountMinSketch`."""
+
+    def transition(state: Optional[CountMinSketch], value: Any) -> CountMinSketch:
+        if state is None:
+            state = CountMinSketch.empty(eps=eps, delta=delta)
+        return state.add(value)
+
+    def merge(a: Optional[CountMinSketch], b: Optional[CountMinSketch]):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a.merge(b)
+
+    database.catalog.register_aggregate(
+        AggregateDefinition(name, transition, merge=merge, initial_state=None, strict=True)
+    )
+
+
+def sketch_column(database, table: str, column: str, *, eps: float = 0.01, delta: float = 0.01) -> CountMinSketch:
+    """Build a Count-Min sketch of one column with a single aggregate query."""
+    install_countmin(database, eps=eps, delta=delta)
+    sketch = database.query_scalar(f"SELECT cmsketch({column}) FROM {table}")
+    if sketch is None:
+        return CountMinSketch.empty(eps=eps, delta=delta)
+    return sketch

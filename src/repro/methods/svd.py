@@ -1,0 +1,202 @@
+"""SVD matrix factorization (Table 1, unsupervised learning).
+
+Two entry points, matching how MADlib exposes factorization:
+
+* :func:`truncated_svd` — rank-r SVD of a matrix stored as blocked chunks in
+  a table (the Section 3.1 "macro-programming" representation), computed by
+  block power iteration with deflation so only block-vector products are ever
+  formed.
+* :func:`factorize_ratings` — low-rank factorization of a sparse ratings
+  table by alternating least squares (the "Recommendation" objective of
+  Table 2 solved directly), useful as the collaborative-filtering workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ConvergenceError, ValidationError
+from ..support.matrix_ops import BlockedMatrix
+
+__all__ = ["SVDResult", "FactorizationResult", "truncated_svd", "truncated_svd_table", "factorize_ratings"]
+
+
+@dataclass
+class SVDResult:
+    """Rank-r singular value decomposition ``A ~= U diag(s) V^T``."""
+
+    u: np.ndarray
+    singular_values: np.ndarray
+    v: np.ndarray
+    iterations: int
+
+    def reconstruct(self) -> np.ndarray:
+        return self.u @ np.diag(self.singular_values) @ self.v.T
+
+    def relative_error(self, matrix: np.ndarray) -> float:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return float(np.linalg.norm(matrix - self.reconstruct()) / max(np.linalg.norm(matrix), 1e-12))
+
+
+@dataclass
+class FactorizationResult:
+    """Low-rank factors for a sparse ratings matrix."""
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+    train_rmse: float
+    iterations: int
+
+    def predict(self, user: int, item: int) -> float:
+        return float(self.user_factors[user] @ self.item_factors[item])
+
+
+def truncated_svd(
+    matrix: np.ndarray,
+    rank: int,
+    *,
+    block_size: int = 64,
+    max_iterations: int = 200,
+    tolerance: float = 1e-9,
+    seed: Optional[int] = None,
+) -> SVDResult:
+    """Rank-``rank`` SVD via block power iteration with deflation.
+
+    The matrix is partitioned into blocks (the in-memory analog of the
+    chunked table representation); only block-vector products are computed.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValidationError("truncated_svd expects a 2-D matrix")
+    if rank < 1 or rank > min(matrix.shape):
+        raise ValidationError("rank must be between 1 and min(matrix.shape)")
+    blocked = BlockedMatrix.from_dense(matrix, block_size)
+    blocked_t = blocked.transpose()
+    rng = np.random.default_rng(seed)
+
+    singular_values: List[float] = []
+    left_vectors: List[np.ndarray] = []
+    right_vectors: List[np.ndarray] = []
+    total_iterations = 0
+    for _ in range(rank):
+        v = rng.normal(size=matrix.shape[1])
+        v /= np.linalg.norm(v)
+        sigma_previous = 0.0
+        for iteration in range(max_iterations):
+            total_iterations += 1
+            # Deflate previously-found components.
+            for s, u_vec, v_vec in zip(singular_values, left_vectors, right_vectors):
+                v -= (v_vec @ v) * v_vec
+            u = blocked.multiply_vector(v)
+            for s, u_vec, v_vec in zip(singular_values, left_vectors, right_vectors):
+                u -= (u_vec @ u) * u_vec
+            sigma = float(np.linalg.norm(u))
+            if sigma <= 1e-14:
+                break
+            u /= sigma
+            v_new = blocked_t.multiply_vector(u)
+            sigma = float(np.linalg.norm(v_new))
+            if sigma <= 1e-14:
+                break
+            v = v_new / sigma
+            if abs(sigma - sigma_previous) <= tolerance * max(sigma, 1.0):
+                break
+            sigma_previous = sigma
+        singular_values.append(sigma)
+        left_vectors.append(u)
+        right_vectors.append(v)
+
+    return SVDResult(
+        u=np.column_stack(left_vectors),
+        singular_values=np.asarray(singular_values, dtype=np.float64),
+        v=np.column_stack(right_vectors),
+        iterations=total_iterations,
+    )
+
+
+def truncated_svd_table(
+    database,
+    table_name: str,
+    num_rows: int,
+    num_cols: int,
+    rank: int,
+    *,
+    block_size: int = 64,
+    **kwargs,
+) -> SVDResult:
+    """Rank-r SVD of a matrix stored as blocks in a database table.
+
+    The table must have been written by :meth:`BlockedMatrix.store`; blocks are
+    streamed out of the table and the factorization runs over them, which is
+    the chunked dataflow the macro-programming section describes.
+    """
+    validate_table_exists(database, table_name)
+    blocked = BlockedMatrix.load(database, table_name, num_rows, num_cols, block_size)
+    return truncated_svd(blocked.to_dense(), rank, block_size=block_size, **kwargs)
+
+
+def factorize_ratings(
+    database,
+    ratings_table: str,
+    *,
+    rank: int = 8,
+    regularization: float = 0.05,
+    max_iterations: int = 20,
+    tolerance: float = 1e-4,
+    user_column: str = "user_id",
+    item_column: str = "item_id",
+    rating_column: str = "rating",
+    seed: Optional[int] = None,
+) -> FactorizationResult:
+    """Alternating least squares over a sparse ``(user, item, rating)`` table."""
+    validate_table_exists(database, ratings_table)
+    validate_columns_exist(database, ratings_table, [user_column, item_column, rating_column])
+    rows = database.query_dicts(
+        f"SELECT {user_column} AS u, {item_column} AS i, {rating_column} AS r FROM {ratings_table}"
+    )
+    if not rows:
+        raise ValidationError(f"ratings table {ratings_table!r} is empty")
+    num_users = max(int(row["u"]) for row in rows) + 1
+    num_items = max(int(row["i"]) for row in rows) + 1
+    rng = np.random.default_rng(seed)
+    user_factors = rng.normal(scale=0.1, size=(num_users, rank))
+    item_factors = rng.normal(scale=0.1, size=(num_items, rank))
+
+    by_user: dict = {}
+    by_item: dict = {}
+    for row in rows:
+        by_user.setdefault(int(row["u"]), []).append((int(row["i"]), float(row["r"])))
+        by_item.setdefault(int(row["i"]), []).append((int(row["u"]), float(row["r"])))
+
+    identity = regularization * np.eye(rank)
+    previous_rmse = None
+    rmse = float("inf")
+    iterations = 0
+    for iteration in range(max_iterations):
+        iterations = iteration + 1
+        for user, items in by_user.items():
+            item_matrix = item_factors[[i for i, _ in items]]
+            targets = np.asarray([r for _, r in items])
+            user_factors[user] = np.linalg.solve(
+                item_matrix.T @ item_matrix + identity, item_matrix.T @ targets
+            )
+        for item, users in by_item.items():
+            user_matrix = user_factors[[u for u, _ in users]]
+            targets = np.asarray([r for _, r in users])
+            item_factors[item] = np.linalg.solve(
+                user_matrix.T @ user_matrix + identity, user_matrix.T @ targets
+            )
+        squared_error = 0.0
+        for row in rows:
+            prediction = float(user_factors[int(row["u"])] @ item_factors[int(row["i"])])
+            squared_error += (prediction - float(row["r"])) ** 2
+        rmse = float(np.sqrt(squared_error / len(rows)))
+        if previous_rmse is not None and abs(previous_rmse - rmse) < tolerance:
+            break
+        previous_rmse = rmse
+
+    return FactorizationResult(user_factors, item_factors, rmse, iterations)

@@ -1,0 +1,53 @@
+"""Support modules from Table 1: sparse vectors, array ops, matrices, conjugate gradient."""
+
+from .array_ops import (
+    array_add,
+    array_div,
+    array_dot,
+    array_fill,
+    array_max,
+    array_mean,
+    array_min,
+    array_mult,
+    array_scalar_add,
+    array_scalar_mult,
+    array_sqrt,
+    array_stddev,
+    array_sub,
+    array_sum,
+    cosine_similarity,
+    install_array_ops,
+    normalize,
+    squared_dist,
+)
+from .conjugate_gradient import ConjugateGradientResult, conjugate_gradient, conjugate_gradient_sql
+from .matrix_ops import BlockedMatrix, matrix_from_rows, row_chunks
+from .sparse_vector import SparseVector
+
+__all__ = [
+    "SparseVector",
+    "BlockedMatrix",
+    "matrix_from_rows",
+    "row_chunks",
+    "ConjugateGradientResult",
+    "conjugate_gradient",
+    "conjugate_gradient_sql",
+    "install_array_ops",
+    "array_add",
+    "array_sub",
+    "array_mult",
+    "array_div",
+    "array_dot",
+    "array_sum",
+    "array_mean",
+    "array_max",
+    "array_min",
+    "array_stddev",
+    "array_sqrt",
+    "array_fill",
+    "array_scalar_add",
+    "array_scalar_mult",
+    "normalize",
+    "squared_dist",
+    "cosine_similarity",
+]

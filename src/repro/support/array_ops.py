@@ -1,0 +1,188 @@
+"""Array operations: the MADlib ``array_ops`` support module.
+
+These are the element-wise and reduction primitives MADlib installs as SQL
+functions so that methods can manipulate ``double precision[]`` model vectors
+directly in SQL.  They are registered on a database by
+:func:`install_array_ops` and are also usable as plain Python helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "array_add",
+    "array_sub",
+    "array_mult",
+    "array_div",
+    "array_scalar_mult",
+    "array_scalar_add",
+    "array_dot",
+    "array_sum",
+    "array_mean",
+    "array_max",
+    "array_min",
+    "array_stddev",
+    "array_sqrt",
+    "array_filter",
+    "array_fill",
+    "array_of_nulls",
+    "normalize",
+    "squared_dist",
+    "cosine_similarity",
+    "install_array_ops",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _pair(left: ArrayLike, right: ArrayLike) -> tuple:
+    a = np.asarray(left, dtype=np.float64)
+    b = np.asarray(right, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"array shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def array_add(left: ArrayLike, right: ArrayLike) -> np.ndarray:
+    a, b = _pair(left, right)
+    return a + b
+
+
+def array_sub(left: ArrayLike, right: ArrayLike) -> np.ndarray:
+    a, b = _pair(left, right)
+    return a - b
+
+
+def array_mult(left: ArrayLike, right: ArrayLike) -> np.ndarray:
+    a, b = _pair(left, right)
+    return a * b
+
+
+def array_div(left: ArrayLike, right: ArrayLike) -> np.ndarray:
+    a, b = _pair(left, right)
+    if np.any(b == 0):
+        raise ValidationError("division by zero in array_div")
+    return a / b
+
+
+def array_scalar_mult(array: ArrayLike, scalar: float) -> np.ndarray:
+    return np.asarray(array, dtype=np.float64) * float(scalar)
+
+
+def array_scalar_add(array: ArrayLike, scalar: float) -> np.ndarray:
+    return np.asarray(array, dtype=np.float64) + float(scalar)
+
+
+def array_dot(left: ArrayLike, right: ArrayLike) -> float:
+    a, b = _pair(left, right)
+    return float(np.dot(a, b))
+
+
+def array_sum(array: ArrayLike) -> float:
+    return float(np.sum(np.asarray(array, dtype=np.float64)))
+
+
+def array_mean(array: ArrayLike) -> float:
+    values = np.asarray(array, dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("array_mean of an empty array")
+    return float(values.mean())
+
+
+def array_max(array: ArrayLike) -> float:
+    values = np.asarray(array, dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("array_max of an empty array")
+    return float(values.max())
+
+
+def array_min(array: ArrayLike) -> float:
+    values = np.asarray(array, dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("array_min of an empty array")
+    return float(values.min())
+
+
+def array_stddev(array: ArrayLike) -> float:
+    values = np.asarray(array, dtype=np.float64)
+    if values.size < 2:
+        return 0.0
+    return float(values.std(ddof=1))
+
+
+def array_sqrt(array: ArrayLike) -> np.ndarray:
+    values = np.asarray(array, dtype=np.float64)
+    if np.any(values < 0):
+        raise ValidationError("array_sqrt of negative values")
+    return np.sqrt(values)
+
+
+def array_filter(array: ArrayLike, threshold: float = 0.0) -> np.ndarray:
+    """Keep entries strictly greater than ``threshold`` in absolute value."""
+    values = np.asarray(array, dtype=np.float64)
+    return values[np.abs(values) > threshold]
+
+
+def array_fill(size: int, value: float = 0.0) -> np.ndarray:
+    if size < 0:
+        raise ValidationError("array_fill size must be non-negative")
+    return np.full(int(size), float(value), dtype=np.float64)
+
+
+def array_of_nulls(size: int) -> list:
+    if size < 0:
+        raise ValidationError("array_of_nulls size must be non-negative")
+    return [None] * int(size)
+
+
+def normalize(array: ArrayLike) -> np.ndarray:
+    """L2-normalize; the zero vector is returned unchanged."""
+    values = np.asarray(array, dtype=np.float64)
+    norm = float(np.linalg.norm(values))
+    if norm == 0.0:
+        return values.copy()
+    return values / norm
+
+
+def squared_dist(left: ArrayLike, right: ArrayLike) -> float:
+    a, b = _pair(left, right)
+    diff = a - b
+    return float(np.dot(diff, diff))
+
+
+def cosine_similarity(left: ArrayLike, right: ArrayLike) -> float:
+    a, b = _pair(left, right)
+    denominator = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denominator)
+
+
+def install_array_ops(database) -> None:
+    """Register the array-operation UDFs on a database under ``madlib_``-style names."""
+    registrations = {
+        "madlib_array_add": array_add,
+        "madlib_array_sub": array_sub,
+        "madlib_array_mult": array_mult,
+        "madlib_array_div": array_div,
+        "madlib_array_scalar_mult": array_scalar_mult,
+        "madlib_array_scalar_add": array_scalar_add,
+        "madlib_array_dot": array_dot,
+        "madlib_array_sum": array_sum,
+        "madlib_array_mean": array_mean,
+        "madlib_array_max": array_max,
+        "madlib_array_min": array_min,
+        "madlib_array_stddev": array_stddev,
+        "madlib_array_sqrt": array_sqrt,
+        "madlib_array_fill": array_fill,
+        "madlib_normalize": normalize,
+        "madlib_squared_dist": squared_dist,
+        "madlib_cosine_similarity": cosine_similarity,
+    }
+    for name, func in registrations.items():
+        database.create_function(name, func)

@@ -1,0 +1,117 @@
+"""Conjugate-gradient optimization (a Table 1 support module).
+
+MADlib ships conjugate gradient as a reusable optimizer for methods that need
+to solve symmetric positive-definite linear systems (e.g. large ridge /
+least-squares problems) without materializing a matrix inverse.  Both a plain
+NumPy implementation and an in-database variant (matrix rows streamed from a
+table via a user-defined aggregate) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError, ValidationError
+
+__all__ = ["ConjugateGradientResult", "conjugate_gradient", "conjugate_gradient_sql"]
+
+
+@dataclass
+class ConjugateGradientResult:
+    """Solution and convergence trace of a conjugate-gradient run."""
+
+    solution: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    residual_history: List[float]
+
+
+def conjugate_gradient(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    *,
+    x0: Optional[np.ndarray] = None,
+    tolerance: float = 1e-8,
+    max_iterations: Optional[int] = None,
+) -> ConjugateGradientResult:
+    """Solve ``A x = rhs`` for symmetric positive-definite ``A`` given ``matvec(v) = A v``.
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration budget is exhausted with the residual above tolerance.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    n = rhs.shape[0]
+    if max_iterations is None:
+        max_iterations = 10 * n
+    x = np.zeros(n, dtype=np.float64) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    residual = rhs - matvec(x)
+    direction = residual.copy()
+    residual_sq = float(residual @ residual)
+    history = [float(np.sqrt(residual_sq))]
+    if history[-1] <= tolerance:
+        return ConjugateGradientResult(x, 0, history[-1], True, history)
+    for iteration in range(1, max_iterations + 1):
+        a_direction = matvec(direction)
+        denominator = float(direction @ a_direction)
+        if denominator <= 0.0:
+            raise ValidationError(
+                "conjugate gradient requires a symmetric positive-definite operator"
+            )
+        alpha = residual_sq / denominator
+        x = x + alpha * direction
+        residual = residual - alpha * a_direction
+        new_residual_sq = float(residual @ residual)
+        history.append(float(np.sqrt(new_residual_sq)))
+        if history[-1] <= tolerance:
+            return ConjugateGradientResult(x, iteration, history[-1], True, history)
+        direction = residual + (new_residual_sq / residual_sq) * direction
+        residual_sq = new_residual_sq
+    raise ConvergenceError(
+        f"conjugate gradient did not converge in {max_iterations} iterations "
+        f"(residual {history[-1]:.3e} > tolerance {tolerance:.3e})"
+    )
+
+
+def conjugate_gradient_sql(
+    database,
+    table: str,
+    row_column: str,
+    rhs: Sequence[float],
+    *,
+    tolerance: float = 1e-8,
+    max_iterations: Optional[int] = None,
+) -> ConjugateGradientResult:
+    """Conjugate gradient where each matrix row lives in a table.
+
+    The table must have the rows of the symmetric matrix ``A`` stored in
+    ``row_column`` (``double precision[]``), one row per tuple, in row order
+    with an ``id`` column starting at 0.  The matrix-vector product is
+    computed inside the database by a user-defined aggregate, so only vectors
+    of length *n* cross the driver boundary — the paper's rule that "all
+    large-data movement is done within the database engine".
+    """
+    rows = database.query_dicts(f"SELECT id, {row_column} AS row FROM {table} ORDER BY id")
+    if not rows:
+        raise ValidationError(f"table {table!r} is empty")
+    n = len(rows)
+
+    def matvec(vector: np.ndarray) -> np.ndarray:
+        database.create_aggregate(
+            "cg_matvec",
+            transition=lambda state, row_id, row: state + [(int(row_id), float(np.dot(np.asarray(row), vector)))],
+            merge=lambda a, b: a + b,
+            final=lambda state: [value for _, value in sorted(state)],
+            initial_state=list,
+        )
+        result = database.query_scalar(f"SELECT cg_matvec(id, {row_column}) FROM {table}")
+        return np.asarray(result, dtype=np.float64)
+
+    return conjugate_gradient(
+        matvec, np.asarray(rhs, dtype=np.float64), tolerance=tolerance, max_iterations=max_iterations
+    )

@@ -1,0 +1,172 @@
+"""Dense/sparse matrix block operations.
+
+Section 3.1 of the paper describes the macro-programming problem for linear
+algebra as divide-and-conquer over matrix *chunks*: "the matrices must be
+intelligently partitioned into chunks that can fit in memory on a single
+node", keyed so SQL can orchestrate their movement.  This module provides the
+chunked-matrix representation used by the SVD method and the matrix helpers
+shared by several methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["BlockedMatrix", "matrix_from_rows", "row_chunks"]
+
+
+def row_chunks(matrix: np.ndarray, chunk_rows: int) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(first_row_index, chunk)`` pieces of at most ``chunk_rows`` rows."""
+    if chunk_rows < 1:
+        raise ValidationError("chunk_rows must be at least 1")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    for start in range(0, matrix.shape[0], chunk_rows):
+        yield start, matrix[start:start + chunk_rows]
+
+
+def matrix_from_rows(rows: Sequence[Tuple[int, np.ndarray]], num_rows: int, num_cols: int) -> np.ndarray:
+    """Assemble a dense matrix from ``(row_index, row_vector)`` pairs (missing rows are zero)."""
+    matrix = np.zeros((num_rows, num_cols), dtype=np.float64)
+    for index, vector in rows:
+        if index < 0 or index >= num_rows:
+            raise ValidationError(f"row index {index} out of range")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape[0] != num_cols:
+            raise ValidationError("row width mismatch")
+        matrix[index] = vector
+    return matrix
+
+
+@dataclass
+class _Block:
+    row_start: int
+    col_start: int
+    data: np.ndarray
+
+
+class BlockedMatrix:
+    """A matrix partitioned into rectangular blocks keyed by their origin.
+
+    The blocks are the "chunks" the paper's macro-programming layer keys and
+    moves around with SQL.  :meth:`store` writes the blocks into a database
+    table ``(row_start, col_start, block double precision[])`` (flattened
+    row-major); :meth:`load` reads them back; ``multiply`` works block-wise so
+    nothing larger than a block is ever materialized beyond the output.
+    """
+
+    def __init__(self, num_rows: int, num_cols: int, block_size: int = 64) -> None:
+        if num_rows <= 0 or num_cols <= 0:
+            raise ValidationError("matrix dimensions must be positive")
+        if block_size <= 0:
+            raise ValidationError("block_size must be positive")
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self.block_size = block_size
+        self._blocks: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, block_size: int = 64) -> "BlockedMatrix":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValidationError("from_dense expects a 2-D matrix")
+        blocked = cls(matrix.shape[0], matrix.shape[1], block_size)
+        for row_start in range(0, matrix.shape[0], block_size):
+            for col_start in range(0, matrix.shape[1], block_size):
+                block = matrix[row_start:row_start + block_size, col_start:col_start + block_size]
+                if np.any(block != 0.0):
+                    blocked._blocks[(row_start, col_start)] = np.array(block, copy=True)
+        return blocked
+
+    def to_dense(self) -> np.ndarray:
+        matrix = np.zeros((self.num_rows, self.num_cols), dtype=np.float64)
+        for (row_start, col_start), block in self._blocks.items():
+            matrix[row_start:row_start + block.shape[0], col_start:col_start + block.shape[1]] = block
+        return matrix
+
+    # -- block access ---------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def blocks(self) -> Iterator[_Block]:
+        for (row_start, col_start), data in sorted(self._blocks.items()):
+            yield _Block(row_start, col_start, data)
+
+    # -- algebra -----------------------------------------------------------------------
+
+    def transpose(self) -> "BlockedMatrix":
+        result = BlockedMatrix(self.num_cols, self.num_rows, self.block_size)
+        for (row_start, col_start), block in self._blocks.items():
+            result._blocks[(col_start, row_start)] = block.T.copy()
+        return result
+
+    def multiply_vector(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape[0] != self.num_cols:
+            raise ValidationError("vector length must equal the number of columns")
+        result = np.zeros(self.num_rows, dtype=np.float64)
+        for (row_start, col_start), block in self._blocks.items():
+            result[row_start:row_start + block.shape[0]] += block @ vector[col_start:col_start + block.shape[1]]
+        return result
+
+    def multiply(self, other: "BlockedMatrix") -> "BlockedMatrix":
+        if self.num_cols != other.num_rows:
+            raise ValidationError("inner matrix dimensions must agree")
+        if self.block_size != other.block_size:
+            raise ValidationError("block sizes must agree for block multiplication")
+        result = BlockedMatrix(self.num_rows, other.num_cols, self.block_size)
+        accumulator: Dict[Tuple[int, int], np.ndarray] = {}
+        other_by_row: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        for (row_start, col_start), block in other._blocks.items():
+            other_by_row.setdefault(row_start, []).append((col_start, block))
+        for (row_start, inner_start), left_block in self._blocks.items():
+            for col_start, right_block in other_by_row.get(inner_start, []):
+                key = (row_start, col_start)
+                product = left_block @ right_block
+                if key in accumulator:
+                    accumulator[key] += product
+                else:
+                    accumulator[key] = product
+        result._blocks = accumulator
+        return result
+
+    # -- database round-trip ------------------------------------------------------------
+
+    def store(self, database, table_name: str, *, replace: bool = True) -> None:
+        """Write the blocks into a table ``(row_start, col_start, nrows, ncols, block)``."""
+        database.create_table(
+            table_name,
+            [
+                ("row_start", "integer"),
+                ("col_start", "integer"),
+                ("nrows", "integer"),
+                ("ncols", "integer"),
+                ("block", "double precision[]"),
+            ],
+            replace=replace,
+        )
+        rows = [
+            (row_start, col_start, block.shape[0], block.shape[1], block.ravel())
+            for (row_start, col_start), block in sorted(self._blocks.items())
+        ]
+        database.load_rows(table_name, rows)
+
+    @classmethod
+    def load(cls, database, table_name: str, num_rows: int, num_cols: int, block_size: int = 64) -> "BlockedMatrix":
+        blocked = cls(num_rows, num_cols, block_size)
+        for record in database.query_dicts(
+            f"SELECT row_start, col_start, nrows, ncols, block FROM {table_name}"
+        ):
+            shape = (int(record["nrows"]), int(record["ncols"]))
+            blocked._blocks[(int(record["row_start"]), int(record["col_start"]))] = np.asarray(
+                record["block"], dtype=np.float64
+            ).reshape(shape)
+        return blocked

@@ -1,0 +1,206 @@
+"""Run-length-encoded sparse vectors.
+
+Section 3.2: "Sparse matrices are not as well-handled by standard math
+libraries ... We chose to write our own sparse matrix library in C for
+MADlib, which implements a run-length encoding scheme."  Text-analytics
+feature vectors (thousands of features, few non-zeros, long runs of a
+repeated value — typically zero) are the motivating workload.
+
+:class:`SparseVector` stores ``(run_value, run_length)`` pairs and implements
+the vector algebra the methods need (addition, scaling, dot products, dense
+round-trips) without materializing the dense form unless asked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["SparseVector"]
+
+Number = Union[int, float]
+
+
+class SparseVector:
+    """A run-length-encoded vector of doubles.
+
+    Parameters
+    ----------
+    runs:
+        Sequence of ``(value, count)`` pairs.  Counts must be positive.
+    """
+
+    __slots__ = ("_values", "_counts")
+
+    def __init__(self, runs: Iterable[Tuple[Number, int]] = ()) -> None:
+        values: List[float] = []
+        counts: List[int] = []
+        for value, count in runs:
+            count = int(count)
+            if count <= 0:
+                raise ValidationError("run lengths must be positive")
+            value = float(value)
+            if values and values[-1] == value:
+                counts[-1] += count
+            else:
+                values.append(value)
+                counts.append(count)
+        self._values = values
+        self._counts = counts
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: Sequence[Number]) -> "SparseVector":
+        """Run-length encode a dense sequence."""
+        vector = cls()
+        values: List[float] = []
+        counts: List[int] = []
+        for item in dense:
+            value = float(item)
+            if values and values[-1] == value:
+                counts[-1] += 1
+            else:
+                values.append(value)
+                counts.append(1)
+        vector._values = values
+        vector._counts = counts
+        return vector
+
+    @classmethod
+    def from_pairs(cls, size: int, pairs: Iterable[Tuple[int, Number]], *, default: Number = 0.0) -> "SparseVector":
+        """Build from ``(index, value)`` pairs over a vector of ``size`` defaults."""
+        dense = np.full(size, float(default), dtype=np.float64)
+        for index, value in pairs:
+            if index < 0 or index >= size:
+                raise ValidationError(f"index {index} out of range for size {size}")
+            dense[index] = float(value)
+        return cls.from_dense(dense)
+
+    @classmethod
+    def repeat(cls, value: Number, count: int) -> "SparseVector":
+        """A vector of ``count`` copies of ``value`` stored as one run."""
+        if count < 0:
+            raise ValidationError("count must be non-negative")
+        if count == 0:
+            return cls()
+        return cls([(value, count)])
+
+    # -- basic protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of stored runs (the compressed length)."""
+        return len(self._values)
+
+    @property
+    def runs(self) -> List[Tuple[float, int]]:
+        return list(zip(self._values, self._counts))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseVector):
+            return NotImplemented
+        return self._values == other._values and self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._values), tuple(self._counts)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SparseVector(runs={self.runs[:6]}{'...' if self.num_runs > 6 else ''})"
+
+    def __iter__(self) -> Iterator[float]:
+        for value, count in zip(self._values, self._counts):
+            for _ in range(count):
+                yield value
+
+    def __getitem__(self, index: int) -> float:
+        length = len(self)
+        if index < 0:
+            index += length
+        if index < 0 or index >= length:
+            raise IndexError("SparseVector index out of range")
+        position = 0
+        for value, count in zip(self._values, self._counts):
+            position += count
+            if index < position:
+                return value
+        raise IndexError("SparseVector index out of range")  # pragma: no cover
+
+    # -- conversions ---------------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        if not self._values:
+            return np.zeros(0, dtype=np.float64)
+        return np.repeat(np.asarray(self._values, dtype=np.float64), self._counts)
+
+    def compression_ratio(self) -> float:
+        """Dense length divided by number of runs (higher is better)."""
+        if self.num_runs == 0:
+            return 1.0
+        return len(self) / self.num_runs
+
+    # -- run-aligned binary operation helper ------------------------------------------
+
+    def _zip_runs(self, other: "SparseVector") -> Iterator[Tuple[float, float, int]]:
+        if len(self) != len(other):
+            raise ValidationError(
+                f"vector size mismatch: {len(self)} vs {len(other)}"
+            )
+        i = j = 0
+        remaining_self = self._counts[0] if self._counts else 0
+        remaining_other = other._counts[0] if other._counts else 0
+        while i < len(self._values) and j < len(other._values):
+            step = min(remaining_self, remaining_other)
+            yield self._values[i], other._values[j], step
+            remaining_self -= step
+            remaining_other -= step
+            if remaining_self == 0:
+                i += 1
+                remaining_self = self._counts[i] if i < len(self._counts) else 0
+            if remaining_other == 0:
+                j += 1
+                remaining_other = other._counts[j] if j < len(other._counts) else 0
+
+    # -- algebra -------------------------------------------------------------------------
+
+    def _binary(self, other: "SparseVector", op) -> "SparseVector":
+        return SparseVector((op(a, b), count) for a, b, count in self._zip_runs(other))
+
+    def __add__(self, other: "SparseVector") -> "SparseVector":
+        return self._binary(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "SparseVector") -> "SparseVector":
+        return self._binary(other, lambda a, b: a - b)
+
+    def multiply(self, other: "SparseVector") -> "SparseVector":
+        """Element-wise product (kept run-aligned, never densified)."""
+        return self._binary(other, lambda a, b: a * b)
+
+    def scale(self, scalar: Number) -> "SparseVector":
+        scalar = float(scalar)
+        return SparseVector((value * scalar, count) for value, count in self.runs)
+
+    def dot(self, other: "SparseVector") -> float:
+        return float(sum(a * b * count for a, b, count in self._zip_runs(other)))
+
+    def norm(self, order: int = 2) -> float:
+        if order == 1:
+            return float(sum(abs(value) * count for value, count in self.runs))
+        if order == 2:
+            return float(np.sqrt(sum(value * value * count for value, count in self.runs)))
+        raise ValidationError("only L1 and L2 norms are supported")
+
+    def sum(self) -> float:
+        return float(sum(value * count for value, count in self.runs))
+
+    def count_nonzero(self) -> int:
+        return sum(count for value, count in self.runs if value != 0.0)
+
+    def concat(self, other: "SparseVector") -> "SparseVector":
+        return SparseVector(self.runs + other.runs)

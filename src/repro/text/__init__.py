@@ -1,0 +1,32 @@
+"""Statistical text analytics (Section 5.2, Table 3).
+
+Text feature extraction, linear-chain CRFs, Viterbi inference, MCMC inference
+(Gibbs and Metropolis–Hastings) and q-gram approximate string matching.
+"""
+
+from .crf import LinearChainCRF, featurize_corpus, train_crf
+from .features import DEFAULT_REGEX_FEATURES, FeatureMap, TokenFeatureExtractor, install_feature_udfs
+from .mcmc import MCMCResult, gibbs_sample, gibbs_sql, metropolis_hastings
+from .string_match import TrigramIndex, install_string_match_udfs, qgrams, trigram_similarity
+from .viterbi import viterbi, viterbi_sql, viterbi_top_k
+
+__all__ = [
+    "TokenFeatureExtractor",
+    "FeatureMap",
+    "DEFAULT_REGEX_FEATURES",
+    "install_feature_udfs",
+    "LinearChainCRF",
+    "train_crf",
+    "featurize_corpus",
+    "viterbi",
+    "viterbi_top_k",
+    "viterbi_sql",
+    "MCMCResult",
+    "gibbs_sample",
+    "metropolis_hastings",
+    "gibbs_sql",
+    "qgrams",
+    "trigram_similarity",
+    "TrigramIndex",
+    "install_string_match_udfs",
+]

@@ -1,0 +1,260 @@
+"""Linear-chain conditional random fields (Section 5.2).
+
+CRFs are the statistical model behind the Florida/Berkeley text-analytics
+work: POS tagging, NER and entity resolution are all cast as sequence
+labeling under a linear-chain CRF.  This module implements the model itself —
+feature weights, potential matrices, forward/backward, log-likelihood and its
+gradient, and maximum-likelihood training — while the two inference styles the
+paper discusses live in :mod:`repro.text.viterbi` (most-likely labeling) and
+:mod:`repro.text.mcmc` (sampling-based marginals).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .features import FeatureMap, TokenFeatureExtractor
+
+__all__ = ["LinearChainCRF", "train_crf", "featurize_corpus"]
+
+
+@dataclass
+class _EncodedSequence:
+    """One training sequence: per-position observation feature indices and labels."""
+
+    token_features: List[List[int]]
+    labels: List[int]
+
+
+class LinearChainCRF:
+    """A linear-chain CRF with observation and transition (edge) features.
+
+    The score of a labeling ``y`` for a sentence ``x`` is
+    ``sum_t [ w_obs . f(x, t, y_t) + w_edge[y_{t-1}, y_t] ]`` and the model
+    defines ``P(y | x) ∝ exp(score)``.
+    """
+
+    def __init__(self, labels: Sequence[str], feature_map: FeatureMap,
+                 extractor: Optional[TokenFeatureExtractor] = None) -> None:
+        if not labels:
+            raise ValidationError("a CRF needs at least one label")
+        self.labels = list(labels)
+        self.label_index = {label: i for i, label in enumerate(self.labels)}
+        self.feature_map = feature_map
+        self.extractor = extractor or TokenFeatureExtractor()
+        num_labels = len(self.labels)
+        #: Observation weights, shape (num_features, num_labels).
+        self.observation_weights = np.zeros((len(feature_map), num_labels), dtype=np.float64)
+        #: Edge weights, shape (num_labels, num_labels): the "edge features".
+        self.transition_weights = np.zeros((num_labels, num_labels), dtype=np.float64)
+        #: Start weights, shape (num_labels,).
+        self.start_weights = np.zeros(num_labels, dtype=np.float64)
+
+    # ------------------------------------------------------------------ scoring
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.labels)
+
+    def encode_tokens(self, tokens: Sequence[str], *, allow_new_features: bool = False) -> List[List[int]]:
+        """Map a sentence to per-position observation-feature index lists."""
+        if not allow_new_features:
+            self.feature_map.frozen = True
+        indices: List[List[int]] = []
+        for names in self.extractor.sequence_features(tokens):
+            position_indices = []
+            for name in names:
+                index = self.feature_map.intern(name)
+                if index is not None:
+                    position_indices.append(index)
+            indices.append(position_indices)
+        return indices
+
+    def emission_scores(self, token_features: Sequence[Sequence[int]]) -> np.ndarray:
+        """Per-position, per-label observation scores, shape (length, num_labels)."""
+        length = len(token_features)
+        scores = np.zeros((length, self.num_labels), dtype=np.float64)
+        for position, feature_indices in enumerate(token_features):
+            if feature_indices:
+                scores[position] = self.observation_weights[feature_indices].sum(axis=0)
+        return scores
+
+    def sequence_score(self, token_features: Sequence[Sequence[int]], label_ids: Sequence[int]) -> float:
+        """Unnormalized log-score of one labeling."""
+        emissions = self.emission_scores(token_features)
+        score = self.start_weights[label_ids[0]] + emissions[0, label_ids[0]]
+        for position in range(1, len(label_ids)):
+            score += self.transition_weights[label_ids[position - 1], label_ids[position]]
+            score += emissions[position, label_ids[position]]
+        return float(score)
+
+    # ------------------------------------------------------------------ forward / backward
+
+    def forward_backward(self, token_features: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Log-space forward and backward tables plus the log partition function."""
+        emissions = self.emission_scores(token_features)
+        length, num_labels = emissions.shape
+        forward = np.full((length, num_labels), -np.inf)
+        forward[0] = self.start_weights + emissions[0]
+        for position in range(1, length):
+            # forward[t, j] = logsumexp_i(forward[t-1, i] + T[i, j]) + E[t, j]
+            scores = forward[position - 1][:, None] + self.transition_weights
+            forward[position] = _logsumexp_columns(scores) + emissions[position]
+        backward = np.full((length, num_labels), -np.inf)
+        backward[-1] = 0.0
+        for position in range(length - 2, -1, -1):
+            scores = self.transition_weights + (emissions[position + 1] + backward[position + 1])[None, :]
+            backward[position] = _logsumexp_rows(scores)
+        log_partition = float(_logsumexp(forward[-1]))
+        return forward, backward, log_partition
+
+    def marginals(self, token_features: Sequence[Sequence[int]]) -> np.ndarray:
+        """Per-position label marginals P(y_t = l | x), shape (length, num_labels)."""
+        forward, backward, log_partition = self.forward_backward(token_features)
+        log_marginals = forward + backward - log_partition
+        return np.exp(log_marginals)
+
+    def log_likelihood(self, token_features: Sequence[Sequence[int]], label_ids: Sequence[int]) -> float:
+        _, _, log_partition = self.forward_backward(token_features)
+        return self.sequence_score(token_features, label_ids) - log_partition
+
+    # ------------------------------------------------------------------ gradient
+
+    def gradient(self, token_features: Sequence[Sequence[int]], label_ids: Sequence[int]):
+        """Gradient of the per-sequence log-likelihood w.r.t. all weight blocks.
+
+        Returns ``(obs_grad_sparse, transition_grad, start_grad)`` where the
+        observation gradient is a dict ``{(feature, label): value}`` so sparse
+        updates stay sparse.
+        """
+        emissions = self.emission_scores(token_features)
+        length, num_labels = emissions.shape
+        forward, backward, log_partition = self.forward_backward(token_features)
+        marginals = np.exp(forward + backward - log_partition)
+
+        observation_gradient: Dict[Tuple[int, int], float] = {}
+        for position, feature_indices in enumerate(token_features):
+            gold = label_ids[position]
+            for feature in feature_indices:
+                observation_gradient[(feature, gold)] = observation_gradient.get((feature, gold), 0.0) + 1.0
+                for label in range(num_labels):
+                    key = (feature, label)
+                    observation_gradient[key] = observation_gradient.get(key, 0.0) - float(
+                        marginals[position, label]
+                    )
+
+        transition_gradient = np.zeros_like(self.transition_weights)
+        for position in range(1, length):
+            transition_gradient[label_ids[position - 1], label_ids[position]] += 1.0
+            # Expected transition counts.
+            scores = (
+                forward[position - 1][:, None]
+                + self.transition_weights
+                + (emissions[position] + backward[position])[None, :]
+                - log_partition
+            )
+            transition_gradient -= np.exp(scores)
+
+        start_gradient = np.zeros_like(self.start_weights)
+        start_gradient[label_ids[0]] += 1.0
+        start_gradient -= marginals[0]
+        return observation_gradient, transition_gradient, start_gradient
+
+    def apply_gradient(self, gradient, stepsize: float, *, l2: float = 0.0) -> None:
+        """Take one (stochastic) gradient ascent step."""
+        observation_gradient, transition_gradient, start_gradient = gradient
+        if l2:
+            self.observation_weights *= 1.0 - stepsize * l2
+            self.transition_weights *= 1.0 - stepsize * l2
+            self.start_weights *= 1.0 - stepsize * l2
+        for (feature, label), value in observation_gradient.items():
+            self.observation_weights[feature, label] += stepsize * value
+        self.transition_weights += stepsize * transition_gradient
+        self.start_weights += stepsize * start_gradient
+
+    # ------------------------------------------------------------------ convenience
+
+    def label_sequence(self, label_ids: Sequence[int]) -> List[str]:
+        return [self.labels[int(i)] for i in label_ids]
+
+    def encode_labels(self, labels: Sequence[str]) -> List[int]:
+        try:
+            return [self.label_index[label] for label in labels]
+        except KeyError as exc:
+            raise ValidationError(f"unknown label {exc.args[0]!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Training
+# ---------------------------------------------------------------------------
+
+
+def featurize_corpus(corpus, extractor: Optional[TokenFeatureExtractor] = None):
+    """Build a FeatureMap and encoded sequences from a :class:`TagCorpus`."""
+    extractor = extractor or TokenFeatureExtractor()
+    feature_map = FeatureMap()
+    encoded: List[_EncodedSequence] = []
+    label_set: List[str] = list(corpus.labels)
+    label_index = {label: i for i, label in enumerate(label_set)}
+    for sequence in corpus.sequences:
+        token_features: List[List[int]] = []
+        for names in extractor.sequence_features(sequence.tokens):
+            token_features.append([feature_map.intern(name) for name in names])
+        labels = [label_index[label] for label in sequence.labels]
+        encoded.append(_EncodedSequence(token_features, labels))
+    return feature_map, encoded, label_set, extractor
+
+
+def train_crf(
+    corpus,
+    *,
+    extractor: Optional[TokenFeatureExtractor] = None,
+    num_epochs: int = 5,
+    stepsize: float = 0.1,
+    decay: float = 0.9,
+    l2: float = 1e-4,
+    seed: Optional[int] = None,
+) -> LinearChainCRF:
+    """Train a linear-chain CRF by stochastic gradient ascent on the log-likelihood."""
+    feature_map, encoded, labels, extractor = featurize_corpus(corpus, extractor)
+    model = LinearChainCRF(labels, feature_map, extractor)
+    rng = np.random.default_rng(seed)
+    order = np.arange(len(encoded))
+    current_step = stepsize
+    for _ in range(num_epochs):
+        rng.shuffle(order)
+        for index in order:
+            sequence = encoded[int(index)]
+            gradient = model.gradient(sequence.token_features, sequence.labels)
+            model.apply_gradient(gradient, current_step, l2=l2)
+        current_step *= decay
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Log-space helpers
+# ---------------------------------------------------------------------------
+
+
+def _logsumexp(values: np.ndarray) -> float:
+    maximum = float(np.max(values))
+    if not math.isfinite(maximum):
+        return maximum
+    return maximum + float(np.log(np.sum(np.exp(values - maximum))))
+
+
+def _logsumexp_columns(matrix: np.ndarray) -> np.ndarray:
+    maxima = matrix.max(axis=0)
+    safe = np.where(np.isfinite(maxima), maxima, 0.0)
+    return safe + np.log(np.exp(matrix - safe).sum(axis=0))
+
+
+def _logsumexp_rows(matrix: np.ndarray) -> np.ndarray:
+    maxima = matrix.max(axis=1)
+    safe = np.where(np.isfinite(maxima), maxima, 0.0)
+    return safe + np.log(np.exp(matrix - safe[:, None]).sum(axis=1))

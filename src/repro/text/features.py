@@ -1,0 +1,149 @@
+"""Text feature extraction (Table 3, first row).
+
+Section 5.2: "CRF methods often assign hundreds of features to each token",
+listing five families — dictionary features, regex features, edge features
+(label of the previous token), word features and position features.  This
+module implements those extractors plus the feature-index bookkeeping (a
+:class:`FeatureMap`) the CRF and inference code shares.
+
+The extractors can run either on Python token lists or in-database:
+:func:`install_feature_udfs` registers them as scalar UDFs so a feature table
+can be materialized with a single templated query over a ``(doc_id, position,
+token)`` table, which is how the paper's implementation stages features.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["FeatureMap", "TokenFeatureExtractor", "install_feature_udfs", "DEFAULT_REGEX_FEATURES"]
+
+
+#: Default regex features: (name, pattern) pairs, the paper's "does this token
+#: match a provided regular expression?" family.
+DEFAULT_REGEX_FEATURES: List[Tuple[str, str]] = [
+    ("is_capitalized", r"^[A-Z][a-z]+$"),
+    ("is_all_caps", r"^[A-Z]+$"),
+    ("is_digit", r"^[0-9]+$"),
+    ("has_digit", r"[0-9]"),
+    ("has_hyphen", r"-"),
+    ("is_short", r"^.{1,3}$"),
+]
+
+
+@dataclass
+class FeatureMap:
+    """Bidirectional mapping between feature names and dense indices."""
+
+    index_of: Dict[str, int] = field(default_factory=dict)
+    names: List[str] = field(default_factory=list)
+    frozen: bool = False
+
+    def intern(self, name: str) -> Optional[int]:
+        """Return the index for ``name``, allocating one unless frozen."""
+        existing = self.index_of.get(name)
+        if existing is not None:
+            return existing
+        if self.frozen:
+            return None
+        index = len(self.names)
+        self.index_of[name] = index
+        self.names.append(name)
+        return index
+
+    def freeze(self) -> None:
+        """Stop allocating new features (used when featurizing test data)."""
+        self.frozen = True
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+class TokenFeatureExtractor:
+    """Extracts the per-token feature names of Section 5.2.
+
+    Parameters
+    ----------
+    dictionaries:
+        Mapping from dictionary name to a set of (lower-cased) words; produces
+        ``dict:<name>`` features ("does this token exist in a provided
+        dictionary?").
+    regex_features:
+        ``(name, pattern)`` pairs producing ``regex:<name>`` features.
+    use_word_features:
+        Emit ``word:<lowercased token>`` features ("does the token appear in
+        the training data?").
+    use_position_features:
+        Emit ``position:first`` / ``position:last`` features.
+    """
+
+    def __init__(
+        self,
+        *,
+        dictionaries: Optional[Dict[str, Set[str]]] = None,
+        regex_features: Optional[Sequence[Tuple[str, str]]] = None,
+        use_word_features: bool = True,
+        use_position_features: bool = True,
+    ) -> None:
+        self.dictionaries = {
+            name: {word.lower() for word in words}
+            for name, words in (dictionaries or {}).items()
+        }
+        self.regex_features = [
+            (name, re.compile(pattern))
+            for name, pattern in (regex_features if regex_features is not None else DEFAULT_REGEX_FEATURES)
+        ]
+        self.use_word_features = use_word_features
+        self.use_position_features = use_position_features
+
+    def token_features(self, tokens: Sequence[str], position: int) -> List[str]:
+        """Feature names for the token at ``position`` in ``tokens``."""
+        token = tokens[position]
+        lowered = token.lower()
+        features: List[str] = []
+        if self.use_word_features:
+            features.append(f"word:{lowered}")
+        for name, words in self.dictionaries.items():
+            if lowered in words:
+                features.append(f"dict:{name}")
+        for name, pattern in self.regex_features:
+            if pattern.search(token):
+                features.append(f"regex:{name}")
+        if self.use_position_features:
+            if position == 0:
+                features.append("position:first")
+            if position == len(tokens) - 1:
+                features.append("position:last")
+        return features
+
+    def sequence_features(self, tokens: Sequence[str]) -> List[List[str]]:
+        """Feature names for every position of a sentence."""
+        return [self.token_features(tokens, position) for position in range(len(tokens))]
+
+
+def install_feature_udfs(database, extractor: Optional[TokenFeatureExtractor] = None) -> None:
+    """Register the extractors as scalar UDFs for in-database featurization.
+
+    ``crf_token_features(tokens, position)`` returns the feature-name array for
+    one position; ``crf_matches_regex(token, pattern)`` and
+    ``crf_in_dictionary(token, dictionary_name)`` expose the individual
+    families so templated queries can build custom feature sets.
+    """
+    extractor = extractor or TokenFeatureExtractor()
+
+    def token_features(tokens, position):
+        token_list = list(tokens)
+        return extractor.token_features(token_list, int(position))
+
+    def matches_regex(token: str, pattern: str) -> bool:
+        return re.search(pattern, token) is not None
+
+    def in_dictionary(token: str, dictionary_name: str) -> bool:
+        words = extractor.dictionaries.get(dictionary_name, set())
+        return token.lower() in words
+
+    database.create_function("crf_token_features", token_features)
+    database.create_function("crf_matches_regex", matches_regex, return_type="boolean")
+    database.create_function("crf_in_dictionary", in_dictionary, return_type="boolean")

@@ -1,0 +1,137 @@
+"""Approximate string matching with q-grams (Table 3).
+
+Section 5.2: "The technique we use is based on qgrams.  We used the trigram
+module in PostgreSQL to create and index 3-grams over text.  Given a string
+'Tim Tebow' we can create a 3-gram by using a sliding window of 3 characters
+...  Using the 3-gram index, we created an approximate matching UDF that takes
+in a query string and returns all documents in the corpus that contain at
+least one approximate match."
+
+This module reproduces the ``pg_trgm`` behaviour: padded trigram extraction,
+Jaccard-style trigram similarity, an inverted trigram index materialized as a
+database table, and the ``approximate_match`` UDF over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..driver import validate_columns_exist, validate_table_exists
+from ..errors import ValidationError
+
+__all__ = ["qgrams", "trigram_similarity", "TrigramIndex", "install_string_match_udfs"]
+
+
+def qgrams(text: str, q: int = 3, *, pad: bool = True) -> List[str]:
+    """Sliding-window q-grams of ``text`` (lower-cased; padded like pg_trgm for q=3)."""
+    if q < 1:
+        raise ValidationError("q must be at least 1")
+    normalized = " ".join(text.lower().split())
+    if not normalized:
+        return []
+    if pad:
+        normalized = " " * (q - 1) + normalized + " "
+    if len(normalized) < q:
+        return [normalized]
+    return [normalized[i:i + q] for i in range(len(normalized) - q + 1)]
+
+
+def trigram_similarity(left: str, right: str, *, q: int = 3) -> float:
+    """Jaccard similarity of the two strings' q-gram sets (pg_trgm's ``similarity``)."""
+    left_grams = set(qgrams(left, q))
+    right_grams = set(qgrams(right, q))
+    if not left_grams and not right_grams:
+        return 1.0
+    if not left_grams or not right_grams:
+        return 0.0
+    intersection = len(left_grams & right_grams)
+    union = len(left_grams | right_grams)
+    return intersection / union
+
+
+@dataclass
+class MatchResult:
+    """One approximate match: the document id, its text and the similarity score."""
+
+    document_id: int
+    text: str
+    similarity: float
+
+
+class TrigramIndex:
+    """An inverted trigram index over a document table, stored in the database.
+
+    ``build`` materializes a ``(trigram, document_id)`` table from the corpus
+    (the analog of ``CREATE INDEX ... USING gin (text gin_trgm_ops)``);
+    ``search`` finds candidate documents sharing at least one trigram with the
+    query via a SQL join on that table and then ranks candidates by trigram
+    similarity.
+    """
+
+    def __init__(self, database, documents_table: str, *, id_column: str = "doc_id",
+                 text_column: str = "text", q: int = 3) -> None:
+        validate_table_exists(database, documents_table)
+        validate_columns_exist(database, documents_table, [id_column, text_column])
+        self.database = database
+        self.documents_table = documents_table
+        self.id_column = id_column
+        self.text_column = text_column
+        self.q = q
+        self.index_table: Optional[str] = None
+
+    def build(self, *, index_table: Optional[str] = None) -> str:
+        """Materialize the trigram index table; returns its name."""
+        name = index_table or f"{self.documents_table}_trgm_idx"
+        self.database.create_table(
+            name, [("trigram", "text"), ("doc_id", "integer")], replace=True
+        )
+        rows = self.database.query_dicts(
+            f"SELECT {self.id_column} AS doc_id, {self.text_column} AS text FROM {self.documents_table}"
+        )
+        index_rows: List[Tuple[str, int]] = []
+        for row in rows:
+            for gram in set(qgrams(row["text"], self.q)):
+                index_rows.append((gram, int(row["doc_id"])))
+        self.database.load_rows(name, index_rows)
+        self.index_table = name
+        return name
+
+    def search(self, query: str, *, threshold: float = 0.3, limit: Optional[int] = None) -> List[MatchResult]:
+        """Documents whose trigram similarity with ``query`` is at least ``threshold``."""
+        if self.index_table is None:
+            self.build()
+        if not (0.0 < threshold <= 1.0):
+            raise ValidationError("threshold must be in (0, 1]")
+        query_grams = sorted(set(qgrams(query, self.q)))
+        if not query_grams:
+            return []
+        placeholders = ", ".join(f"%(g{i})s" for i in range(len(query_grams)))
+        parameters = {f"g{i}": gram for i, gram in enumerate(query_grams)}
+        candidates = self.database.query_dicts(
+            f"SELECT DISTINCT doc_id FROM {self.index_table} WHERE trigram IN ({placeholders})",
+            parameters,
+        )
+        results: List[MatchResult] = []
+        for candidate in candidates:
+            doc_id = int(candidate["doc_id"])
+            text = self.database.query_scalar(
+                f"SELECT {self.text_column} FROM {self.documents_table} "
+                f"WHERE {self.id_column} = %(id)s",
+                {"id": doc_id},
+            )
+            similarity = trigram_similarity(query, text, q=self.q)
+            if similarity >= threshold:
+                results.append(MatchResult(doc_id, text, similarity))
+        results.sort(key=lambda match: (-match.similarity, match.document_id))
+        if limit is not None:
+            results = results[:limit]
+        return results
+
+
+def install_string_match_udfs(database, *, q: int = 3) -> None:
+    """Register ``show_trgm`` and ``similarity`` UDFs (the pg_trgm surface)."""
+    database.create_function("show_trgm", lambda text: qgrams(text, q))
+    database.create_function(
+        "similarity", lambda a, b: trigram_similarity(a, b, q=q), return_type="double precision"
+    )

@@ -1,0 +1,190 @@
+"""Unit tests for the abstraction layer: AnyType, handles, linalg, transition states."""
+
+import numpy as np
+import pytest
+
+from repro.abstraction import (
+    AnyType,
+    ArrayHandle,
+    LinRegrTransitionState,
+    LogRegrIRLSState,
+    MutableArrayHandle,
+    SymmetricPositiveDefiniteEigenDecomposition,
+    allocate_array,
+    composite,
+    symmetrize_from_lower,
+    triangular_rank_one_update,
+)
+from repro.errors import FunctionError, SingularMatrixError, TypeMismatchError
+
+
+class TestAnyType:
+    def test_argument_pack_indexing(self):
+        args = AnyType.args(None, 2.5, [1.0, 2.0])
+        assert len(args) == 3
+        assert args[0].is_null()
+        assert args[1].get_as(float) == 2.5
+        vector = args[2].get_as(np.ndarray)
+        np.testing.assert_array_equal(vector, [1.0, 2.0])
+
+    def test_get_as_string_aliases(self):
+        value = AnyType([1.0, 2.0])
+        np.testing.assert_array_equal(value.get_as("MappedColumnVector"), [1.0, 2.0])
+        matrix = AnyType([[1.0, 0.0], [0.0, 1.0]]).get_as("Matrix")
+        assert matrix.shape == (2, 2)
+        assert AnyType("7").get_as("integer") == 7
+
+    def test_get_as_invalid_target_raises(self):
+        with pytest.raises(TypeMismatchError):
+            AnyType(1.0).get_as("quaternion")
+        with pytest.raises(TypeMismatchError):
+            AnyType("abc").get_as(float)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(FunctionError):
+            AnyType.args(1)[3]
+        with pytest.raises(FunctionError):
+            AnyType(1.0)[0]
+
+    def test_composite_building_with_lshift(self):
+        record = AnyType() << np.array([1.0, 2.0]) << 42.0
+        values = record.to_python()
+        assert len(values) == 2 and values[1] == 42.0
+
+    def test_composite_helper(self):
+        record = composite(coef=[1.0], r2=0.9)
+        assert record == {"coef": [1.0], "r2": 0.9}
+
+    def test_iteration(self):
+        values = [item.value for item in AnyType.args(1, 2, 3)]
+        assert values == [1, 2, 3]
+
+
+class TestHandles:
+    def test_array_handle_is_read_only(self):
+        handle = ArrayHandle([1.0, 2.0, 3.0])
+        assert len(handle) == 3
+        assert handle[1] == 2.0
+        with pytest.raises(ValueError):
+            handle.array[0] = 9.0
+
+    def test_promotion_copies_exactly_once(self):
+        handle = ArrayHandle([1.0, 2.0])
+        mutable = handle.to_mutable()
+        mutable[0] = 5.0
+        assert handle[0] == 1.0
+        assert handle.copies_made == 1
+        # Promoting a mutable handle is free.
+        assert mutable.to_mutable() is mutable
+
+    def test_mutable_handle_in_place_ops(self):
+        handle = MutableArrayHandle(np.zeros(3))
+        handle[1] = 7.0
+        handle.fill(2.0)
+        np.testing.assert_array_equal(handle.array, [2.0, 2.0, 2.0])
+
+    def test_allocate_array(self):
+        handle = allocate_array(4, fill=1.5)
+        np.testing.assert_array_equal(handle.array, [1.5] * 4)
+        with pytest.raises(FunctionError):
+            allocate_array(-1)
+
+    def test_iteration(self):
+        assert list(ArrayHandle([1.0, 2.0])) == [1.0, 2.0]
+
+
+class TestLinalg:
+    def test_triangular_update_plus_symmetrize_equals_outer(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(20, 5))
+        lower = np.zeros((5, 5))
+        full = np.zeros((5, 5))
+        for vector in vectors:
+            triangular_rank_one_update(lower, vector)
+            full += np.outer(vector, vector)
+        np.testing.assert_allclose(symmetrize_from_lower(lower), full, rtol=1e-10)
+
+    def test_decomposition_pseudo_inverse(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 4))
+        gram = x.T @ x
+        decomposition = SymmetricPositiveDefiniteEigenDecomposition(gram)
+        np.testing.assert_allclose(decomposition.pseudo_inverse(), np.linalg.inv(gram), rtol=1e-8)
+        assert decomposition.is_positive_definite()
+        assert decomposition.condition_no() >= 1.0
+
+    def test_rank_deficient_matrix_gives_pseudo_inverse(self):
+        # A singular Gram matrix (duplicate column).
+        x = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        gram = x.T @ x
+        decomposition = SymmetricPositiveDefiniteEigenDecomposition(gram)
+        pinv = decomposition.pseudo_inverse()
+        np.testing.assert_allclose(pinv, np.linalg.pinv(gram), atol=1e-8)
+        assert decomposition.condition_no() == float("inf")
+
+    def test_non_square_raises(self):
+        with pytest.raises(SingularMatrixError):
+            SymmetricPositiveDefiniteEigenDecomposition(np.zeros((2, 3)))
+
+    def test_solve(self):
+        gram = np.array([[4.0, 1.0], [1.0, 3.0]])
+        rhs = np.array([1.0, 2.0])
+        decomposition = SymmetricPositiveDefiniteEigenDecomposition(gram)
+        np.testing.assert_allclose(decomposition.solve(rhs), np.linalg.solve(gram, rhs), rtol=1e-10)
+
+
+class TestTransitionStates:
+    def test_linregr_state_round_trip(self):
+        state = LinRegrTransitionState(3)
+        state.num_rows = 5
+        state.y_sum = 2.0
+        state.y_square_sum = 4.0
+        state.x_transp_y = np.array([1.0, 2.0, 3.0])
+        state.x_transp_x = np.arange(9, dtype=float).reshape(3, 3)
+        restored = LinRegrTransitionState.from_array(state.to_array())
+        assert restored.num_rows == 5
+        np.testing.assert_array_equal(restored.x_transp_x, state.x_transp_x)
+
+    def test_linregr_merge(self):
+        a = LinRegrTransitionState(2)
+        a.initialize(2)
+        a.num_rows = 1
+        a.x_transp_y = np.array([1.0, 0.0])
+        b = LinRegrTransitionState(2)
+        b.initialize(2)
+        b.num_rows = 2
+        b.x_transp_y = np.array([0.0, 2.0])
+        merged = a.merge(b)
+        assert merged.num_rows == 3
+        np.testing.assert_array_equal(merged.x_transp_y, [1.0, 2.0])
+
+    def test_linregr_merge_width_mismatch_raises(self):
+        a = LinRegrTransitionState(2)
+        a.num_rows = 1
+        b = LinRegrTransitionState(3)
+        b.num_rows = 1
+        with pytest.raises(FunctionError):
+            a.merge(b)
+
+    def test_linregr_merge_with_empty(self):
+        a = LinRegrTransitionState(0)
+        b = LinRegrTransitionState(2)
+        b.num_rows = 3
+        assert a.merge(b) is b
+
+    def test_irls_state_round_trip(self):
+        state = LogRegrIRLSState(2, coef=np.array([0.5, -0.5]))
+        state.num_rows = 7
+        state.log_likelihood = -3.0
+        state.x_trans_d_z = np.array([1.0, 2.0])
+        state.x_trans_d_x = np.eye(2)
+        restored = LogRegrIRLSState.from_array(state.to_array())
+        assert restored.num_rows == 7
+        np.testing.assert_array_equal(restored.coef, [0.5, -0.5])
+        np.testing.assert_array_equal(restored.x_trans_d_x, np.eye(2))
+
+    def test_bad_state_array_raises(self):
+        with pytest.raises(FunctionError):
+            LinRegrTransitionState.from_array(np.zeros(3))
+        with pytest.raises(FunctionError):
+            LogRegrIRLSState.from_array(np.zeros(5))

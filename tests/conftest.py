@@ -1,0 +1,76 @@
+"""Shared fixtures: databases with different segment counts and small workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datasets import (
+    make_blobs,
+    make_logistic,
+    make_regression,
+    load_logistic_table,
+    load_points_table,
+    load_regression_table,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    """A single-segment database (PostgreSQL-like)."""
+    return Database(num_segments=1)
+
+
+@pytest.fixture
+def db4() -> Database:
+    """A four-segment database (Greenplum-like)."""
+    return Database(num_segments=4)
+
+
+@pytest.fixture
+def regression_db(db4: Database) -> Database:
+    """A four-segment database with a small regression table named ``regr``."""
+    data = make_regression(400, 3, noise=0.05, seed=11)
+    load_regression_table(db4, "regr", data)
+    db4.regression_data = data  # type: ignore[attr-defined]
+    return db4
+
+
+@pytest.fixture
+def logistic_db(db4: Database) -> Database:
+    """A four-segment database with a logistic table named ``logi``."""
+    data = make_logistic(400, 3, seed=13)
+    load_logistic_table(db4, "logi", data)
+    db4.logistic_data = data  # type: ignore[attr-defined]
+    return db4
+
+
+@pytest.fixture
+def points_db(db4: Database) -> Database:
+    """A four-segment database with clustered points in ``pts``."""
+    points, labels, centroids = make_blobs(300, 2, 3, seed=17)
+    load_points_table(db4, "pts", points)
+    db4.blob_points = points  # type: ignore[attr-defined]
+    db4.blob_labels = labels  # type: ignore[attr-defined]
+    db4.blob_centroids = centroids  # type: ignore[attr-defined]
+    return db4
+
+
+@pytest.fixture
+def numbers_db(db: Database) -> Database:
+    """A tiny table of integers/doubles/text used by many engine tests."""
+    db.create_table(
+        "t",
+        [("id", "integer"), ("grp", "text"), ("value", "double precision")],
+    )
+    rows = [
+        (1, "a", 1.0),
+        (2, "a", 2.0),
+        (3, "b", 3.0),
+        (4, "b", 4.0),
+        (5, "b", None),
+        (6, "c", 6.0),
+    ]
+    db.load_rows("t", rows)
+    return db

@@ -1,0 +1,183 @@
+"""Tests for the SGD/convex-optimization framework (Table 2 models)."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.convex import (
+    HingeObjective,
+    LassoObjective,
+    LeastSquaresObjective,
+    LogisticObjective,
+    RecommendationObjective,
+    TABLE2_OBJECTIVES,
+    install_igd,
+    train,
+    train_crf_labeling,
+    train_lasso,
+    train_least_squares,
+    train_logistic,
+    train_recommendation,
+    train_svm,
+)
+from repro.datasets import (
+    load_logistic_table,
+    load_regression_table,
+    make_logistic,
+    make_ratings,
+    make_regression,
+    make_tag_corpus,
+)
+from repro.errors import ValidationError
+
+
+class TestObjectives:
+    def test_table2_catalogue_is_complete(self):
+        assert set(TABLE2_OBJECTIVES) == {
+            "Least Squares", "Lasso", "Logistic Regression",
+            "Classification (SVM)", "Recommendation", "Labeling (CRF)",
+        }
+
+    def test_least_squares_gradient_decreases_loss(self):
+        objective = LeastSquaresObjective(2)
+        model = objective.initial_model()
+        row = (3.0, np.array([1.0, 1.0]))
+        before = objective.loss(model, row)
+        objective.apply_gradient(model, row, 0.1)
+        assert objective.loss(model, row) < before
+
+    def test_lasso_soft_thresholding_produces_sparsity(self):
+        objective = LassoObjective(3, mu=10.0)
+        model = np.array([0.001, -0.002, 0.003])
+        objective.apply_gradient(model, (0.0, np.zeros(3)), 0.01)
+        np.testing.assert_array_equal(model, np.zeros(3))
+
+    def test_logistic_loss_is_stable_for_large_margins(self):
+        objective = LogisticObjective(1)
+        model = np.array([100.0])
+        assert objective.loss(model, (1.0, np.array([1.0]))) < 1e-10
+        assert objective.loss(model, (-1.0, np.array([1.0]))) > 50
+
+    def test_hinge_no_update_outside_margin(self):
+        objective = HingeObjective(2, regularization=0.0)
+        model = np.array([10.0, 0.0])
+        before = model.copy()
+        objective.apply_gradient(model, (1.0, np.array([1.0, 0.0])), 0.1)
+        np.testing.assert_array_equal(model, before)
+
+    def test_recommendation_gradient_touches_only_one_user_and_item(self):
+        objective = RecommendationObjective(4, 5, 2, mu=0.0, seed=0)
+        model = objective.initial_model()
+        before = model.copy()
+        objective.apply_gradient(model, (1, 2, 3.0), 0.1)
+        changed = np.nonzero(model != before)[0]
+        # Only user 1's two factors and item 2's two factors may change.
+        expected_indices = set(range(2, 4)) | set(range(4 * 2 + 2 * 2, 4 * 2 + 3 * 2))
+        assert set(changed.tolist()) <= expected_indices
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValidationError):
+            LeastSquaresObjective(0)
+        with pytest.raises(ValidationError):
+            RecommendationObjective(0, 5, 2)
+
+
+class TestSGDDriver:
+    def test_least_squares_recovers_coefficients(self, regression_db):
+        data = regression_db.regression_data
+        result = train_least_squares(regression_db, "regr", max_epochs=25)
+        np.testing.assert_allclose(result.model, data.coefficients, atol=0.15)
+        assert result.loss_history[-1] <= result.loss_history[0]
+        assert result.objective_name == "Least Squares"
+
+    def test_lasso_shrinks_relative_to_least_squares(self, regression_db):
+        plain = train_least_squares(regression_db, "regr", max_epochs=15)
+        shrunk = train_lasso(regression_db, "regr", mu=0.5, max_epochs=15)
+        assert np.abs(shrunk.model).sum() < np.abs(plain.model).sum()
+
+    def test_logistic_predicts_labels(self, logistic_db):
+        data = logistic_db.logistic_data
+        result = train_logistic(logistic_db, "logi", max_epochs=20)
+        predictions = (data.features @ result.model > 0).astype(float)
+        oracle = float(np.mean((data.features @ data.coefficients > 0) == (data.labels > 0)))
+        accuracy = float(np.mean(predictions == data.labels))
+        assert accuracy >= oracle - 0.08
+
+    def test_svm_separates_separable_data(self, db4):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(400, 2))
+        y = np.where(x[:, 0] - x[:, 1] > 0, 1.0, -1.0)
+        db4.create_table("sep", [("id", "integer"), ("x", "double precision[]"), ("y", "double precision")])
+        db4.load_rows("sep", [(i, x[i], float(y[i])) for i in range(400)])
+        result = train_svm(db4, "sep", max_epochs=25)
+        accuracy = float(np.mean(np.where(x @ result.model > 0, 1.0, -1.0) == y))
+        assert accuracy > 0.9
+
+    def test_recommendation_reduces_rmse(self, db4):
+        triples = make_ratings(25, 20, 3, density=0.5, seed=2)
+        db4.create_table(
+            "ratings",
+            [("user_id", "integer"), ("item_id", "integer"), ("rating", "double precision")],
+        )
+        db4.load_rows("ratings", triples)
+        model = train_recommendation(db4, "ratings", rank=3, max_epochs=40, tolerance=1e-7)
+        baseline = float(np.sqrt(np.mean([r * r for _, _, r in triples])))
+        assert model.rmse(triples) < baseline
+        assert model.result.loss_decrease() > 0.1
+
+    def test_crf_labeling_loss_decreases(self, db4):
+        corpus = make_tag_corpus(40, seed=3)
+        result = train_crf_labeling(db4, corpus, max_epochs=3)
+        assert result.objective_name == "Labeling (CRF)"
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_all_six_table2_models_run_through_one_driver(self, db4):
+        # The headline claim of Section 5.1: every Table 2 model works through
+        # the same abstraction. Keep sizes tiny; this is a smoke-level check.
+        regression = make_regression(150, 3, seed=4)
+        load_regression_table(db4, "t2_regr", regression)
+        classification = make_logistic(150, 3, seed=5, labels_plus_minus=True)
+        load_logistic_table(db4, "t2_class", classification)
+        ratings = make_ratings(10, 10, 2, density=0.5, seed=6)
+        db4.create_table(
+            "t2_ratings",
+            [("user_id", "integer"), ("item_id", "integer"), ("rating", "double precision")],
+        )
+        db4.load_rows("t2_ratings", ratings)
+        corpus = make_tag_corpus(10, seed=7)
+
+        results = [
+            train_least_squares(db4, "t2_regr", max_epochs=3),
+            train_lasso(db4, "t2_regr", max_epochs=3),
+            train_logistic(db4, "t2_class", max_epochs=3),
+            train_svm(db4, "t2_class", max_epochs=3),
+            train_recommendation(db4, "t2_ratings", rank=2, max_epochs=3).result,
+            train_crf_labeling(db4, corpus, max_epochs=2),
+        ]
+        assert {result.objective_name for result in results} == set(TABLE2_OBJECTIVES)
+        assert all(result.num_epochs >= 1 for result in results)
+
+    def test_parallel_and_serial_epochs_converge_to_similar_models(self):
+        data = make_regression(400, 3, noise=0.05, seed=8)
+        models = []
+        for segments in (1, 4):
+            db = Database(num_segments=segments)
+            load_regression_table(db, "regr", data)
+            models.append(train_least_squares(db, "regr", max_epochs=25).model)
+        # Model averaging across segments changes the trajectory but both
+        # should land near the true coefficients.
+        np.testing.assert_allclose(models[0], data.coefficients, atol=0.2)
+        np.testing.assert_allclose(models[1], data.coefficients, atol=0.2)
+
+    def test_empty_table_rejected(self, db):
+        db.create_table("e", [("y", "double precision"), ("x", "double precision[]")])
+        with pytest.raises(ValidationError):
+            train_least_squares(db, "e")
+
+    def test_install_igd_registers_aggregate(self, regression_db):
+        install_igd(regression_db, LeastSquaresObjective(3), name="my_igd")
+        assert regression_db.catalog.has_aggregate("my_igd")
+        record = regression_db.query_scalar(
+            "SELECT my_igd(NULL, 0.01, y, x) FROM regr"
+        )
+        assert record["n"] == 400

@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datasets import (
+    load_baskets_table,
+    load_documents_table,
+    load_logistic_table,
+    load_points_table,
+    load_regression_table,
+    make_baskets,
+    make_blobs,
+    make_documents,
+    make_logistic,
+    make_low_rank_matrix,
+    make_name_variants,
+    make_ratings,
+    make_regression,
+    make_tag_corpus,
+)
+from repro.errors import ValidationError
+
+
+class TestGenerators:
+    def test_regression_shapes_and_signal(self):
+        data = make_regression(500, 4, noise=0.01, seed=0)
+        assert data.features.shape == (500, 4)
+        assert data.response.shape == (500,)
+        # With tiny noise the closed-form fit recovers the coefficients.
+        fitted, *_ = np.linalg.lstsq(data.features, data.response, rcond=None)
+        np.testing.assert_allclose(fitted, data.coefficients, atol=0.05)
+
+    def test_regression_reproducible(self):
+        a = make_regression(50, 3, seed=42)
+        b = make_regression(50, 3, seed=42)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_regression_validates_arguments(self):
+        with pytest.raises(ValidationError):
+            make_regression(0, 3)
+
+    def test_logistic_labels(self):
+        data = make_logistic(300, 3, seed=1)
+        assert set(np.unique(data.labels)) <= {0.0, 1.0}
+        signed = make_logistic(300, 3, seed=1, labels_plus_minus=True)
+        assert set(np.unique(signed.labels)) <= {-1.0, 1.0}
+
+    def test_blobs_are_separated(self):
+        points, labels, centroids = make_blobs(300, 2, 3, spread=0.1, separation=10.0, seed=2)
+        assert points.shape == (300, 2)
+        assert centroids.shape == (3, 2)
+        # Points lie close to their generating centroid.
+        distances = np.linalg.norm(points - centroids[labels], axis=1)
+        assert float(distances.mean()) < 1.0
+
+    def test_baskets_contain_planted_patterns(self):
+        baskets = make_baskets(300, 30, patterns=[[1, 2, 3]], pattern_probability=1.0, seed=3)
+        assert all({1, 2, 3}.issubset(set(basket)) for basket in baskets)
+
+    def test_low_rank_matrix_rank(self):
+        matrix = make_low_rank_matrix(30, 20, 3, noise=0.0, seed=4)
+        singular_values = np.linalg.svd(matrix, compute_uv=False)
+        assert singular_values[3] < 1e-8 * singular_values[0]
+        with pytest.raises(ValidationError):
+            make_low_rank_matrix(5, 5, 10)
+
+    def test_ratings_density(self):
+        triples = make_ratings(20, 20, 2, density=0.5, seed=5)
+        assert 100 <= len(triples) <= 300
+        users = {u for u, _, _ in triples}
+        assert max(users) < 20
+
+    def test_documents_generator(self):
+        documents, topic_word = make_documents(10, 50, 3, document_length=20, seed=6)
+        assert len(documents) == 10
+        assert all(len(document) == 20 for document in documents)
+        assert topic_word.shape == (3, 50)
+        np.testing.assert_allclose(topic_word.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_tag_corpus(self):
+        corpus = make_tag_corpus(20, seed=7)
+        assert len(corpus) == 20
+        assert corpus.token_count() > 0
+        train, test = corpus.split(0.75)
+        assert len(train) + len(test) == 20
+        for sequence in corpus.sequences:
+            assert len(sequence.tokens) == len(sequence.labels)
+            assert all(label in corpus.labels for label in sequence.labels)
+
+    def test_name_variants(self):
+        pairs = make_name_variants(["Tim Tebow"], variants_per_name=4, seed=8)
+        assert any(mention == "Tim Tebow" for _, mention in pairs)
+        assert all(canonical == "Tim Tebow" for canonical, _ in pairs)
+
+
+class TestLoaders:
+    def test_regression_loader(self):
+        db = Database(num_segments=2)
+        data = make_regression(100, 3, seed=9)
+        load_regression_table(db, "r", data)
+        assert db.query_scalar("SELECT count(*) FROM r") == 100
+        assert db.catalog.table_schema("r").type_of("x").is_array
+
+    def test_logistic_loader_boolean_labels(self):
+        db = Database()
+        data = make_logistic(50, 2, seed=10)
+        load_logistic_table(db, "l", data, boolean_labels=True)
+        assert db.catalog.table_schema("l").type_of("y").name == "boolean"
+
+    def test_points_and_baskets_loaders(self):
+        db = Database()
+        points, _, _ = make_blobs(40, 2, 2, seed=11)
+        load_points_table(db, "p", points)
+        assert db.query_scalar("SELECT count(*) FROM p") == 40
+        baskets = make_baskets(20, 10, seed=12)
+        load_baskets_table(db, "b", baskets)
+        assert db.query_scalar("SELECT count(DISTINCT basket_id) FROM b") == 20
+
+    def test_documents_loader(self):
+        db = Database()
+        corpus = make_tag_corpus(5, seed=13)
+        load_documents_table(db, "docs", corpus)
+        assert db.query_scalar("SELECT count(DISTINCT doc_id) FROM docs") == 5
+        assert db.query_scalar("SELECT count(*) FROM docs") == corpus.token_count()

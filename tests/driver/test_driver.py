@@ -1,0 +1,137 @@
+"""Tests for the macro-programming helpers: templating and the iteration controller."""
+
+import pytest
+
+from repro import Database
+from repro.driver import (
+    IterationController,
+    QueryTemplate,
+    is_valid_identifier,
+    quote_identifier,
+    quote_literal,
+    validate_column_type,
+    validate_columns_exist,
+    validate_identifier,
+    validate_table_absent,
+    validate_table_exists,
+)
+from repro.errors import ConvergenceError, ValidationError
+
+
+class TestTemplating:
+    def test_identifier_validation(self):
+        assert is_valid_identifier("my_table")
+        assert not is_valid_identifier("1bad")
+        assert not is_valid_identifier("bad; DROP TABLE users")
+        assert quote_identifier("ok_name") == "ok_name"
+        with pytest.raises(ValidationError):
+            validate_identifier("not ok")
+
+    def test_quote_literal(self):
+        assert quote_literal(None) == "NULL"
+        assert quote_literal(True) == "TRUE"
+        assert quote_literal(3.5) == "3.5"
+        assert quote_literal("it's") == "'it''s'"
+        with pytest.raises(ValidationError):
+            quote_literal(object())
+
+    def test_table_and_column_validation(self, numbers_db):
+        validate_table_exists(numbers_db, "t")
+        with pytest.raises(ValidationError):
+            validate_table_exists(numbers_db, "missing")
+        with pytest.raises(ValidationError):
+            validate_table_absent(numbers_db, "t")
+        validate_columns_exist(numbers_db, "t", ["id", "value"])
+        with pytest.raises(ValidationError):
+            validate_columns_exist(numbers_db, "t", ["nope"])
+
+    def test_column_type_validation(self, regression_db):
+        validate_column_type(regression_db, "regr", "x", expect_array=True)
+        validate_column_type(regression_db, "regr", "y", expect_numeric=True)
+        with pytest.raises(ValidationError):
+            validate_column_type(regression_db, "regr", "y", expect_array=True)
+        with pytest.raises(ValidationError):
+            validate_column_type(regression_db, "regr", "x", expect_array=False)
+
+    def test_query_template_renders_and_validates(self):
+        template = QueryTemplate("SELECT {column} FROM {table}")
+        assert template.render(column="y", table="data") == "SELECT y FROM data"
+        with pytest.raises(ValidationError):
+            template.render(column="y")  # missing table
+        with pytest.raises(ValidationError):
+            template.render(column="y; DROP", table="data")
+        with pytest.raises(ValidationError):
+            template.render(column="y", table="data", extra="x")
+
+    def test_query_template_allows_column_lists(self):
+        template = QueryTemplate("SELECT {columns} FROM {table}")
+        rendered = template.render(columns="a, b, c", table="t")
+        assert rendered == "SELECT a, b, c FROM t"
+
+
+class TestIterationController:
+    def test_update_and_history(self, db):
+        controller = IterationController(db, initial_state=0.0, max_iterations=10)
+        with controller:
+            for _ in range(3):
+                controller.update("SELECT %(previous_state)s + 1")
+            assert controller.iteration == 3
+            assert controller.state == 3.0
+            assert controller.history() == [0.0, 1.0, 2.0, 3.0]
+            assert controller.state_at(1) == 1.0
+
+    def test_run_until_convergence(self, db):
+        controller = IterationController(db, initial_state=100.0, max_iterations=50)
+        final = controller.run(
+            "SELECT %(previous_state)s / 2",
+            converged=lambda previous, current: abs(previous - current) < 0.5,
+        )
+        assert final < 1.0
+        assert not db.has_table(controller.state_table)
+
+    def test_exhausted_budget_raises(self, db):
+        controller = IterationController(db, initial_state=0.0, max_iterations=3)
+        with pytest.raises(ConvergenceError):
+            controller.run("SELECT %(previous_state)s + 1", converged=lambda p, c: False)
+
+    def test_exhausted_budget_can_be_tolerated(self, db):
+        controller = IterationController(
+            db, initial_state=0.0, max_iterations=3, fail_on_max_iterations=False
+        )
+        final = controller.run("SELECT %(previous_state)s + 1", converged=lambda p, c: False)
+        assert final == 3.0
+
+    def test_state_passed_into_aggregate_over_source(self, numbers_db):
+        controller = IterationController(numbers_db, initial_state=0.0, max_iterations=5)
+        with controller:
+            # The Figure 3 shape: one aggregate pass over the source table per
+            # iteration, parameterized by the previous state.
+            new_state = controller.update("SELECT %(previous_state)s + count(*) FROM t")
+            assert new_state == 6.0
+
+    def test_state_table_join_placeholder(self, numbers_db):
+        controller = IterationController(numbers_db, initial_state=5.0, max_iterations=5)
+        with controller:
+            # Joining against the staged state table directly via {state_table}.
+            new_state = controller.update(
+                "SELECT max(state) + 1 FROM {state_table} WHERE iteration = %(iteration)s"
+            )
+            assert new_state == 6.0
+
+    def test_iteration_bookkeeping(self, db):
+        controller = IterationController(db, initial_state=0.0, max_iterations=5)
+        with controller:
+            controller.update("SELECT %(previous_state)s + 1")
+            controller.update("SELECT %(previous_state)s + 1")
+            assert len(controller.per_iteration_seconds) == 2
+            assert controller.total_seconds >= 0.0
+
+    def test_keep_state_table(self, db):
+        controller = IterationController(db, initial_state=1.0, max_iterations=2, keep_state_table=True)
+        controller.update("SELECT %(previous_state)s * 2")
+        controller.finish()
+        assert db.has_table(controller.state_table)
+
+    def test_invalid_max_iterations(self, db):
+        with pytest.raises(ValidationError):
+            IterationController(db, max_iterations=0)

@@ -1,0 +1,173 @@
+"""Tests for DDL / DML execution: CREATE, CTAS, INSERT, UPDATE, DELETE, DROP, temp tables."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestCreateAndInsert:
+    def test_create_table_and_insert_values(self, db):
+        db.execute("CREATE TABLE m (id integer, name text, score double precision)")
+        db.execute("INSERT INTO m VALUES (1, 'a', 1.5), (2, 'b', 2.5)")
+        assert db.query_scalar("SELECT count(*) FROM m") == 2
+
+    def test_create_table_if_not_exists(self, db):
+        db.execute("CREATE TABLE m (id integer)")
+        db.execute("CREATE TABLE IF NOT EXISTS m (id integer)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE m (id integer)")
+
+    def test_insert_with_column_list_fills_nulls(self, db):
+        db.execute("CREATE TABLE m (id integer, name text, score double precision)")
+        db.execute("INSERT INTO m (id, score) VALUES (1, 9.5)")
+        row = db.query_dicts("SELECT * FROM m")[0]
+        assert row["name"] is None and row["score"] == 9.5
+
+    def test_insert_from_select(self, db):
+        db.execute("CREATE TABLE src (v integer)")
+        db.execute("INSERT INTO src VALUES (1), (2), (3)")
+        db.execute("CREATE TABLE dst (v integer)")
+        result = db.execute("INSERT INTO dst SELECT v * 10 FROM src WHERE v > 1")
+        assert result.rowcount == 2
+        assert db.execute("SELECT v FROM dst ORDER BY v").column("v") == [20, 30]
+
+    def test_insert_arity_mismatch_raises(self, db):
+        db.execute("CREATE TABLE m (a integer, b integer)")
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO m (a) VALUES (1, 2)")
+
+    def test_insert_with_parameters(self, db):
+        db.execute("CREATE TABLE m (x double precision[], y double precision)")
+        db.execute("INSERT INTO m VALUES (%(x)s, %(y)s)", {"x": np.array([1.0, 2.0]), "y": 3.0})
+        assert db.query_scalar("SELECT y FROM m") == 3.0
+
+    def test_distributed_by_collocates_keys(self):
+        db = Database(num_segments=4)
+        db.execute("CREATE TABLE m (k integer, v integer) DISTRIBUTED BY (k)")
+        db.execute("INSERT INTO m SELECT i % 4, i FROM generate_series(1, 100) g(i)")
+        table = db.table("m")
+        for segment in range(4):
+            keys = {row[0] for row in table.segment_rows(segment)}
+            # All rows of a key live on exactly one segment.
+            for key in keys:
+                others = [s for s in range(4) if s != segment and key in
+                          {r[0] for r in table.segment_rows(s)}]
+                assert not others
+
+
+class TestCreateTableAs:
+    def test_ctas_materializes_result(self, numbers_db):
+        numbers_db.execute(
+            "CREATE TABLE summary AS SELECT grp, count(*) AS n FROM t GROUP BY grp"
+        )
+        rows = numbers_db.query_dicts("SELECT * FROM summary ORDER BY grp")
+        assert [row["n"] for row in rows] == [2, 3, 1]
+
+    def test_temp_table_lifecycle(self, numbers_db):
+        numbers_db.execute("CREATE TEMP TABLE staging AS SELECT id FROM t WHERE id < 3")
+        assert numbers_db.query_scalar("SELECT count(*) FROM staging") == 2
+        assert numbers_db.table("staging").temporary
+        dropped = numbers_db.drop_temporary_tables()
+        assert dropped == 1
+        assert not numbers_db.has_table("staging")
+
+    def test_ctas_existing_table_raises(self, numbers_db):
+        with pytest.raises(CatalogError):
+            numbers_db.execute("CREATE TABLE t AS SELECT 1 AS one")
+
+    def test_ctas_preserves_array_values(self, db):
+        db.create_table("v", [("x", "double precision[]")])
+        db.load_rows("v", [(np.array([1.0, 2.0]),)])
+        db.execute("CREATE TABLE copied AS SELECT x FROM v")
+        value = db.query_scalar("SELECT x FROM copied")
+        np.testing.assert_array_equal(value, [1.0, 2.0])
+
+
+class TestUpdateDeleteDrop:
+    def test_update_with_where(self, numbers_db):
+        result = numbers_db.execute("UPDATE t SET value = value + 10 WHERE grp = 'a'")
+        assert result.rowcount == 2
+        values = numbers_db.execute("SELECT value FROM t WHERE grp = 'a' ORDER BY id").column("value")
+        assert values == [11.0, 12.0]
+
+    def test_update_all_rows(self, numbers_db):
+        result = numbers_db.execute("UPDATE t SET grp = 'z'")
+        assert result.rowcount == 6
+        assert numbers_db.query_scalar("SELECT count(DISTINCT grp) FROM t") == 1
+
+    def test_update_referencing_current_row(self, numbers_db):
+        numbers_db.execute("UPDATE t SET value = id * 100 WHERE value IS NULL")
+        assert numbers_db.query_scalar("SELECT value FROM t WHERE id = 5") == 500.0
+
+    def test_delete_with_where_and_all(self, numbers_db):
+        assert numbers_db.execute("DELETE FROM t WHERE grp = 'b'").rowcount == 3
+        assert numbers_db.query_scalar("SELECT count(*) FROM t") == 3
+        assert numbers_db.execute("DELETE FROM t").rowcount == 3
+        assert numbers_db.query_scalar("SELECT count(*) FROM t") == 0
+
+    def test_truncate(self, numbers_db):
+        numbers_db.execute("TRUNCATE TABLE t")
+        assert numbers_db.query_scalar("SELECT count(*) FROM t") == 0
+        assert numbers_db.has_table("t")
+
+    def test_drop_table(self, numbers_db):
+        numbers_db.execute("DROP TABLE t")
+        assert not numbers_db.has_table("t")
+        with pytest.raises(CatalogError):
+            numbers_db.execute("DROP TABLE t")
+        numbers_db.execute("DROP TABLE IF EXISTS t")
+
+    def test_alter_table_rename(self, numbers_db):
+        numbers_db.execute("ALTER TABLE t RENAME TO renamed")
+        assert numbers_db.has_table("renamed")
+        assert not numbers_db.has_table("t")
+
+
+class TestDatabaseFacade:
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "CREATE TABLE s (v integer); INSERT INTO s VALUES (1), (2); SELECT sum(v) FROM s"
+        )
+        assert results[-1].scalar() == 3
+
+    def test_unique_temp_name_and_context(self, db):
+        name1 = db.unique_temp_name()
+        name2 = db.unique_temp_name()
+        assert name1 != name2
+        with db.temporary_table() as name:
+            db.create_table(name, [("v", "integer")], temporary=True)
+            assert db.has_table(name)
+        assert not db.has_table(name)
+
+    def test_set_num_segments_redistributes(self, numbers_db):
+        numbers_db.set_num_segments(3)
+        assert numbers_db.table("t").num_segments == 3
+        assert numbers_db.query_scalar("SELECT count(*) FROM t") == 6
+
+    def test_create_function_and_use_in_sql(self, db):
+        db.create_function("triple", lambda x: 3 * x, return_type="double precision")
+        assert db.query_scalar("SELECT triple(14)") == 42
+
+    def test_create_aggregate_and_use_in_sql(self, numbers_db):
+        numbers_db.create_aggregate(
+            "sum_of_squares",
+            transition=lambda state, x: state + x * x,
+            merge=lambda a, b: a + b,
+            initial_state=0.0,
+        )
+        assert numbers_db.query_scalar(
+            "SELECT sum_of_squares(value) FROM t WHERE value IS NOT NULL"
+        ) == pytest.approx(66.0)
+
+    def test_scalar_requires_single_cell(self, numbers_db):
+        with pytest.raises(ExecutionError):
+            numbers_db.query_scalar("SELECT id, value FROM t")
+
+    def test_result_pretty_and_column(self, numbers_db):
+        result = numbers_db.execute("SELECT id, grp FROM t ORDER BY id LIMIT 1")
+        text = result.pretty()
+        assert "RECORD 1" in text and "grp" in text
+        with pytest.raises(ExecutionError):
+            result.column("missing")

@@ -1,0 +1,202 @@
+"""Integration-style tests for SELECT execution against the engine."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestBasicSelect:
+    def test_select_constant_without_from(self, db):
+        assert db.query_scalar("SELECT 1 + 1") == 2
+
+    def test_projection_and_alias(self, numbers_db):
+        rows = numbers_db.query_dicts("SELECT id, value * 2 AS doubled FROM t WHERE id = 2")
+        assert rows == [{"id": 2, "doubled": 4.0}]
+
+    def test_star_expansion(self, numbers_db):
+        result = numbers_db.execute("SELECT * FROM t WHERE id = 1")
+        assert result.columns == ["id", "grp", "value"]
+
+    def test_qualified_star(self, numbers_db):
+        result = numbers_db.execute("SELECT t.* FROM t WHERE id = 1")
+        assert result.columns == ["id", "grp", "value"]
+
+    def test_where_filters_and_null_excluded(self, numbers_db):
+        rows = numbers_db.execute("SELECT id FROM t WHERE value > 2").column("id")
+        assert rows == [3, 4, 6]
+
+    def test_order_by_asc_desc_and_nulls(self, numbers_db):
+        values = numbers_db.execute("SELECT value FROM t ORDER BY value DESC").column("value")
+        assert values[0] == 6.0
+        assert values[-1] is None  # NULLs last by default
+        values = numbers_db.execute("SELECT value FROM t ORDER BY value NULLS FIRST").column("value")
+        assert values[0] is None
+
+    def test_order_by_ordinal_and_alias(self, numbers_db):
+        rows = numbers_db.execute("SELECT id AS row_id FROM t ORDER BY 1 DESC LIMIT 2").column("row_id")
+        assert rows == [6, 5]
+        rows = numbers_db.execute("SELECT id AS row_id FROM t ORDER BY row_id LIMIT 2").column("row_id")
+        assert rows == [1, 2]
+
+    def test_limit_offset(self, numbers_db):
+        rows = numbers_db.execute("SELECT id FROM t ORDER BY id LIMIT 2 OFFSET 3").column("id")
+        assert rows == [4, 5]
+
+    def test_distinct(self, numbers_db):
+        groups = numbers_db.execute("SELECT DISTINCT grp FROM t ORDER BY grp").column("grp")
+        assert groups == ["a", "b", "c"]
+
+    def test_case_and_functions_in_projection(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT id, CASE WHEN value >= 3 THEN upper(grp) ELSE grp END AS label "
+            "FROM t WHERE value IS NOT NULL ORDER BY id"
+        )
+        assert rows[0]["label"] == "a"
+        assert rows[-1]["label"] == "C"
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_column_raises(self, numbers_db):
+        with pytest.raises(ExecutionError):
+            numbers_db.execute("SELECT wrong_column FROM t")
+
+
+class TestAggregation:
+    def test_global_aggregates(self, numbers_db):
+        row = numbers_db.query_dicts(
+            "SELECT count(*) AS n, count(value) AS non_null, sum(value) AS total, "
+            "avg(value) AS mean, min(value) AS lo, max(value) AS hi FROM t"
+        )[0]
+        assert row["n"] == 6 and row["non_null"] == 5
+        assert row["total"] == 16.0
+        assert row["mean"] == pytest.approx(3.2)
+        assert (row["lo"], row["hi"]) == (1.0, 6.0)
+
+    def test_group_by_with_having_and_order(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT grp, count(*) AS n, avg(value) AS mean FROM t "
+            "GROUP BY grp HAVING count(*) > 1 ORDER BY grp"
+        )
+        assert [row["grp"] for row in rows] == ["a", "b"]
+        assert rows[1]["n"] == 3
+        assert rows[1]["mean"] == pytest.approx(3.5)  # NULL excluded from avg
+
+    def test_group_by_expression(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT CASE WHEN value > 3 THEN 'big' ELSE 'small' END AS bucket, count(*) AS n "
+            "FROM t WHERE value IS NOT NULL "
+            "GROUP BY CASE WHEN value > 3 THEN 'big' ELSE 'small' END ORDER BY bucket"
+        )
+        assert {row["bucket"]: row["n"] for row in rows} == {"big": 2, "small": 3}
+
+    def test_count_distinct(self, numbers_db):
+        assert numbers_db.query_scalar("SELECT count(DISTINCT grp) FROM t") == 3
+
+    def test_aggregate_of_expression(self, numbers_db):
+        assert numbers_db.query_scalar("SELECT sum(value * value) FROM t") == pytest.approx(66.0)
+
+    def test_empty_group_returns_zero_count(self, numbers_db):
+        assert numbers_db.query_scalar("SELECT count(*) FROM t WHERE id > 100") == 0
+        assert numbers_db.query_scalar("SELECT sum(value) FROM t WHERE id > 100") is None
+
+    def test_aggregates_parallel_match_serial(self):
+        serial_db = Database(num_segments=1)
+        parallel_db = Database(num_segments=8)
+        for database in (serial_db, parallel_db):
+            database.create_table("n", [("v", "double precision")])
+            database.load_rows("n", [(float(i),) for i in range(1, 201)])
+        for query in (
+            "SELECT sum(v) FROM n",
+            "SELECT avg(v) FROM n",
+            "SELECT stddev(v) FROM n",
+            "SELECT count(*) FROM n",
+        ):
+            assert parallel_db.query_scalar(query) == pytest.approx(serial_db.query_scalar(query))
+
+    def test_string_agg_and_array_agg(self, numbers_db):
+        result = numbers_db.query_scalar("SELECT array_agg(grp) FROM t WHERE id <= 2")
+        assert result == ["a", "a"]
+
+
+class TestJoinsAndSubqueries:
+    def test_inner_join(self, numbers_db):
+        numbers_db.create_table("names", [("grp", "text"), ("label", "text")])
+        numbers_db.load_rows("names", [("a", "alpha"), ("b", "beta")])
+        rows = numbers_db.query_dicts(
+            "SELECT t.id, names.label FROM t JOIN names ON t.grp = names.grp ORDER BY t.id"
+        )
+        assert len(rows) == 5  # group c has no match
+        assert rows[0]["label"] == "alpha"
+
+    def test_left_join_produces_nulls(self, numbers_db):
+        numbers_db.create_table("names", [("grp", "text"), ("label", "text")])
+        numbers_db.load_rows("names", [("a", "alpha")])
+        rows = numbers_db.query_dicts(
+            "SELECT t.id, names.label FROM t LEFT JOIN names ON t.grp = names.grp ORDER BY t.id"
+        )
+        assert len(rows) == 6
+        assert rows[-1]["label"] is None
+
+    def test_cross_join_cardinality(self, numbers_db):
+        count = numbers_db.query_scalar(
+            "SELECT count(*) FROM t CROSS JOIN generate_series(1, 3) g(i)"
+        )
+        assert count == 18
+
+    def test_comma_join_with_where(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT a.id AS left_id, b.id AS right_id FROM t a, t b "
+            "WHERE a.id + 1 = b.id AND a.id <= 2 ORDER BY a.id"
+        )
+        assert rows == [{"left_id": 1, "right_id": 2}, {"left_id": 2, "right_id": 3}]
+
+    def test_subquery_in_from(self, numbers_db):
+        value = numbers_db.query_scalar(
+            "SELECT max(s.doubled) FROM (SELECT value * 2 AS doubled FROM t) s"
+        )
+        assert value == 12.0
+
+    def test_generate_series(self, db):
+        values = db.execute("SELECT i FROM generate_series(2, 10, 2) g(i)").column("i")
+        assert values == [2, 4, 6, 8, 10]
+
+    def test_union_and_union_all(self, db):
+        assert len(db.execute("SELECT 1 UNION SELECT 1").rows) == 1
+        assert len(db.execute("SELECT 1 UNION ALL SELECT 1").rows) == 2
+
+
+class TestWindowFunctions:
+    def test_running_sum(self, db):
+        rows = db.query_dicts(
+            "SELECT i, sum(i) OVER (ORDER BY i) AS running FROM generate_series(1, 5) g(i)"
+        )
+        assert [row["running"] for row in rows] == [1, 3, 6, 10, 15]
+
+    def test_partitioned_window(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT id, grp, count(*) OVER (PARTITION BY grp) AS group_size FROM t ORDER BY id"
+        )
+        sizes = {row["id"]: row["group_size"] for row in rows}
+        assert sizes[1] == 2 and sizes[3] == 3 and sizes[6] == 1
+
+    def test_row_number_and_rank(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT id, row_number() OVER (ORDER BY id DESC) AS rn FROM t ORDER BY id"
+        )
+        assert rows[0]["rn"] == 6 and rows[-1]["rn"] == 1
+
+    def test_lag_carries_state_across_rows(self, db):
+        rows = db.query_dicts(
+            "SELECT i, lag(i) OVER (ORDER BY i) AS previous FROM generate_series(1, 4) g(i)"
+        )
+        assert [row["previous"] for row in rows] == [None, 1, 2, 3]
+
+    def test_whole_partition_aggregate_without_order(self, numbers_db):
+        rows = numbers_db.query_dicts(
+            "SELECT id, sum(value) OVER (PARTITION BY grp) AS total FROM t WHERE value IS NOT NULL ORDER BY id"
+        )
+        assert rows[0]["total"] == pytest.approx(3.0)

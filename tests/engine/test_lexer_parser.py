@@ -1,0 +1,238 @@
+"""Unit tests for the SQL lexer and recursive-descent parser."""
+
+import pytest
+
+from repro.engine.expressions import (
+    ArrayLiteral,
+    Between,
+    BinaryOp,
+    CaseExpr,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Parameter,
+    Star,
+    Subscript,
+    UnaryOp,
+    WindowCall,
+)
+from repro.engine.parser import (
+    CreateTableAsStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    Join,
+    SelectStatement,
+    SubquerySource,
+    TableRef,
+    UnionStatement,
+    UpdateStatement,
+    parse_expression,
+    parse_script,
+    parse_statement,
+    tokenize,
+)
+from repro.errors import SQLSyntaxError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT x + 1 FROM t")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["keyword", "name", "operator", "number", "keyword", "name", "eof"]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].kind == "string"
+        assert tokens[1].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('SELECT "Weird Name" FROM t')
+        assert tokens[1].kind == "name"
+        assert tokens[1].value == "Weird Name"
+
+    def test_line_and_block_comments(self):
+        tokens = tokenize("SELECT 1 -- comment\n + /* block */ 2")
+        values = [token.value for token in tokens if token.kind != "eof"]
+        assert values == ["SELECT", "1", "+", "2"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3e-2 .5")
+        assert [token.value for token in tokens[:-1]] == ["1", "2.5", "3e-2", ".5"]
+
+    def test_parameter_token(self):
+        tokens = tokenize("SELECT %(state)s")
+        assert tokens[1].kind == "parameter"
+        assert tokens[1].value == "state"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a >= 1 AND b <> 2 OR c::int || d")
+        operators = [t.value for t in tokens if t.kind == "operator"]
+        assert ">=" in operators and "<>" in operators and "::" in operators and "||" in operators
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @foo")
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert isinstance(expression, BinaryOp) and expression.op == "+"
+        assert isinstance(expression.right, BinaryOp) and expression.right.op == "*"
+
+    def test_boolean_precedence(self):
+        expression = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expression.op == "or"
+        assert expression.right.op == "and"
+
+    def test_unary_and_not(self):
+        expression = parse_expression("NOT -x > 1")
+        assert isinstance(expression, UnaryOp) and expression.op == "not"
+
+    def test_case_expression(self):
+        expression = parse_expression("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expression, CaseExpr)
+        assert len(expression.whens) == 1
+
+    def test_simple_case_with_operand(self):
+        expression = parse_expression("CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END")
+        assert isinstance(expression, CaseExpr)
+        assert len(expression.whens) == 2
+
+    def test_cast_syntaxes(self):
+        assert isinstance(parse_expression("CAST(x AS double precision)"), Cast)
+        assert isinstance(parse_expression("x::integer"), Cast)
+        cast = parse_expression("x::double precision[]")
+        assert cast.type_name == "double precision[]"
+
+    def test_array_literal_and_subscript(self):
+        array = parse_expression("ARRAY[1, 2, 3]")
+        assert isinstance(array, ArrayLiteral) and len(array.items) == 3
+        subscript = parse_expression("x[2]")
+        assert isinstance(subscript, Subscript)
+
+    def test_in_between_isnull_like(self):
+        assert isinstance(parse_expression("x IN (1, 2)"), InList)
+        assert isinstance(parse_expression("x NOT IN (1, 2)"), InList)
+        assert isinstance(parse_expression("x BETWEEN 1 AND 2"), Between)
+        assert isinstance(parse_expression("x IS NULL"), IsNull)
+        assert isinstance(parse_expression("x IS NOT NULL"), IsNull)
+        assert parse_expression("name LIKE 'a%'").op == "like"
+
+    def test_function_call_variants(self):
+        call = parse_expression("count(*)")
+        assert isinstance(call, FunctionCall) and call.star
+        call = parse_expression("count(DISTINCT x)")
+        assert call.distinct
+        call = parse_expression("coalesce(a, b, 0)")
+        assert len(call.args) == 3
+
+    def test_window_call(self):
+        expression = parse_expression("sum(x) OVER (PARTITION BY g ORDER BY t DESC)")
+        assert isinstance(expression, WindowCall)
+        assert len(expression.spec.partition_by) == 1
+        assert expression.spec.order_by[0][1] is False
+
+    def test_qualified_column_and_star(self):
+        expression = parse_expression("t.x")
+        assert isinstance(expression, ColumnRef) and expression.qualifier == "t"
+        star = parse_expression("t.*")
+        assert isinstance(star, Star) and star.qualifier == "t"
+
+    def test_parameter(self):
+        assert isinstance(parse_expression("%(coef)s"), Parameter)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("1 + 2 extra stuff (")
+
+
+class TestStatementParsing:
+    def test_select_clauses(self):
+        statement = parse_statement(
+            "SELECT g, count(*) AS n FROM t WHERE v > 0 GROUP BY g HAVING count(*) > 1 "
+            "ORDER BY n DESC LIMIT 5 OFFSET 2"
+        )
+        assert isinstance(statement, SelectStatement)
+        assert statement.where is not None
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.limit == 5 and statement.offset == 2
+        assert statement.order_by[0].ascending is False
+
+    def test_select_distinct(self):
+        assert parse_statement("SELECT DISTINCT x FROM t").distinct
+
+    def test_join_parsing(self):
+        statement = parse_statement("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id")
+        join = statement.from_items[0]
+        assert isinstance(join, Join) and join.kind == "left"
+        assert isinstance(join.left, Join) and join.left.kind == "inner"
+
+    def test_cross_join_and_comma(self):
+        statement = parse_statement("SELECT * FROM a, b CROSS JOIN c")
+        assert len(statement.from_items) == 2
+
+    def test_subquery_source(self):
+        statement = parse_statement("SELECT s.v FROM (SELECT v FROM t) s")
+        assert isinstance(statement.from_items[0], SubquerySource)
+
+    def test_generate_series_source(self):
+        statement = parse_statement("SELECT i FROM generate_series(1, 10) g(i)")
+        source = statement.from_items[0]
+        assert source.name == "generate_series"
+        assert source.column_names == ["i"]
+
+    def test_union(self):
+        statement = parse_statement("SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3")
+        assert isinstance(statement, UnionStatement)
+        assert len(statement.selects) == 3 and statement.all
+
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE m (id integer, x double precision[], name text) DISTRIBUTED BY (id)"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.columns[1].type_name == "double precision[]"
+        assert statement.distributed_by == "id"
+
+    def test_create_temp_table_as(self):
+        statement = parse_statement("CREATE TEMP TABLE s AS SELECT 1 AS one")
+        assert isinstance(statement, CreateTableAsStatement)
+        assert statement.temporary
+
+    def test_insert_values_and_select(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, InsertStatement)
+        assert len(statement.values_rows) == 2
+        statement = parse_statement("INSERT INTO t SELECT a, b FROM s")
+        assert statement.select is not None
+
+    def test_update_delete_drop(self):
+        update = parse_statement("UPDATE t SET a = a + 1, b = 2 WHERE id = 3")
+        assert isinstance(update, UpdateStatement) and len(update.assignments) == 2
+        delete = parse_statement("DELETE FROM t WHERE id = 1")
+        assert isinstance(delete, DeleteStatement)
+        drop = parse_statement("DROP TABLE IF EXISTS t, s")
+        assert isinstance(drop, DropTableStatement) and drop.if_exists and len(drop.names) == 2
+
+    def test_script_parsing(self):
+        statements = parse_script("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(statements) == 3
+
+    def test_unsupported_statement_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("VACUUM t")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1 SELECT 2")

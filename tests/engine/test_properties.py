@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for engine invariants.
+
+The invariants checked here are the ones the paper's execution model depends
+on: the merge path of a user-defined aggregate must give the same answer as a
+single-stream fold regardless of how rows are partitioned across segments, the
+SQL expression evaluator must agree with Python arithmetic, and table storage
+must never lose or duplicate rows under redistribution.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.engine.aggregates import AggregateRunner, builtin_aggregates
+from repro.engine.table import Table
+from repro.engine.schema import Schema
+
+
+def builtin(name):
+    for definition in builtin_aggregates():
+        if definition.name == name:
+            return definition
+    raise AssertionError(name)
+
+
+finite_doubles = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestAggregateMergeProperties:
+    @given(
+        values=st.lists(finite_doubles, min_size=0, max_size=60),
+        num_segments=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_partition_invariance(self, values, num_segments):
+        rows = [(v,) for v in values]
+        segments = [rows[i::num_segments] for i in range(num_segments)]
+        runner = AggregateRunner(builtin("sum"))
+        serial = runner.run(rows)
+        parallel = runner.run_segmented(segments)
+        if serial is None:
+            assert parallel is None
+        else:
+            assert parallel == pytest.approx(serial, rel=1e-9, abs=1e-9)
+
+    @given(
+        values=st.lists(finite_doubles, min_size=2, max_size=60),
+        num_segments=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_variance_partition_invariance(self, values, num_segments):
+        rows = [(v,) for v in values]
+        segments = [rows[i::num_segments] for i in range(num_segments)]
+        runner = AggregateRunner(builtin("var_samp"))
+        serial = runner.run(rows)
+        parallel = runner.run_segmented(segments)
+        assert parallel == pytest.approx(serial, rel=1e-6, abs=1e-6)
+        assert serial == pytest.approx(float(np.var(values, ddof=1)), rel=1e-6, abs=1e-6)
+
+    @given(values=st.lists(finite_doubles, min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_min_max_agree_with_python(self, values):
+        rows = [(v,) for v in values]
+        assert AggregateRunner(builtin("min")).run(rows) == min(values)
+        assert AggregateRunner(builtin("max")).run(rows) == max(values)
+
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100), min_size=0, max_size=50),
+        num_segments=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_count_partition_invariance(self, values, num_segments):
+        rows = [(v,) for v in values]
+        segments = [rows[i::num_segments] for i in range(num_segments)]
+        runner = AggregateRunner(builtin("count"))
+        assert runner.run_segmented(segments) == len(values)
+
+
+class TestExpressionProperties:
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=60, deadline=None)
+    def test_arithmetic_matches_python(self, a, b):
+        db = Database()
+        result = db.query_scalar("SELECT %(a)s + %(b)s * 2 - %(a)s / 4", {"a": a, "b": b})
+        assert result == pytest.approx(a + b * 2 - a / 4, rel=1e-12, abs=1e-9)
+
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=60, deadline=None)
+    def test_comparison_matches_python(self, a, b):
+        db = Database()
+        assert db.query_scalar("SELECT %(a)s < %(b)s", {"a": a, "b": b}) == (a < b)
+
+    @given(values=st.lists(finite_doubles, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_array_subscript_round_trip(self, values):
+        db = Database()
+        for index in (1, len(values)):
+            result = db.query_scalar(
+                "SELECT (%(arr)s)[%(i)s]", {"arr": np.asarray(values), "i": index}
+            )
+            assert result == pytest.approx(values[index - 1])
+
+
+class TestTableProperties:
+    @given(
+        num_rows=st.integers(min_value=0, max_value=120),
+        initial_segments=st.integers(min_value=1, max_value=8),
+        new_segments=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_redistribution_preserves_multiset(self, num_rows, initial_segments, new_segments):
+        schema = Schema.from_pairs([("id", "integer"), ("v", "double precision")])
+        table = Table("t", schema, num_segments=initial_segments)
+        table.insert_many([(i, float(i) * 0.5) for i in range(num_rows)])
+        table.redistribute(new_segments)
+        assert len(table) == num_rows
+        assert sorted(row[0] for row in table.rows()) == list(range(num_rows))
+        assert sum(table.segment_sizes()) == num_rows
+
+    @given(num_rows=st.integers(min_value=1, max_value=100), num_segments=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_sql_count_matches_rows_loaded(self, num_rows, num_segments):
+        db = Database(num_segments=num_segments)
+        db.create_table("t", [("v", "integer")])
+        db.load_rows("t", [(i,) for i in range(num_rows)])
+        assert db.query_scalar("SELECT count(*) FROM t") == num_rows
+
+
+class TestGroupByProperties:
+    @given(
+        values=st.lists(st.tuples(st.integers(min_value=0, max_value=4), finite_doubles),
+                        min_size=1, max_size=80),
+        num_segments=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_sums_match_python(self, values, num_segments):
+        db = Database(num_segments=num_segments)
+        db.create_table("t", [("g", "integer"), ("v", "double precision")])
+        db.load_rows("t", values)
+        rows = db.query_dicts("SELECT g, sum(v) AS total FROM t GROUP BY g")
+        expected = {}
+        for g, v in values:
+            expected[g] = expected.get(g, 0.0) + v
+        assert len(rows) == len(expected)
+        for row in rows:
+            assert row["total"] == pytest.approx(expected[row["g"]], rel=1e-9, abs=1e-9)

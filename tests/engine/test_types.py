@@ -1,0 +1,136 @@
+"""Unit tests for the SQL type system."""
+
+import numpy as np
+import pytest
+
+from repro.engine import types as t
+from repro.errors import TypeMismatchError
+
+
+class TestTypeFromName:
+    def test_basic_spellings(self):
+        assert t.type_from_name("integer") is t.INTEGER
+        assert t.type_from_name("DOUBLE PRECISION") is t.DOUBLE
+        assert t.type_from_name("text") is t.TEXT
+        assert t.type_from_name("boolean") is t.BOOLEAN
+
+    def test_aliases(self):
+        assert t.type_from_name("int4") is t.INTEGER
+        assert t.type_from_name("float8") is t.DOUBLE
+        assert t.type_from_name("varchar") is t.TEXT
+
+    def test_array_types(self):
+        assert t.type_from_name("double precision[]") is t.DOUBLE_ARRAY
+        assert t.type_from_name("integer[]") is t.INTEGER_ARRAY
+        assert t.type_from_name("text[]") is t.TEXT_ARRAY
+
+    def test_whitespace_normalization(self):
+        assert t.type_from_name("  double    precision ") is t.DOUBLE
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.type_from_name("geography")
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert t.is_null(None)
+
+    def test_nan_is_null(self):
+        assert t.is_null(float("nan"))
+
+    def test_zero_is_not_null(self):
+        assert not t.is_null(0)
+        assert not t.is_null(0.0)
+        assert not t.is_null("")
+
+
+class TestInferType:
+    def test_scalars(self):
+        assert t.infer_type(True) is t.BOOLEAN
+        assert t.infer_type(3) is t.BIGINT
+        assert t.infer_type(3.5) is t.DOUBLE
+        assert t.infer_type("x") is t.TEXT
+
+    def test_arrays(self):
+        assert t.infer_type(np.zeros(3)) is t.DOUBLE_ARRAY
+        assert t.infer_type(np.zeros(3, dtype=np.int64)) is t.INTEGER_ARRAY
+        assert t.infer_type(["a", "b"]) is t.TEXT_ARRAY
+        assert t.infer_type([1, 2, 3]) is t.INTEGER_ARRAY
+        assert t.infer_type([1.5, 2.0]) is t.DOUBLE_ARRAY
+
+    def test_none_is_any(self):
+        assert t.infer_type(None) is t.ANY
+
+
+class TestCoerceValue:
+    def test_null_passes_through(self):
+        assert t.coerce_value(None, t.INTEGER) is None
+
+    def test_integer_coercions(self):
+        assert t.coerce_value("42", t.INTEGER) == 42
+        assert t.coerce_value(3.0, t.BIGINT) == 3
+        assert t.coerce_value(True, t.INTEGER) == 1
+
+    def test_non_integral_float_to_integer_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.coerce_value(3.5, t.INTEGER)
+
+    def test_double_coercions(self):
+        assert t.coerce_value("3.5", t.DOUBLE) == 3.5
+        assert t.coerce_value(2, t.DOUBLE) == 2.0
+
+    def test_boolean_coercions(self):
+        assert t.coerce_value("true", t.BOOLEAN) is True
+        assert t.coerce_value("f", t.BOOLEAN) is False
+        assert t.coerce_value(0, t.BOOLEAN) is False
+        with pytest.raises(TypeMismatchError):
+            t.coerce_value("maybe", t.BOOLEAN)
+
+    def test_text_coercions(self):
+        assert t.coerce_value(12, t.TEXT) == "12"
+        assert t.coerce_value(True, t.TEXT) == "true"
+
+    def test_double_array_coercion(self):
+        result = t.coerce_value([1, 2, 3], t.DOUBLE_ARRAY)
+        assert isinstance(result, np.ndarray)
+        assert result.dtype == np.float64
+        np.testing.assert_array_equal(result, [1.0, 2.0, 3.0])
+
+    def test_text_array_coercion(self):
+        assert t.coerce_value(["a", 1], t.TEXT_ARRAY) == ["a", "1"]
+
+    def test_bad_array_raises(self):
+        with pytest.raises(TypeMismatchError):
+            t.coerce_value(["a", "b"], t.DOUBLE_ARRAY)
+
+    def test_any_passes_through(self):
+        marker = object()
+        assert t.coerce_value(marker, t.ANY) is marker
+
+
+class TestHelpers:
+    def test_common_numeric_type(self):
+        assert t.common_numeric_type(t.INTEGER, t.DOUBLE) is t.DOUBLE
+        assert t.common_numeric_type(t.INTEGER, t.BIGINT) is t.BIGINT
+        assert t.common_numeric_type(t.INTEGER, t.INTEGER) is t.INTEGER
+
+    def test_values_equal_arrays(self):
+        assert t.values_equal(np.array([1.0, 2.0]), [1.0, 2.0])
+        assert not t.values_equal(np.array([1.0, 2.0]), [1.0, 3.0])
+
+    def test_hashable_key_round_trip(self):
+        key1 = t.hashable_key(np.array([1.0, 2.0]))
+        key2 = t.hashable_key(np.array([1.0, 2.0]))
+        assert key1 == key2
+        assert hash(key1) == hash(key2)
+
+    def test_format_value(self):
+        assert t.format_value(None) == ""
+        assert t.format_value(True) == "t"
+        assert t.format_value(np.array([1.0, 2.0])) == "{1,2}"
+
+    def test_numeric_flag(self):
+        assert t.DOUBLE.is_numeric
+        assert not t.TEXT.is_numeric
+        assert not t.DOUBLE_ARRAY.is_numeric

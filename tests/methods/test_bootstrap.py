@@ -1,0 +1,77 @@
+"""Tests for m-of-n bootstrap via the counted-iteration (virtual table) pattern."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import ValidationError
+from repro.methods import bootstrap
+
+
+@pytest.fixture
+def values_db():
+    db = Database(num_segments=2)
+    rng = np.random.default_rng(71)
+    values = rng.normal(loc=50.0, scale=5.0, size=500)
+    db.create_table("v", [("x", "double precision")])
+    db.load_rows("v", [(float(v),) for v in values])
+    db.bootstrap_values = values  # type: ignore[attr-defined]
+    return db
+
+
+class TestBootstrap:
+    def test_mean_interval_covers_true_mean(self, values_db):
+        result = bootstrap.bootstrap(
+            values_db, "v", "x", statistic="avg", num_replicates=60, seed=1
+        )
+        true_mean = float(values_db.bootstrap_values.mean())
+        assert result.lower <= true_mean <= result.upper
+        assert result.lower < result.point_estimate < result.upper
+        assert result.num_replicates == 60
+        assert result.standard_error > 0
+
+    def test_interval_width_shrinks_with_sample_fraction(self, values_db):
+        small = bootstrap.bootstrap(
+            values_db, "v", "x", num_replicates=40, sample_fraction=0.2, seed=2
+        )
+        large = bootstrap.bootstrap(
+            values_db, "v", "x", num_replicates=40, sample_fraction=1.0, seed=2
+        )
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_sum_and_count_statistics(self, values_db):
+        total = bootstrap.bootstrap(values_db, "v", "x", statistic="sum", num_replicates=30, seed=3)
+        true_sum = float(values_db.bootstrap_values.sum())
+        assert abs(total.point_estimate - true_sum) / true_sum < 0.2
+        count = bootstrap.bootstrap(values_db, "v", "x", statistic="count", num_replicates=30, seed=4)
+        assert abs(count.point_estimate - 500) < 100
+
+    def test_order_statistics_via_resampling(self, values_db):
+        result = bootstrap.bootstrap(values_db, "v", "x", statistic="stddev", num_replicates=30, seed=5)
+        true_std = float(values_db.bootstrap_values.std(ddof=1))
+        assert abs(result.point_estimate - true_std) < 1.0
+        extreme = bootstrap.bootstrap(values_db, "v", "x", statistic="max", num_replicates=20, seed=6)
+        assert extreme.point_estimate <= float(values_db.bootstrap_values.max()) + 1e-9
+
+    def test_higher_confidence_widens_interval(self, values_db):
+        narrow = bootstrap.bootstrap(values_db, "v", "x", num_replicates=50, confidence=0.5, seed=7)
+        wide = bootstrap.bootstrap(values_db, "v", "x", num_replicates=50, confidence=0.99, seed=7)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_invalid_arguments(self, values_db):
+        with pytest.raises(ValidationError):
+            bootstrap.bootstrap(values_db, "v", "x", statistic="median")
+        with pytest.raises(ValidationError):
+            bootstrap.bootstrap(values_db, "v", "x", num_replicates=0)
+        with pytest.raises(ValidationError):
+            bootstrap.bootstrap(values_db, "v", "x", sample_fraction=0.0)
+        with pytest.raises(ValidationError):
+            bootstrap.bootstrap(values_db, "v", "x", confidence=1.5)
+        with pytest.raises(ValidationError):
+            bootstrap.bootstrap(values_db, "missing", "x")
+
+    def test_empty_column_rejected(self):
+        db = Database()
+        db.create_table("v", [("x", "double precision")])
+        with pytest.raises(ValidationError):
+            bootstrap.bootstrap(db, "v", "x")

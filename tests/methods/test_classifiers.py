@@ -1,0 +1,171 @@
+"""Tests for naive Bayes, decision trees (C4.5) and SVM."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datasets import load_logistic_table, make_logistic
+from repro.errors import ValidationError
+from repro.methods import decision_tree, naive_bayes, svm
+from repro.methods.decision_tree import FeatureSpec
+
+
+class TestGaussianNaiveBayes:
+    def test_training_and_prediction(self, logistic_db):
+        data = logistic_db.logistic_data
+        model = naive_bayes.train_gaussian(logistic_db, "logi", "y", "x")
+        assert len(model.classes) == 2
+        np.testing.assert_allclose(model.priors.sum(), 1.0)
+        predictions = model.predict(data.features)
+        accuracy = float(np.mean([p == float(l) for p, l in zip(predictions, data.labels)]))
+        assert accuracy > 0.65
+
+    def test_separable_classes_are_learned_exactly(self, db):
+        rng = np.random.default_rng(0)
+        class0 = rng.normal(loc=-5.0, size=(50, 2))
+        class1 = rng.normal(loc=+5.0, size=(50, 2))
+        db.create_table("sep", [("y", "integer"), ("x", "double precision[]")])
+        db.load_rows("sep", [(0, row) for row in class0] + [(1, row) for row in class1])
+        model = naive_bayes.train_gaussian(db, "sep", "y", "x")
+        assert model.predict_one([-5.0, -5.0]) == 0
+        assert model.predict_one([5.0, 5.0]) == 1
+
+    def test_empty_table_raises(self, db):
+        db.create_table("e", [("y", "integer"), ("x", "double precision[]")])
+        with pytest.raises(ValidationError):
+            naive_bayes.train_gaussian(db, "e", "y", "x")
+
+
+class TestCategoricalNaiveBayes:
+    @pytest.fixture
+    def weather_db(self, db):
+        db.create_table(
+            "weather",
+            [("outlook", "text"), ("windy", "text"), ("play", "text")],
+        )
+        rows = [
+            ("sunny", "false", "no"), ("sunny", "true", "no"), ("overcast", "false", "yes"),
+            ("rainy", "false", "yes"), ("rainy", "false", "yes"), ("rainy", "true", "no"),
+            ("overcast", "true", "yes"), ("sunny", "false", "no"), ("sunny", "false", "yes"),
+            ("rainy", "false", "yes"), ("sunny", "true", "yes"), ("overcast", "true", "yes"),
+            ("overcast", "false", "yes"), ("rainy", "true", "no"),
+        ]
+        db.load_rows("weather", rows)
+        return db
+
+    def test_weather_dataset(self, weather_db):
+        model = naive_bayes.train_categorical(
+            weather_db, "weather", "play", ["outlook", "windy"]
+        )
+        assert set(model.classes) == {"yes", "no"}
+        assert model.predict_one({"outlook": "overcast", "windy": "false"}) == "yes"
+        assert sum(model.priors.values()) == pytest.approx(1.0)
+
+    def test_unseen_value_uses_smoothing(self, weather_db):
+        model = naive_bayes.train_categorical(weather_db, "weather", "play", ["outlook", "windy"])
+        # Unknown outlook value must not crash and still return a class.
+        assert model.predict_one({"outlook": "snowy", "windy": "true"}) in {"yes", "no"}
+
+    def test_negative_smoothing_rejected(self, weather_db):
+        with pytest.raises(ValidationError):
+            naive_bayes.train_categorical(weather_db, "weather", "play", ["outlook"], smoothing=-1)
+
+
+class TestDecisionTree:
+    @pytest.fixture
+    def tree_db(self, db):
+        rng = np.random.default_rng(1)
+        db.create_table(
+            "shapes", [("size", "double precision"), ("color", "text"), ("label", "text")]
+        )
+        rows = []
+        for _ in range(150):
+            size = float(rng.uniform(0, 10))
+            color = str(rng.choice(["red", "blue"]))
+            label = "big" if size > 5 else ("red_small" if color == "red" else "blue_small")
+            rows.append((size, color, label))
+        db.load_rows("shapes", rows)
+        return db
+
+    def test_learns_axis_aligned_and_categorical_splits(self, tree_db):
+        model = decision_tree.train(
+            tree_db, "shapes", "label",
+            [FeatureSpec("size"), FeatureSpec("color", categorical=True)],
+            max_depth=4,
+        )
+        rows = tree_db.query_dicts("SELECT size, color, label FROM shapes")
+        predictions = model.predict(rows)
+        accuracy = float(np.mean([p == row["label"] for p, row in zip(predictions, rows)]))
+        assert accuracy > 0.95
+        assert model.num_nodes() > 1
+        assert model.depth() >= 1
+
+    def test_pure_node_becomes_leaf(self, db):
+        db.create_table("pure", [("x", "double precision"), ("label", "text")])
+        db.load_rows("pure", [(float(i), "only") for i in range(20)])
+        model = decision_tree.train(db, "pure", "label", ["x"])
+        assert model.root.is_leaf
+        assert model.predict_one({"x": 3.0}) == "only"
+
+    def test_max_depth_limits_tree(self, tree_db):
+        model = decision_tree.train(
+            tree_db, "shapes", "label",
+            [FeatureSpec("size"), FeatureSpec("color", categorical=True)],
+            max_depth=1,
+        )
+        assert model.depth() <= 1
+
+    def test_pruning_does_not_grow_the_tree(self, tree_db):
+        features = [FeatureSpec("size"), FeatureSpec("color", categorical=True)]
+        unpruned = decision_tree.train(tree_db, "shapes", "label", features, max_depth=6)
+        pruned = decision_tree.train(tree_db, "shapes", "label", features, max_depth=6, prune=True)
+        assert pruned.num_nodes() <= unpruned.num_nodes()
+
+    def test_invalid_arguments(self, tree_db):
+        with pytest.raises(ValidationError):
+            decision_tree.train(tree_db, "shapes", "label", ["size"], max_depth=0)
+        with pytest.raises(ValidationError):
+            decision_tree.train(tree_db, "shapes", "missing_column", ["size"])
+
+
+class TestSVM:
+    def test_classifier_separates_linearly_separable_data(self, db4):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(300, 2))
+        y = np.where(x[:, 0] + x[:, 1] > 0, 1.0, -1.0)
+        db4.create_table("sep", [("id", "integer"), ("x", "double precision[]"), ("y", "double precision")])
+        db4.load_rows("sep", [(i, x[i], float(y[i])) for i in range(300)])
+        model = svm.train_classifier(db4, "sep", max_iterations=25)
+        accuracy = float(np.mean(model.predict(x) == y))
+        assert accuracy > 0.9
+        assert model.task == "classification"
+
+    def test_loss_history_trends_down(self, db4):
+        data = make_logistic(300, 3, seed=3, labels_plus_minus=True)
+        load_logistic_table(db4, "svmdata", data)
+        model = svm.train_classifier(db4, "svmdata", max_iterations=20)
+        assert model.loss_history[-1] <= model.loss_history[0]
+
+    def test_regressor_fits_linear_function(self, db4):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(300, 2))
+        y = x @ np.array([1.0, -2.0])
+        db4.create_table("reg", [("id", "integer"), ("x", "double precision[]"), ("y", "double precision")])
+        db4.load_rows("reg", [(i, x[i], float(y[i])) for i in range(300)])
+        model = svm.train_regressor(db4, "reg", max_iterations=40, epsilon=0.05)
+        predictions = model.predict(x)
+        assert float(np.mean(np.abs(predictions - y))) < 0.8
+
+    def test_predict_in_database(self, db4):
+        data = make_logistic(100, 2, seed=5, labels_plus_minus=True)
+        load_logistic_table(db4, "svmp", data)
+        model = svm.train_classifier(db4, "svmp", max_iterations=10)
+        rows = svm.predict(db4, model, "svmp")
+        assert len(rows) == 100
+        assert set(rows[0]) == {"id", "score", "prediction"}
+
+    def test_invalid_epsilon_rejected(self, db4):
+        data = make_logistic(50, 2, seed=6)
+        load_logistic_table(db4, "bad_eps", data)
+        with pytest.raises(ValidationError):
+            svm.train_regressor(db4, "bad_eps", epsilon=-1.0)

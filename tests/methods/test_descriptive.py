@@ -1,0 +1,196 @@
+"""Tests for sketches (Count-Min, FM), quantiles and the profile module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.errors import ValidationError
+from repro.methods import profile, quantiles
+from repro.methods.sketches import CountMinSketch, FMSketch, count_distinct, install_countmin, install_fm, sketch_column
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch.empty(eps=0.01, delta=0.01)
+        values = [1] * 100 + [2] * 50 + [3] * 10
+        for value in values:
+            sketch.add(value)
+        assert sketch.estimate(1) >= 100
+        assert sketch.estimate(2) >= 50
+        assert sketch.estimate(3) >= 10
+        assert sketch.total == 160
+
+    def test_error_bound_holds_for_skewed_stream(self):
+        sketch = CountMinSketch.empty(eps=0.01, delta=0.01)
+        rng = np.random.default_rng(0)
+        stream = rng.zipf(1.5, size=5000) % 500
+        true_counts = {}
+        for value in stream:
+            sketch.add(int(value))
+            true_counts[int(value)] = true_counts.get(int(value), 0) + 1
+        bound = sketch.error_bound()
+        for value, count in true_counts.items():
+            assert count <= sketch.estimate(value) <= count + bound + 1
+
+    def test_merge_equals_union_stream(self):
+        a = CountMinSketch.empty(eps=0.05, delta=0.05)
+        b = CountMinSketch.empty(eps=0.05, delta=0.05)
+        for i in range(50):
+            a.add(i % 7)
+            b.add(i % 5)
+        merged = a.merge(b)
+        combined = CountMinSketch.empty(eps=0.05, delta=0.05)
+        for i in range(50):
+            combined.add(i % 7)
+            combined.add(i % 5)
+        np.testing.assert_array_equal(merged.counters, combined.counters)
+
+    def test_shape_mismatch_merge_rejected(self):
+        with pytest.raises(ValidationError):
+            CountMinSketch.empty(eps=0.1, delta=0.1).merge(CountMinSketch.empty(eps=0.01, delta=0.1))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            CountMinSketch.empty(eps=0.0, delta=0.5)
+
+    def test_sql_aggregate(self, numbers_db):
+        sketch = sketch_column(numbers_db, "t", "grp", eps=0.05, delta=0.05)
+        assert sketch.estimate("b") >= 3
+        assert sketch.estimate("a") >= 2
+
+    def test_sql_aggregate_parallel_matches_serial(self):
+        values = [(i % 13,) for i in range(600)]
+        estimates = []
+        for segments in (1, 6):
+            db = Database(num_segments=segments)
+            db.create_table("v", [("x", "integer")])
+            db.load_rows("v", values)
+            install_countmin(db, eps=0.02, delta=0.02)
+            sketch = db.query_scalar("SELECT cmsketch(x) FROM v")
+            estimates.append([sketch.estimate(value) for value in range(13)])
+        assert estimates[0] == estimates[1]
+
+
+class TestFMSketch:
+    def test_estimate_within_expected_error(self):
+        sketch = FMSketch.empty(num_maps=64)
+        for i in range(3000):
+            sketch.add(f"value-{i % 1000}")
+        estimate = sketch.estimate()
+        assert 600 <= estimate <= 1600  # FM typical error is ~10-30% at 64 maps
+
+    def test_merge_is_union(self):
+        a = FMSketch.empty(32)
+        b = FMSketch.empty(32)
+        for i in range(100):
+            a.add(i)
+        for i in range(50, 150):
+            b.add(i)
+        merged = a.merge(b)
+        assert merged.estimate() >= max(a.estimate(), b.estimate()) * 0.9
+
+    def test_distinct_count_in_sql(self, db4):
+        db4.create_table("v", [("x", "integer")])
+        db4.load_rows("v", [(i % 200,) for i in range(2000)])
+        estimate = count_distinct(db4, "v", "x")
+        assert 120 <= estimate <= 320
+
+    def test_mismatched_merge_rejected(self):
+        with pytest.raises(ValidationError):
+            FMSketch.empty(16).merge(FMSketch.empty(32))
+
+
+class TestQuantiles:
+    @pytest.fixture
+    def values_db(self, db4):
+        rng = np.random.default_rng(1)
+        values = rng.normal(loc=10.0, scale=2.0, size=3000)
+        db4.create_table("v", [("x", "double precision")])
+        db4.load_rows("v", [(float(v),) for v in values])
+        db4.quantile_values = values  # type: ignore[attr-defined]
+        return db4
+
+    def test_exact_quantile_matches_numpy(self, values_db):
+        values = values_db.quantile_values
+        for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+            expected = float(np.quantile(values, fraction))
+            assert quantiles.exact_quantile(values_db, "v", "x", fraction) == pytest.approx(expected, rel=1e-9)
+
+    def test_exact_quantiles_batch(self, values_db):
+        values = values_db.quantile_values
+        result = quantiles.exact_quantiles(values_db, "v", "x", [0.1, 0.5, 0.9])
+        np.testing.assert_allclose(result, np.quantile(values, [0.1, 0.5, 0.9]), rtol=1e-9)
+
+    def test_approximate_quantiles_close_to_exact(self, values_db):
+        values = values_db.quantile_values
+        approx = quantiles.approximate_quantiles(values_db, "v", "x", [0.25, 0.5, 0.75])
+        exact = np.quantile(values, [0.25, 0.5, 0.75])
+        np.testing.assert_allclose(approx, exact, atol=0.3)
+
+    def test_nulls_are_ignored(self, db):
+        db.create_table("v", [("x", "double precision")])
+        db.load_rows("v", [(1.0,), (None,), (3.0,)])
+        assert quantiles.exact_quantile(db, "v", "x", 0.5) == 2.0
+
+    def test_invalid_fraction_rejected(self, values_db):
+        with pytest.raises(ValidationError):
+            quantiles.exact_quantile(values_db, "v", "x", 1.5)
+
+    def test_empty_column_rejected(self, db):
+        db.create_table("v", [("x", "double precision")])
+        with pytest.raises(ValidationError):
+            quantiles.exact_quantile(db, "v", "x", 0.5)
+
+    @given(fractions=st.lists(st.floats(0, 1), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_quantiles_are_monotone(self, fractions):
+        db = Database()
+        rng = np.random.default_rng(7)
+        db.create_table("v", [("x", "double precision")])
+        db.load_rows("v", [(float(v),) for v in rng.normal(size=300)])
+        ordered = sorted(fractions)
+        results = quantiles.exact_quantiles(db, "v", "x", ordered)
+        assert all(a <= b + 1e-12 for a, b in zip(results, results[1:]))
+
+
+class TestProfile:
+    def test_profiles_every_column(self, numbers_db):
+        result = profile.profile(numbers_db, "t", approximate_distinct=False)
+        assert result.row_count == 6
+        assert {c.name for c in result.columns} == {"id", "grp", "value"}
+        value_profile = result.column("value")
+        assert value_profile.non_null_count == 5
+        assert value_profile.null_fraction == pytest.approx(1 / 6)
+        assert value_profile.min_value == 1.0 and value_profile.max_value == 6.0
+        assert value_profile.mean == pytest.approx(3.2)
+        grp_profile = result.column("grp")
+        assert grp_profile.distinct_count == 3
+        assert grp_profile.min_length == 1
+
+    def test_approximate_distinct_uses_sketch(self, regression_db):
+        result = profile.profile(regression_db, "regr", approximate_distinct=True)
+        id_profile = result.column("id")
+        assert 200 <= id_profile.distinct_count <= 700  # 400 true distinct values
+
+    def test_array_columns_are_skipped(self, regression_db):
+        result = profile.profile(regression_db, "regr")
+        x_profile = result.column("x")
+        assert np.isnan(x_profile.distinct_count)
+        assert x_profile.mean is None
+
+    def test_as_rows_output(self, numbers_db):
+        rows = profile.profile(numbers_db, "t", approximate_distinct=False).as_rows()
+        assert len(rows) == 3
+        assert {"column", "type", "non_null", "distinct"} <= set(rows[0])
+
+    def test_empty_table(self, db):
+        db.create_table("e", [("v", "double precision")])
+        result = profile.profile(db, "e")
+        assert result.row_count == 0
+        assert result.column("v").non_null_count == 0
+
+    def test_missing_column_lookup_raises(self, numbers_db):
+        result = profile.profile(numbers_db, "t", approximate_distinct=False)
+        with pytest.raises(ValidationError):
+            result.column("missing")

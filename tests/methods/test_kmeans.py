@@ -1,0 +1,94 @@
+"""Tests for k-means clustering: both assignment strategies, seeding, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.methods import kmeans
+
+
+def match_centroids(found, true):
+    """Greedy matching distance between found and true centroids."""
+    found = list(found)
+    total = 0.0
+    for target in true:
+        distances = [float(np.linalg.norm(candidate - target)) for candidate in found]
+        index = int(np.argmin(distances))
+        total += distances[index]
+        found.pop(index)
+    return total / len(true)
+
+
+class TestTraining:
+    def test_recovers_blob_centroids(self, points_db):
+        result = kmeans.train(points_db, "pts", k=3, seed=1)
+        assert result.centroids.shape == (3, 2)
+        assert match_centroids(result.centroids, points_db.blob_centroids) < 0.5
+        assert result.converged
+
+    def test_objective_is_non_increasing(self, points_db):
+        result = kmeans.train(points_db, "pts", k=3, seed=2)
+        history = result.objective_history
+        assert all(later <= earlier + 1e-6 for earlier, later in zip(history, history[1:]))
+
+    def test_explicit_and_implicit_strategies_agree(self, points_db):
+        implicit = kmeans.train(points_db, "pts", k=3, seed=3, assignment_strategy="implicit")
+        explicit = kmeans.train(points_db, "pts", k=3, seed=3, assignment_strategy="explicit")
+        assert implicit.objective == pytest.approx(explicit.objective, rel=0.05)
+        assert explicit.assignment_strategy == "explicit"
+
+    def test_explicit_strategy_stores_assignments(self, points_db):
+        kmeans.train(points_db, "pts", k=3, seed=4, assignment_strategy="explicit")
+        unassigned = points_db.query_scalar(
+            "SELECT count(*) FROM pts WHERE centroid_id IS NULL"
+        )
+        assert unassigned == 0
+        distinct = points_db.query_scalar("SELECT count(DISTINCT centroid_id) FROM pts")
+        assert distinct == 3
+
+    def test_random_seeding(self, points_db):
+        result = kmeans.train(points_db, "pts", k=3, seeding="random", seed=5)
+        assert result.centroids.shape == (3, 2)
+
+    def test_assign_labels_every_row(self, points_db):
+        result = kmeans.train(points_db, "pts", k=3, seed=6)
+        assignments = kmeans.assign(points_db, result, "pts")
+        assert len(assignments) == 300
+        assert {row["cluster_id"] for row in assignments} <= {0, 1, 2}
+
+    def test_assignments_match_generating_labels(self, points_db):
+        result = kmeans.train(points_db, "pts", k=3, seed=7)
+        assignments = kmeans.assign(points_db, result, "pts")
+        found = np.asarray([row["cluster_id"] for row in assignments])
+        true = points_db.blob_labels
+        # Cluster ids are arbitrary; check that each found cluster is (almost) pure.
+        for cluster in range(3):
+            members = true[found == cluster]
+            if len(members) == 0:
+                continue
+            majority = np.bincount(members).max() / len(members)
+            assert majority > 0.9
+
+    def test_k_equals_one(self, points_db):
+        result = kmeans.train(points_db, "pts", k=1, seed=8)
+        np.testing.assert_allclose(
+            result.centroids[0], points_db.blob_points.mean(axis=0), atol=1e-6
+        )
+
+
+class TestValidation:
+    def test_invalid_k(self, points_db):
+        with pytest.raises(ValidationError):
+            kmeans.train(points_db, "pts", k=0)
+        with pytest.raises(ValidationError):
+            kmeans.train(points_db, "pts", k=1000)
+
+    def test_invalid_strategy_and_seeding(self, points_db):
+        with pytest.raises(ValidationError):
+            kmeans.train(points_db, "pts", k=2, assignment_strategy="magic")
+        with pytest.raises(ValidationError):
+            kmeans.train(points_db, "pts", k=2, seeding="magic")
+
+    def test_missing_table(self, db):
+        with pytest.raises(ValidationError):
+            kmeans.train(db, "nope", k=2)

@@ -1,0 +1,158 @@
+"""Tests for SVD factorization, LDA and association rules."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.datasets import make_baskets, make_documents, make_low_rank_matrix, make_ratings, load_baskets_table
+from repro.errors import ValidationError
+from repro.methods import association_rules, lda, svd
+from repro.support import BlockedMatrix
+
+
+class TestTruncatedSVD:
+    def test_recovers_low_rank_structure(self):
+        matrix = make_low_rank_matrix(40, 25, 3, noise=0.0, seed=0)
+        result = svd.truncated_svd(matrix, rank=3, seed=1)
+        assert result.relative_error(matrix) < 1e-6
+        assert result.singular_values.shape == (3,)
+        assert np.all(np.diff(result.singular_values) <= 1e-8)  # non-increasing
+
+    def test_singular_values_match_numpy(self):
+        matrix = make_low_rank_matrix(30, 20, 5, noise=0.01, seed=2)
+        result = svd.truncated_svd(matrix, rank=4, seed=3)
+        expected = np.linalg.svd(matrix, compute_uv=False)[:4]
+        np.testing.assert_allclose(result.singular_values, expected, rtol=1e-3)
+
+    def test_orthonormal_factors(self):
+        matrix = make_low_rank_matrix(25, 15, 4, noise=0.0, seed=4)
+        result = svd.truncated_svd(matrix, rank=4, seed=5)
+        # Power iteration with deflation: orthogonality holds to the iteration tolerance.
+        np.testing.assert_allclose(result.u.T @ result.u, np.eye(4), atol=1e-3)
+        np.testing.assert_allclose(result.v.T @ result.v, np.eye(4), atol=1e-3)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValidationError):
+            svd.truncated_svd(np.ones((5, 5)), rank=0)
+        with pytest.raises(ValidationError):
+            svd.truncated_svd(np.ones((5, 5)), rank=6)
+
+    def test_table_backed_svd(self):
+        db = Database(num_segments=2)
+        matrix = make_low_rank_matrix(20, 12, 2, noise=0.0, seed=6)
+        BlockedMatrix.from_dense(matrix, 5).store(db, "m_blocks")
+        result = svd.truncated_svd_table(db, "m_blocks", 20, 12, rank=2, block_size=5, seed=7)
+        assert result.relative_error(matrix) < 1e-6
+
+
+class TestRatingsFactorization:
+    def test_als_fits_ratings(self):
+        db = Database(num_segments=2)
+        triples = make_ratings(25, 20, 3, density=0.5, seed=8)
+        db.create_table(
+            "ratings",
+            [("user_id", "integer"), ("item_id", "integer"), ("rating", "double precision")],
+        )
+        db.load_rows("ratings", triples)
+        result = svd.factorize_ratings(db, "ratings", rank=3, max_iterations=15, seed=9)
+        assert result.train_rmse < 0.2
+        assert result.user_factors.shape[1] == 3
+        # predict is consistent with the factors
+        user, item, rating = triples[0]
+        assert result.predict(user, item) == pytest.approx(
+            float(result.user_factors[user] @ result.item_factors[item])
+        )
+
+    def test_empty_ratings_table_rejected(self):
+        db = Database()
+        db.create_table(
+            "ratings",
+            [("user_id", "integer"), ("item_id", "integer"), ("rating", "double precision")],
+        )
+        with pytest.raises(ValidationError):
+            svd.factorize_ratings(db, "ratings")
+
+
+class TestLDA:
+    def test_topics_recovered_on_synthetic_corpus(self):
+        db = Database(num_segments=2)
+        documents, _ = make_documents(30, 40, 3, document_length=30, seed=10)
+        lda.load_corpus_table(db, "corpus", documents)
+        model = lda.train(db, "corpus", num_topics=3, num_iterations=15, seed=11)
+        assert model.num_topics == 3
+        assert model.vocabulary_size == 40
+        topic_word = model.topic_word_distribution()
+        np.testing.assert_allclose(topic_word.sum(axis=1), 1.0, rtol=1e-9)
+        doc_topic = model.document_topic_distribution()
+        np.testing.assert_allclose(doc_topic.sum(axis=1), 1.0, rtol=1e-9)
+        # Log likelihood should generally improve from the random initialization.
+        assert model.log_likelihood_history[-1] >= model.log_likelihood_history[0]
+
+    def test_top_words_are_valid_ids(self):
+        db = Database()
+        documents, _ = make_documents(10, 25, 2, document_length=15, seed=12)
+        lda.load_corpus_table(db, "corpus", documents)
+        model = lda.train(db, "corpus", num_topics=2, num_iterations=5, seed=13)
+        top = model.top_words(0, 5)
+        assert len(top) == 5
+        assert all(0 <= word < 25 for word in top)
+
+    def test_invalid_arguments(self):
+        db = Database()
+        db.create_table("corpus", [("doc_id", "integer"), ("word_id", "integer"), ("count", "integer")])
+        with pytest.raises(ValidationError):
+            lda.train(db, "corpus", num_topics=0)
+        with pytest.raises(ValidationError):
+            lda.train(db, "corpus", num_topics=2)  # empty corpus
+
+
+class TestAssociationRules:
+    @pytest.fixture
+    def baskets_db(self):
+        db = Database(num_segments=2)
+        baskets = make_baskets(250, 25, patterns=[[1, 2, 3], [7, 8]],
+                               pattern_probability=0.6, seed=14)
+        load_baskets_table(db, "baskets", baskets)
+        return db
+
+    def test_planted_itemsets_are_found(self, baskets_db):
+        itemsets, rules = association_rules.mine(
+            baskets_db, "baskets", min_support=0.3, min_confidence=0.6
+        )
+        frequent = {itemset.items for itemset in itemsets}
+        assert (1, 2) in frequent or (1, 2, 3) in frequent
+        assert (7, 8) in frequent
+
+    def test_support_and_confidence_bounds(self, baskets_db):
+        itemsets, rules = association_rules.mine(
+            baskets_db, "baskets", min_support=0.25, min_confidence=0.5
+        )
+        assert all(itemset.support >= 0.25 for itemset in itemsets)
+        assert all(0.5 <= rule.confidence <= 1.0 for rule in rules)
+        assert all(rule.lift > 0 for rule in rules)
+
+    def test_rule_support_consistency(self, baskets_db):
+        itemsets, rules = association_rules.mine(
+            baskets_db, "baskets", min_support=0.25, min_confidence=0.5
+        )
+        supports = {itemset.items: itemset.support for itemset in itemsets}
+        for rule in rules[:20]:
+            combined = tuple(sorted(rule.antecedent + rule.consequent))
+            assert supports[combined] == pytest.approx(rule.support)
+
+    def test_apriori_monotonicity(self, baskets_db):
+        itemsets, _ = association_rules.mine(
+            baskets_db, "baskets", min_support=0.3, min_confidence=0.9
+        )
+        supports = {itemset.items: itemset.support for itemset in itemsets}
+        for items, support in supports.items():
+            if len(items) >= 2:
+                for item in items:
+                    subset = tuple(sorted(set(items) - {item}))
+                    assert supports[subset] >= support - 1e-12
+
+    def test_invalid_thresholds(self, baskets_db):
+        with pytest.raises(ValidationError):
+            association_rules.mine(baskets_db, "baskets", min_support=0.0)
+        with pytest.raises(ValidationError):
+            association_rules.mine(baskets_db, "baskets", min_confidence=1.5)

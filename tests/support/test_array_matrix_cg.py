@@ -1,0 +1,136 @@
+"""Tests for array ops, blocked matrices and conjugate gradient."""
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.errors import ConvergenceError, ValidationError
+from repro.support import (
+    BlockedMatrix,
+    array_add,
+    array_dot,
+    array_fill,
+    array_mean,
+    array_stddev,
+    conjugate_gradient,
+    conjugate_gradient_sql,
+    cosine_similarity,
+    install_array_ops,
+    normalize,
+    row_chunks,
+    squared_dist,
+)
+from repro.support.matrix_ops import matrix_from_rows
+
+
+class TestArrayOps:
+    def test_elementwise_ops(self):
+        np.testing.assert_array_equal(array_add([1, 2], [3, 4]), [4, 6])
+        assert array_dot([1, 2], [3, 4]) == 11.0
+        assert array_mean([1, 2, 3]) == 2.0
+        assert array_stddev([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+        np.testing.assert_array_equal(array_fill(3, 2.0), [2.0, 2.0, 2.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            array_add([1, 2], [1, 2, 3])
+
+    def test_normalize_and_distances(self):
+        np.testing.assert_allclose(normalize([3.0, 4.0]), [0.6, 0.8])
+        np.testing.assert_array_equal(normalize([0.0, 0.0]), [0.0, 0.0])
+        assert squared_dist([0, 0], [3, 4]) == 25.0
+        assert cosine_similarity([1, 0], [1, 0]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_empty_array_errors(self):
+        with pytest.raises(ValidationError):
+            array_mean([])
+
+    def test_install_array_ops_registers_udfs(self):
+        db = Database()
+        install_array_ops(db)
+        assert db.query_scalar("SELECT madlib_array_dot(ARRAY[1,2], ARRAY[3,4])") == 11.0
+        assert db.query_scalar("SELECT madlib_squared_dist(ARRAY[0,0], ARRAY[3,4])") == 25.0
+
+
+class TestBlockedMatrix:
+    def test_round_trip_and_blocks(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(10, 7))
+        blocked = BlockedMatrix.from_dense(matrix, block_size=4)
+        np.testing.assert_allclose(blocked.to_dense(), matrix)
+        assert blocked.num_blocks == 6  # ceil(10/4) * ceil(7/4)
+
+    def test_multiply_vector_and_transpose(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(8, 5))
+        vector = rng.normal(size=5)
+        blocked = BlockedMatrix.from_dense(matrix, block_size=3)
+        np.testing.assert_allclose(blocked.multiply_vector(vector), matrix @ vector, rtol=1e-10)
+        np.testing.assert_allclose(blocked.transpose().to_dense(), matrix.T)
+
+    def test_block_multiply_matches_numpy(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(6, 5))
+        b = rng.normal(size=(5, 7))
+        product = BlockedMatrix.from_dense(a, 2).multiply(BlockedMatrix.from_dense(b, 2))
+        np.testing.assert_allclose(product.to_dense(), a @ b, rtol=1e-10)
+
+    def test_dimension_mismatch_raises(self):
+        a = BlockedMatrix.from_dense(np.ones((2, 3)))
+        b = BlockedMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValidationError):
+            a.multiply(b)
+        with pytest.raises(ValidationError):
+            a.multiply_vector(np.ones(5))
+
+    def test_store_and_load_through_database(self):
+        db = Database(num_segments=2)
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(9, 4))
+        blocked = BlockedMatrix.from_dense(matrix, block_size=3)
+        blocked.store(db, "blocks")
+        loaded = BlockedMatrix.load(db, "blocks", 9, 4, block_size=3)
+        np.testing.assert_allclose(loaded.to_dense(), matrix)
+
+    def test_row_chunks_and_matrix_from_rows(self):
+        matrix = np.arange(12, dtype=float).reshape(6, 2)
+        chunks = list(row_chunks(matrix, 4))
+        assert [start for start, _ in chunks] == [0, 4]
+        rebuilt = matrix_from_rows([(i, matrix[i]) for i in range(6)], 6, 2)
+        np.testing.assert_array_equal(rebuilt, matrix)
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self):
+        rng = np.random.default_rng(6)
+        basis = rng.normal(size=(6, 6))
+        matrix = basis @ basis.T + 6 * np.eye(6)
+        expected = rng.normal(size=6)
+        rhs = matrix @ expected
+        result = conjugate_gradient(lambda v: matrix @ v, rhs, tolerance=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, expected, rtol=1e-6)
+        assert result.residual_history[-1] <= result.residual_history[0]
+
+    def test_non_spd_raises(self):
+        matrix = np.array([[1.0, 0.0], [0.0, -1.0]])
+        with pytest.raises(ValidationError):
+            conjugate_gradient(lambda v: matrix @ v, np.array([1.0, 1.0]))
+
+    def test_iteration_budget_exhaustion_raises(self):
+        matrix = np.diag([1.0, 1e6])
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(lambda v: matrix @ v, np.array([1.0, 1.0]),
+                               tolerance=1e-15, max_iterations=1)
+
+    def test_sql_variant_matches_in_memory(self):
+        db = Database(num_segments=2)
+        rng = np.random.default_rng(7)
+        basis = rng.normal(size=(5, 5))
+        matrix = basis @ basis.T + 5 * np.eye(5)
+        rhs = rng.normal(size=5)
+        db.create_table("a_rows", [("id", "integer"), ("row", "double precision[]")])
+        db.load_rows("a_rows", [(i, matrix[i]) for i in range(5)])
+        result = conjugate_gradient_sql(db, "a_rows", "row", rhs, tolerance=1e-10)
+        np.testing.assert_allclose(result.solution, np.linalg.solve(matrix, rhs), rtol=1e-6)

@@ -1,0 +1,127 @@
+"""Unit and property tests for the run-length-encoded sparse vector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.support import SparseVector
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self):
+        dense = [0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 2.0]
+        vector = SparseVector.from_dense(dense)
+        assert len(vector) == 7
+        assert vector.num_runs == 4
+        np.testing.assert_array_equal(vector.to_dense(), dense)
+
+    def test_runs_are_coalesced(self):
+        vector = SparseVector([(1.0, 2), (1.0, 3), (0.0, 1)])
+        assert vector.num_runs == 2
+        assert vector.runs == [(1.0, 5), (0.0, 1)]
+
+    def test_from_pairs(self):
+        vector = SparseVector.from_pairs(6, [(1, 5.0), (4, 2.0)])
+        np.testing.assert_array_equal(vector.to_dense(), [0, 5, 0, 0, 2, 0])
+        with pytest.raises(ValidationError):
+            SparseVector.from_pairs(3, [(5, 1.0)])
+
+    def test_repeat(self):
+        vector = SparseVector.repeat(3.0, 1000)
+        assert len(vector) == 1000
+        assert vector.num_runs == 1
+        assert vector.compression_ratio() == 1000.0
+
+    def test_invalid_run_length_raises(self):
+        with pytest.raises(ValidationError):
+            SparseVector([(1.0, 0)])
+
+    def test_empty_vector(self):
+        vector = SparseVector()
+        assert len(vector) == 0
+        assert vector.to_dense().size == 0
+
+
+class TestAccess:
+    def test_getitem_matches_dense(self):
+        dense = [0.0, 0.0, 3.0, 3.0, 7.0]
+        vector = SparseVector.from_dense(dense)
+        for index in range(len(dense)):
+            assert vector[index] == dense[index]
+        assert vector[-1] == 7.0
+        with pytest.raises(IndexError):
+            vector[5]
+
+    def test_iteration(self):
+        dense = [1.0, 1.0, 0.0]
+        assert list(SparseVector.from_dense(dense)) == dense
+
+    def test_equality_and_hash(self):
+        a = SparseVector.from_dense([1.0, 1.0, 0.0])
+        b = SparseVector([(1.0, 2), (0.0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAlgebra:
+    def test_add_sub_multiply_match_dense(self):
+        a = SparseVector.from_dense([1.0, 1.0, 0.0, 2.0])
+        b = SparseVector.from_dense([0.0, 3.0, 3.0, 3.0])
+        np.testing.assert_array_equal((a + b).to_dense(), [1.0, 4.0, 3.0, 5.0])
+        np.testing.assert_array_equal((a - b).to_dense(), [1.0, -2.0, -3.0, -1.0])
+        np.testing.assert_array_equal(a.multiply(b).to_dense(), [0.0, 3.0, 0.0, 6.0])
+
+    def test_dot_and_norms(self):
+        a = SparseVector.from_dense([3.0, 0.0, 4.0])
+        b = SparseVector.from_dense([1.0, 1.0, 1.0])
+        assert a.dot(b) == 7.0
+        assert a.norm(2) == 5.0
+        assert a.norm(1) == 7.0
+        assert a.sum() == 7.0
+        assert a.count_nonzero() == 2
+        with pytest.raises(ValidationError):
+            a.norm(3)
+
+    def test_scale_and_concat(self):
+        a = SparseVector.from_dense([1.0, 2.0])
+        np.testing.assert_array_equal(a.scale(2).to_dense(), [2.0, 4.0])
+        combined = a.concat(SparseVector.from_dense([3.0]))
+        np.testing.assert_array_equal(combined.to_dense(), [1.0, 2.0, 3.0])
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            SparseVector.from_dense([1.0]).dot(SparseVector.from_dense([1.0, 2.0]))
+
+
+class TestProperties:
+    sparse_dense = st.lists(
+        st.sampled_from([0.0, 0.0, 0.0, 1.0, 2.5, -1.0]), min_size=0, max_size=80
+    )
+
+    @given(dense=sparse_dense)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_property(self, dense):
+        vector = SparseVector.from_dense(dense)
+        np.testing.assert_array_equal(vector.to_dense(), np.asarray(dense))
+        assert vector.num_runs <= max(len(dense), 1)
+
+    @given(dense=st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_dot_matches_numpy(self, dense):
+        vector = SparseVector.from_dense(dense)
+        expected = float(np.dot(dense, dense))
+        assert vector.dot(vector) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @given(
+        left=st.lists(st.sampled_from([0.0, 1.0, 3.0]), min_size=1, max_size=40),
+        right_values=st.lists(st.sampled_from([0.0, 2.0, -1.0]), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_addition_matches_numpy(self, left, right_values):
+        size = min(len(left), len(right_values))
+        a = SparseVector.from_dense(left[:size])
+        b = SparseVector.from_dense(right_values[:size])
+        np.testing.assert_allclose(
+            (a + b).to_dense(), np.asarray(left[:size]) + np.asarray(right_values[:size])
+        )

@@ -1,0 +1,236 @@
+"""Tests for the text-analytics stack: features, CRF, Viterbi, MCMC, string matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.datasets import make_name_variants, make_tag_corpus
+from repro.errors import ValidationError
+from repro.text import (
+    FeatureMap,
+    LinearChainCRF,
+    TokenFeatureExtractor,
+    TrigramIndex,
+    featurize_corpus,
+    gibbs_sample,
+    gibbs_sql,
+    install_feature_udfs,
+    install_string_match_udfs,
+    metropolis_hastings,
+    qgrams,
+    train_crf,
+    trigram_similarity,
+    viterbi,
+    viterbi_sql,
+    viterbi_top_k,
+)
+
+
+class TestFeatureExtraction:
+    def test_feature_families(self):
+        extractor = TokenFeatureExtractor(
+            dictionaries={"names": {"tebow", "denver"}},
+        )
+        tokens = ["The", "Denver", "team", "wins", "42"]
+        features = extractor.sequence_features(tokens)
+        assert "position:first" in features[0]
+        assert "position:last" in features[-1]
+        assert "dict:names" in features[1]
+        assert "regex:is_capitalized" in features[1]
+        assert "regex:is_digit" in features[4]
+        assert "word:team" in features[2]
+
+    def test_feature_map_intern_and_freeze(self):
+        feature_map = FeatureMap()
+        first = feature_map.intern("a")
+        assert feature_map.intern("a") == first
+        assert len(feature_map) == 1
+        feature_map.freeze()
+        assert feature_map.intern("new") is None
+        assert len(feature_map) == 1
+
+    def test_in_database_feature_udfs(self, db):
+        install_feature_udfs(db)
+        assert db.query_scalar("SELECT crf_matches_regex('Tebow', '^[A-Z]')") is True
+        features = db.query_scalar(
+            "SELECT crf_token_features(%(tokens)s, 0)", {"tokens": ["Denver", "wins"]}
+        )
+        assert "position:first" in features
+
+
+@pytest.fixture(scope="module")
+def trained_crf():
+    corpus = make_tag_corpus(80, seed=21)
+    train, test = corpus.split(0.8)
+    model = train_crf(train, num_epochs=4, stepsize=0.15, seed=22)
+    return model, train, test
+
+
+class TestCRF:
+    def test_training_improves_likelihood(self):
+        corpus = make_tag_corpus(30, seed=23)
+        feature_map, encoded, labels, extractor = featurize_corpus(corpus)
+        untrained = LinearChainCRF(labels, feature_map, extractor)
+        trained = train_crf(corpus, num_epochs=3, seed=24)
+        sequence = encoded[0]
+        assert trained.log_likelihood(sequence.token_features, sequence.labels) > \
+            untrained.log_likelihood(sequence.token_features, sequence.labels)
+
+    def test_marginals_are_distributions(self, trained_crf):
+        model, _, test = trained_crf
+        token_features = model.encode_tokens(test.sequences[0].tokens)
+        marginals = model.marginals(token_features)
+        np.testing.assert_allclose(marginals.sum(axis=1), 1.0, rtol=1e-8)
+        assert np.all(marginals >= 0)
+
+    def test_tagging_accuracy_beats_chance(self, trained_crf):
+        model, _, test = trained_crf
+        correct = total = 0
+        for sequence in test.sequences:
+            predicted, _ = viterbi(model, sequence.tokens)
+            correct += sum(p == g for p, g in zip(predicted, sequence.labels))
+            total += len(sequence)
+        assert correct / total > 0.8
+
+    def test_unknown_label_rejected(self, trained_crf):
+        model, _, _ = trained_crf
+        with pytest.raises(ValidationError):
+            model.encode_labels(["NOT_A_TAG"])
+
+    def test_empty_label_set_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearChainCRF([], FeatureMap())
+
+
+class TestViterbi:
+    def test_matches_brute_force_on_small_chain(self, trained_crf):
+        from itertools import product
+
+        model, _, test = trained_crf
+        tokens = test.sequences[0].tokens[:4]
+        token_features = model.encode_tokens(tokens)
+        best_labels, best_score = viterbi(model, tokens)
+        # Brute force over all label sequences.
+        brute_best = None
+        brute_score = -np.inf
+        for assignment in product(range(model.num_labels), repeat=len(tokens)):
+            score = model.sequence_score(token_features, list(assignment))
+            if score > brute_score:
+                brute_score = score
+                brute_best = assignment
+        assert best_score == pytest.approx(brute_score)
+        assert best_labels == model.label_sequence(brute_best)
+
+    def test_top_k_is_sorted_and_contains_best(self, trained_crf):
+        model, _, test = trained_crf
+        tokens = test.sequences[1].tokens[:5]
+        top = viterbi_top_k(model, tokens, k=3)
+        assert len(top) == 3
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+        best_labels, best_score = viterbi(model, tokens)
+        assert top[0][1] == pytest.approx(best_score)
+        assert top[0][0] == best_labels
+
+    def test_sql_viterbi_matches_in_memory(self, trained_crf):
+        model, _, test = trained_crf
+        db = Database(num_segments=2)
+        for sequence in test.sequences[:3]:
+            in_memory = viterbi(model, sequence.tokens)
+            via_sql = viterbi_sql(db, model, sequence.tokens)
+            assert via_sql[0] == in_memory[0]
+            assert via_sql[1] == pytest.approx(in_memory[1])
+
+    def test_empty_sequence(self, trained_crf):
+        model, _, _ = trained_crf
+        assert viterbi(model, []) == ([], 0.0)
+
+    def test_invalid_k_rejected(self, trained_crf):
+        model, _, _ = trained_crf
+        with pytest.raises(ValidationError):
+            viterbi_top_k(model, ["the"], k=0)
+
+
+class TestMCMC:
+    def test_gibbs_marginals_concentrate_on_viterbi_path(self, trained_crf):
+        model, _, test = trained_crf
+        tokens = test.sequences[0].tokens
+        viterbi_labels, _ = viterbi(model, tokens)
+        result = gibbs_sample(model, tokens, num_samples=300, burn_in=100, seed=31)
+        agreement = np.mean([a == b for a, b in zip(result.map_labels, viterbi_labels)])
+        assert agreement > 0.7
+        np.testing.assert_allclose(result.marginals.sum(axis=1), 1.0, rtol=1e-9)
+        assert 0.0 < result.confidence(0) <= 1.0
+
+    def test_metropolis_hastings_reports_acceptance(self, trained_crf):
+        model, _, test = trained_crf
+        result = metropolis_hastings(
+            model, test.sequences[1].tokens, num_samples=200, burn_in=50, seed=32
+        )
+        assert 0.0 < result.acceptance_rate <= 1.0
+        assert len(result.map_labels) == len(test.sequences[1].tokens)
+
+    def test_gibbs_sql_stages_samples_in_database(self, trained_crf):
+        model, _, test = trained_crf
+        db = Database(num_segments=2)
+        result = gibbs_sql(db, model, test.sequences[2].tokens, num_samples=50, burn_in=10, seed=33)
+        assert len(result.map_labels) == len(test.sequences[2].tokens)
+        # Temp table cleaned up afterwards.
+        assert not any(name.startswith("mcmc_samples") for name in db.table_names())
+
+    def test_invalid_sample_count_rejected(self, trained_crf):
+        model, _, _ = trained_crf
+        with pytest.raises(ValidationError):
+            gibbs_sample(model, ["the"], num_samples=0)
+
+
+class TestStringMatching:
+    def test_qgrams_sliding_window(self):
+        grams = qgrams("Tim Tebow")
+        assert "tim" in grams
+        assert len(grams) == len("  tim tebow ") - 2
+        assert qgrams("") == []
+
+    def test_similarity_properties(self):
+        assert trigram_similarity("Tim Tebow", "Tim Tebow") == 1.0
+        assert trigram_similarity("Tim Tebow", "Tom Brady") < 0.3
+        assert trigram_similarity("", "") == 1.0
+        assert trigram_similarity("abc", "") == 0.0
+
+    def test_index_finds_typo_variants(self):
+        db = Database(num_segments=2)
+        pairs = make_name_variants(seed=34)
+        db.create_table("mentions", [("doc_id", "integer"), ("text", "text")])
+        db.load_rows("mentions", [(i, mention) for i, (_, mention) in enumerate(pairs)])
+        index = TrigramIndex(db, "mentions")
+        index.build()
+        matches = index.search("Tim Tebow", threshold=0.4)
+        assert matches
+        assert matches[0].similarity == 1.0
+        assert all(m.similarity >= 0.4 for m in matches)
+        # Ranked by similarity.
+        similarities = [m.similarity for m in matches]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_search_threshold_validation_and_limit(self):
+        db = Database()
+        db.create_table("mentions", [("doc_id", "integer"), ("text", "text")])
+        db.load_rows("mentions", [(0, "Tim Tebow"), (1, "Tim Tibow"), (2, "Peyton Manning")])
+        index = TrigramIndex(db, "mentions")
+        with pytest.raises(ValidationError):
+            index.search("Tim", threshold=0.0)
+        assert len(index.search("Tim Tebow", threshold=0.3, limit=1)) == 1
+
+    def test_pg_trgm_style_udfs(self, db):
+        install_string_match_udfs(db)
+        assert db.query_scalar("SELECT similarity('Tim Tebow', 'Tim Tibow')") > 0.4
+        assert "tim" in db.query_scalar("SELECT show_trgm('Tim')")
+
+    @given(text=st.text(alphabet="abcdefg ", min_size=0, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_similarity_is_reflexive_and_bounded(self, text):
+        assert trigram_similarity(text, text) == 1.0
+        other = text + "x"
+        value = trigram_similarity(text, other)
+        assert 0.0 <= value <= 1.0
