@@ -1,0 +1,92 @@
+"""Throughput-regression gate for the engine microbenchmarks.
+
+Compares a fresh ``BENCH_engine.json`` (written by
+``python benchmarks/bench_engine_micro.py``) against the committed baseline
+``benchmarks/BENCH_engine_baseline.json`` and exits nonzero when any metric
+regresses by more than the threshold (default 20%).
+
+Usage::
+
+    python benchmarks/bench_engine_micro.py          # writes BENCH_engine.json
+    python benchmarks/check_regression.py            # compares vs baseline
+
+Baselines are machine-specific: on a new machine (or after an intentional
+performance change) refresh with
+``python benchmarks/bench_engine_micro.py --write-baseline`` and commit the
+result.  Absolute rows/sec numbers are only comparable on the machine that
+produced the baseline; the *ratio* is what this gate enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_CURRENT = BENCH_DIR / "BENCH_engine.json"
+DEFAULT_BASELINE = BENCH_DIR / "BENCH_engine_baseline.json"
+#: Allowed slowdown before the gate trips: new >= (1 - threshold) * baseline.
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_metrics(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: {path} not found — run `python benchmarks/bench_engine_micro.py`"
+            + (" --write-baseline" if path.name.endswith("baseline.json") else "")
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise SystemExit(f"error: {path} has no 'metrics' object")
+    return metrics
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> int:
+    """Print a comparison table; return the number of regressed metrics."""
+    regressions = 0
+    width = max(len(name) for name in sorted(set(baseline) | set(current)))
+    print(f"{'metric'.ljust(width)}  {'baseline':>14}  {'current':>14}  {'ratio':>7}  status")
+    for name in sorted(baseline):
+        base = float(baseline[name])
+        if name not in current:
+            print(f"{name.ljust(width)}  {base:>14,.0f}  {'MISSING':>14}  {'':>7}  FAIL")
+            regressions += 1
+            continue
+        new = float(current[name])
+        ratio = new / base if base > 0 else float("inf")
+        regressed = ratio < (1.0 - threshold)
+        status = "FAIL" if regressed else "ok"
+        print(f"{name.ljust(width)}  {base:>14,.0f}  {new:>14,.0f}  {ratio:>6.2f}x  {status}")
+        regressions += int(regressed)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name.ljust(width)}  {'(new metric)':>14}  {float(current[name]):>14,.0f}")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated fractional slowdown (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    regressions = compare(
+        load_metrics(args.current), load_metrics(args.baseline), args.threshold
+    )
+    if regressions:
+        print(f"\n{regressions} metric(s) regressed more than {args.threshold:.0%}")
+        return 1
+    print(f"\nno metric regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

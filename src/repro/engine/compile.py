@@ -1,0 +1,291 @@
+"""Query-time expression compilation.
+
+The interpreted evaluator (:mod:`repro.engine.expressions`) builds a
+``RowContext`` dict per row and tree-walks ``Expression.evaluate`` per node —
+fine for correctness, but the Figure 4/5 benchmarks then measure interpreter
+overhead instead of the aggregation pattern the paper studies.  This module
+compiles an :class:`~repro.engine.expressions.Expression` tree **once per
+query** into a Python closure over *positional* row tuples: column names are
+resolved to tuple indices at plan time, scalar functions are looked up once,
+and each node becomes a small closure, so per-row evaluation is a chain of
+direct calls with no dict building and no ``isinstance`` dispatch.
+
+Compilation is best-effort: :func:`compile_expression` returns ``None`` for
+any construct it does not cover (window calls, aggregate calls, unresolvable
+names, unbound parameters), and the executor falls back to the interpreted
+path — the two tiers must produce identical results, which
+``tests/engine/test_compiled_parity.py`` asserts over a corpus of queries.
+
+NULL semantics are inherited rather than re-implemented: compiled closures
+call the *same* operator functions (``_BINARY_OPS``, :func:`is_null`,
+``values_equal``, ``like_match``) the interpreted nodes use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .expressions import (
+    _BINARY_OPS,
+    ArrayLiteral,
+    Between,
+    BinaryOp,
+    Cast,
+    CaseExpr,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Parameter,
+    Star,
+    Subscript,
+    UnaryOp,
+    WindowCall,
+    like_match,
+    like_regex,
+)
+from .types import coerce_value, is_null, type_from_name, values_equal
+
+__all__ = ["ColumnLayout", "compile_expression"]
+
+#: Compiled row function: takes one positional row tuple, returns a value.
+RowFunction = Callable[[Tuple[Any, ...]], Any]
+
+
+class _Uncompilable(Exception):
+    """Raised internally when a subtree cannot be compiled (fallback signal)."""
+
+
+class ColumnLayout:
+    """Positional name resolution for one relation.
+
+    Mirrors the key layout ``Executor._make_contexts`` builds (qualified key,
+    then bare key when unambiguous, later duplicates winning) so that a
+    compiled ``ColumnRef`` reads the same value the interpreted lookup would.
+    """
+
+    def __init__(self, keys_per_column: Sequence[Sequence[str]]) -> None:
+        self.key_to_index: Dict[str, int] = {}
+        for index, keys in enumerate(keys_per_column):
+            for key in keys:
+                self.key_to_index[key] = index
+
+    def resolve(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
+        """Tuple index for a column reference, or ``None`` if unresolvable.
+
+        Follows ``RowContext.lookup``: qualified key first, then bare key,
+        then a unique qualified match for a bare reference.  Ambiguous or
+        missing names return ``None`` so the interpreted path can raise the
+        proper error.
+        """
+        if qualifier is not None:
+            return self.key_to_index.get(f"{qualifier.lower()}.{name.lower()}")
+        key = name.lower()
+        if key in self.key_to_index:
+            return self.key_to_index[key]
+        suffix = "." + key
+        matches = [k for k in self.key_to_index if k.endswith(suffix)]
+        if len(matches) == 1:
+            return self.key_to_index[matches[0]]
+        return None
+
+
+def compile_expression(
+    expression: Expression,
+    layout: ColumnLayout,
+    functions: Dict[str, Callable[..., Any]],
+    parameters: Optional[Dict[str, Any]] = None,
+    aggregate_names: Optional[frozenset] = None,
+) -> Optional[RowFunction]:
+    """Compile an expression tree to a closure over positional row tuples.
+
+    Returns ``None`` when any node is outside the compilable subset; callers
+    must then use the interpreted ``Expression.evaluate`` path.
+    """
+    try:
+        return _compile(expression, layout, functions, parameters or {}, aggregate_names or frozenset())
+    except _Uncompilable:
+        return None
+
+
+def _compile(
+    node: Expression,
+    layout: ColumnLayout,
+    functions: Dict[str, Callable[..., Any]],
+    parameters: Dict[str, Any],
+    aggregate_names: frozenset,
+) -> RowFunction:
+    recurse = lambda child: _compile(child, layout, functions, parameters, aggregate_names)
+
+    if isinstance(node, Literal):
+        value = node.value
+        return lambda row: value
+
+    if isinstance(node, ColumnRef):
+        index = layout.resolve(node.name, node.qualifier)
+        if index is None:
+            raise _Uncompilable(node.qualified_name)
+        return lambda row: row[index]
+
+    if isinstance(node, Parameter):
+        if node.name not in parameters:
+            # Unbound parameter: let the interpreted path raise the error.
+            raise _Uncompilable(node.name)
+        value = parameters[node.name]
+        return lambda row: value
+
+    if isinstance(node, BinaryOp):
+        op = node.op.lower()
+        left = recurse(node.left)
+        right = recurse(node.right)
+        if op == "like":
+            if isinstance(node.right, Literal) and isinstance(node.right.value, str):
+                # Literal pattern (the common case): build the regex once at
+                # plan time instead of once per row.
+                regex = like_regex(node.right.value)
+                return lambda row: (
+                    None
+                    if is_null(text := left(row))
+                    else regex.match(str(text)) is not None
+                )
+            return lambda row: like_match(left(row), right(row))
+        try:
+            func = _BINARY_OPS[op]
+        except KeyError:
+            raise _Uncompilable(node.op) from None
+        return lambda row: func(left(row), right(row))
+
+    if isinstance(node, UnaryOp):
+        operand = recurse(node.operand)
+        op = node.op.lower()
+        if op == "-":
+            return lambda row: None if is_null(value := operand(row)) else -value
+        if op == "+":
+            return operand
+        if op == "not":
+            def negate(row):
+                value = operand(row)
+                if value is None:
+                    return None
+                return not bool(value)
+
+            return negate
+        raise _Uncompilable(node.op)
+
+    if isinstance(node, WindowCall) or isinstance(node, Star):
+        raise _Uncompilable(type(node).__name__)
+
+    if isinstance(node, FunctionCall):
+        name = node.name.lower()
+        if node.star or node.distinct or name in aggregate_names:
+            # Aggregates are evaluated by the executor, never per row.
+            raise _Uncompilable(name)
+        try:
+            func = functions[name]
+        except KeyError:
+            raise _Uncompilable(name) from None
+        arg_fns = [recurse(arg) for arg in node.args]
+        if not arg_fns:
+            return lambda row: func()
+        if len(arg_fns) == 1:
+            only = arg_fns[0]
+            return lambda row: func(only(row))
+        if len(arg_fns) == 2:
+            first, second = arg_fns
+            return lambda row: func(first(row), second(row))
+        return lambda row: func(*[fn(row) for fn in arg_fns])
+
+    if isinstance(node, CaseExpr):
+        whens = [(recurse(cond), recurse(result)) for cond, result in node.whens]
+        else_fn = recurse(node.else_result) if node.else_result is not None else None
+
+        def case(row):
+            for condition, result in whens:
+                if condition(row) is True:
+                    return result(row)
+            if else_fn is not None:
+                return else_fn(row)
+            return None
+
+        return case
+
+    if isinstance(node, ArrayLiteral):
+        item_fns = [recurse(item) for item in node.items]
+
+        def array(row):
+            values = [fn(row) for fn in item_fns]
+            if values and all(isinstance(v, str) for v in values):
+                return values
+            return np.asarray(values, dtype=np.float64)
+
+        return array
+
+    if isinstance(node, Subscript):
+        base = recurse(node.base)
+        index_fn = recurse(node.index)
+
+        def subscript(row):
+            array = base(row)
+            position = index_fn(row)
+            if is_null(array) or is_null(position):
+                return None
+            idx = int(position) - 1
+            if idx < 0 or idx >= len(array):
+                return None
+            value = array[idx]
+            if isinstance(value, np.generic):
+                return value.item()
+            return value
+
+        return subscript
+
+    if isinstance(node, Cast):
+        operand = recurse(node.operand)
+        try:
+            sql_type = type_from_name(node.type_name)
+        except Exception:
+            raise _Uncompilable(node.type_name) from None
+        return lambda row: coerce_value(operand(row), sql_type)
+
+    if isinstance(node, InList):
+        operand = recurse(node.operand)
+        item_fns = [recurse(item) for item in node.items]
+        negated = node.negated
+
+        def in_list(row):
+            value = operand(row)
+            if is_null(value):
+                return None
+            found = any(values_equal(value, fn(row)) for fn in item_fns)
+            return (not found) if negated else found
+
+        return in_list
+
+    if isinstance(node, IsNull):
+        operand = recurse(node.operand)
+        if node.negated:
+            return lambda row: not is_null(operand(row))
+        return lambda row: is_null(operand(row))
+
+    if isinstance(node, Between):
+        operand = recurse(node.operand)
+        low_fn = recurse(node.low)
+        high_fn = recurse(node.high)
+        negated = node.negated
+
+        def between(row):
+            value = operand(row)
+            low = low_fn(row)
+            high = high_fn(row)
+            if is_null(value) or is_null(low) or is_null(high):
+                return None
+            result = low <= value <= high
+            return (not result) if negated else result
+
+        return between
+
+    raise _Uncompilable(type(node).__name__)

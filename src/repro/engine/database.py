@@ -48,13 +48,26 @@ class Database:
     parallel_aggregation:
         When true (default), aggregates over segmented tables run the
         per-segment transition + merge path.
+    compiled_execution:
+        When true (default), SELECT execution uses the compiled/vectorized
+        fast path (expressions compiled to positional-row closures, batched
+        aggregate transitions); when false every query takes the interpreted
+        row-at-a-time path.  The two must agree — the flag exists so the
+        parity suite and the microbenchmarks can compare them.
     """
 
-    def __init__(self, num_segments: int = 1, *, parallel_aggregation: bool = True) -> None:
+    def __init__(
+        self,
+        num_segments: int = 1,
+        *,
+        parallel_aggregation: bool = True,
+        compiled_execution: bool = True,
+    ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
         self.num_segments = num_segments
         self.parallel_aggregation = parallel_aggregation
+        self.compiled_execution = compiled_execution
         self.catalog = Catalog()
         self.executor = Executor(self)
         self.last_stats: Optional[ExecutionStats] = None
@@ -70,7 +83,10 @@ class Database:
         """Parse and execute a single SQL statement."""
         statement = parse_statement(sql)
         result = self.executor.execute(statement, parameters)
-        if result.stats is not None:
+        # Every result now carries stats (DML included); ``last_stats`` keeps
+        # tracking the most recent *query* so callers inspecting aggregate
+        # timings are not clobbered by housekeeping DML.
+        if result.stats is not None and result.stats.statement_kind == "select":
             self.last_stats = result.stats
         return result
 

@@ -7,6 +7,24 @@ transition folds followed by a merge — which is the Greenplum execution model
 the Figure 4 / Figure 5 experiments measure.  Everything else (joins,
 subqueries, window functions, DML) exists so that MADlib-style methods can be
 written as plain SQL plus driver functions, exactly as in the paper.
+
+SELECT execution is two-tier (see ``docs/engine-execution.md``):
+
+* **Compiled/vectorized fast path** — expressions (WHERE predicates, select
+  lists, GROUP BY keys, aggregate arguments) are compiled once per query into
+  closures over positional row tuples (:mod:`repro.engine.compile`); when the
+  aggregated input is an unfiltered base-table scan and the aggregate's
+  arguments are plain column references, per-segment argument streams come
+  straight from the table's cached columnar view as
+  :class:`~repro.engine.vectorized.ColumnBatch` slices, and aggregates with a
+  ``batch_transition`` consume each segment in a single batched call.
+* **Interpreted fallback** — any construct outside the compilable subset
+  (window calls, unresolvable names, unbound parameters, DISTINCT aggregates)
+  drops back to per-row :class:`RowContext` dicts and tree-walking
+  ``Expression.evaluate``, built lazily so the fast path never pays for them.
+
+Both tiers must produce identical results; ``tests/engine/test_compiled_parity.py``
+runs a query corpus through each and asserts it.
 """
 
 from __future__ import annotations
@@ -17,6 +35,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..errors import CatalogError, ExecutionError, SQLSyntaxError
 from .aggregates import AggregateDefinition
+from .compile import ColumnLayout, compile_expression
+from .vectorized import ColumnBatch, ConstantColumn
 from .expressions import (
     ColumnRef,
     Expression,
@@ -63,6 +83,10 @@ class _Relation:
     rows: List[Tuple[Any, ...]]
     segment_ids: List[int]
     num_segments: int = 1
+    #: Set only for an unfiltered single-table scan; lets the aggregate path
+    #: slice per-segment argument columns straight from the table's cached
+    #: columnar view.  Any derivation (WHERE, joins, projection) drops it.
+    source_table: Optional[Table] = None
 
     def context_keys(self) -> List[List[str]]:
         """For each column, the row-dict keys it populates."""
@@ -80,6 +104,46 @@ class _Relation:
                 column_keys.append(name.lower())
             keys.append(column_keys)
         return keys
+
+
+class _LazyContexts:
+    """List-like provider of per-row :class:`RowContext` dicts, built on demand.
+
+    The compiled fast path never touches row dicts; this wrapper keeps the
+    interpreted fallback available (ORDER BY expressions, per-group
+    projection, uncompilable subtrees) without paying one dict per row up
+    front.  Contexts are cached, so repeated access stays cheap.
+    """
+
+    def __init__(
+        self,
+        relation: "_Relation",
+        functions: Dict[str, Callable[..., Any]],
+        parameters: Optional[Dict[str, Any]],
+    ) -> None:
+        self._keys_per_column = relation.context_keys()
+        self._rows = relation.rows
+        self._functions = functions
+        self._parameters = parameters
+        self._cache: Dict[int, RowContext] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index: int) -> RowContext:
+        context = self._cache.get(index)
+        if context is None:
+            values: Dict[str, Any] = {}
+            for column_keys, value in zip(self._keys_per_column, self._rows[index]):
+                for key in column_keys:
+                    values[key] = value
+            context = RowContext(values, self._functions, self._parameters)
+            self._cache[index] = context
+        return context
+
+    def __iter__(self):
+        for index in range(len(self._rows)):
+            yield self[index]
 
 
 class Executor:
@@ -109,16 +173,37 @@ class Executor:
     def _make_contexts(
         self, relation: _Relation, parameters: Optional[Dict[str, Any]]
     ) -> List[RowContext]:
+        """Eager per-row contexts — the interpreted fallback representation."""
+        return list(self._lazy_contexts(relation, parameters))
+
+    def _lazy_contexts(
+        self, relation: _Relation, parameters: Optional[Dict[str, Any]]
+    ) -> _LazyContexts:
+        return _LazyContexts(relation, self._function_registry(), parameters)
+
+    # ------------------------------------------------------------------ compilation
+
+    def _compiler_env(self, relation: _Relation, parameters) -> Optional[tuple]:
+        """Per-query compilation environment, or None when compilation is off.
+
+        The layout depends only on the relation's column list, so one env is
+        valid across WHERE filtering (which preserves columns).
+        """
+        if not getattr(self.database, "compiled_execution", True):
+            return None
+        layout = ColumnLayout(relation.context_keys())
         functions = self._function_registry()
-        keys_per_column = relation.context_keys()
-        contexts = []
-        for row in relation.rows:
-            values: Dict[str, Any] = {}
-            for column_keys, value in zip(keys_per_column, row):
-                for key in column_keys:
-                    values[key] = value
-            contexts.append(RowContext(values, functions, parameters))
-        return contexts
+        aggregate_names = frozenset(
+            name.lower() for name in self.catalog.aggregate_names()
+        )
+        return (layout, functions, parameters, aggregate_names)
+
+    def _compile(self, expression: Optional[Expression], env: Optional[tuple]):
+        """Compile one expression, or None (→ interpreted fallback)."""
+        if env is None or expression is None:
+            return None
+        layout, functions, parameters, aggregate_names = env
+        return compile_expression(expression, layout, functions, parameters, aggregate_names)
 
     # ------------------------------------------------------------------ dispatch
 
@@ -146,8 +231,16 @@ class Executor:
             result = self._execute_alter(statement)
         else:
             raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
-        if result.stats is not None:
-            result.stats.total_seconds = time.perf_counter() - start
+        if result.stats is None:
+            # Every statement carries stats so benchmark reports never
+            # silently drop timings (DML used to return stats-less results).
+            kind = type(statement).__name__.removesuffix("Statement")
+            kind = "".join(
+                ("_" + ch.lower()) if ch.isupper() and i else ch.lower()
+                for i, ch in enumerate(kind)
+            )
+            result.stats = ExecutionStats(statement_kind=kind)
+        result.stats.total_seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------ FROM clause
@@ -159,10 +252,10 @@ class Executor:
         rows: List[Tuple[Any, ...]] = []
         segment_ids: List[int] = []
         for segment in range(table.num_segments):
-            for row in table.segment_rows(segment):
-                rows.append(row)
-                segment_ids.append(segment)
-        return _Relation(columns, rows, segment_ids, table.num_segments)
+            segment_rows = table.segment_view(segment)
+            rows.extend(segment_rows)
+            segment_ids.extend([segment] * len(segment_rows))
+        return _Relation(columns, rows, segment_ids, table.num_segments, source_table=table)
 
     def _scan_subquery(self, source: SubquerySource, parameters) -> _Relation:
         result = self.execute(source.select, parameters)
@@ -321,17 +414,27 @@ class Executor:
         stats = ExecutionStats(statement_kind="select")
         relation = self._build_relation(statement.from_items, parameters)
         stats.rows_scanned = len(relation.rows)
-        contexts = self._make_contexts(relation, parameters)
+        env = self._compiler_env(relation, parameters)
+        contexts = self._lazy_contexts(relation, parameters)
 
         if statement.where is not None:
-            kept = [i for i, ctx in enumerate(contexts) if statement.where.evaluate(ctx) is True]
-            contexts = [contexts[i] for i in kept]
+            predicate = self._compile(statement.where, env)
+            if predicate is not None:
+                kept = [i for i, row in enumerate(relation.rows) if predicate(row) is True]
+            else:
+                kept = [
+                    i
+                    for i in range(len(relation.rows))
+                    if statement.where.evaluate(contexts[i]) is True
+                ]
             relation = _Relation(
                 relation.columns,
                 [relation.rows[i] for i in kept],
                 [relation.segment_ids[i] for i in kept],
                 relation.num_segments,
             )
+            # The column layout is unchanged, so `env` stays valid.
+            contexts = self._lazy_contexts(relation, parameters)
 
         select_items = self._expand_select_items(statement.select_items, relation)
         output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
@@ -347,21 +450,42 @@ class Executor:
 
         if aggregate_calls or statement.group_by:
             output_rows = self._execute_grouped(
-                statement, select_items, aggregate_calls, relation, contexts, parameters, stats
+                statement, select_items, aggregate_calls, relation, contexts, parameters, stats, env
             )
         else:
             if window_calls:
                 aggregates = self._aggregate_registry()
-                per_row = compute_window_values(window_calls, contexts, aggregates)
-                contexts = [ctx.with_values(extra) for ctx, extra in zip(contexts, per_row)]
-            output_rows = []
-            for ctx in contexts:
-                output_rows.append(
+                context_list = list(contexts)
+                per_row = compute_window_values(window_calls, context_list, aggregates)
+                contexts = [ctx.with_values(extra) for ctx, extra in zip(context_list, per_row)]
+                output_rows = [
                     tuple(item.expression.evaluate(ctx) for item in select_items)
-                )
+                    for ctx in contexts
+                ]
+            else:
+                item_fns = [self._compile(item.expression, env) for item in select_items]
+                if all(fn is not None for fn in item_fns):
+                    output_rows = [
+                        tuple(fn(row) for fn in item_fns) for row in relation.rows
+                    ]
+                else:
+                    output_rows = [
+                        tuple(item.expression.evaluate(ctx) for item in select_items)
+                        for ctx in contexts
+                    ]
             if statement.order_by:
+                order_key_fns = {
+                    id(order_item): self._compile(order_item.expression, env)
+                    for order_item in statement.order_by
+                }
                 output_rows = self._apply_order_by(
-                    statement.order_by, select_items, output_names, contexts, output_rows
+                    statement.order_by,
+                    select_items,
+                    output_names,
+                    contexts,
+                    output_rows,
+                    compiled_keys=order_key_fns,
+                    relation_rows=relation.rows,
                 )
 
         if statement.distinct:
@@ -386,8 +510,11 @@ class Executor:
         order_by: List[OrderItem],
         select_items: List[SelectItem],
         output_names: List[str],
-        contexts: List[RowContext],
+        contexts,
         output_rows: List[Tuple[Any, ...]],
+        *,
+        compiled_keys: Optional[Dict[int, Any]] = None,
+        relation_rows: Optional[List[Tuple[Any, ...]]] = None,
     ) -> List[Tuple[Any, ...]]:
         indices = list(range(len(output_rows)))
         lowered_names = [name.lower() for name in output_names]
@@ -401,6 +528,10 @@ class Executor:
                 name = expression.name.lower()
                 if name in lowered_names:
                     return output_rows[index][lowered_names.index(name)]
+            if compiled_keys is not None and relation_rows is not None:
+                compiled = compiled_keys.get(id(order_item))
+                if compiled is not None and index < len(relation_rows):
+                    return compiled(relation_rows[index])
             if index < len(contexts):
                 return expression.evaluate(contexts[index])
             raise ExecutionError("cannot evaluate ORDER BY expression for aggregated output")
@@ -419,9 +550,10 @@ class Executor:
         select_items: List[SelectItem],
         aggregate_calls: List[FunctionCall],
         relation: _Relation,
-        contexts: List[RowContext],
+        contexts,
         parameters,
         stats: ExecutionStats,
+        env: Optional[tuple] = None,
     ) -> List[Tuple[Any, ...]]:
         aggregates = self._aggregate_registry()
 
@@ -429,18 +561,44 @@ class Executor:
         groups: Dict[Any, List[int]] = {}
         group_order: List[Any] = []
         if statement.group_by:
-            for index, ctx in enumerate(contexts):
-                key = tuple(
-                    hashable_key(expression.evaluate(ctx)) for expression in statement.group_by
-                )
-                if key not in groups:
-                    groups[key] = []
-                    group_order.append(key)
-                groups[key].append(index)
+            key_fns = [self._compile(expression, env) for expression in statement.group_by]
+            if all(fn is not None for fn in key_fns):
+                for index, row in enumerate(relation.rows):
+                    key = tuple(hashable_key(fn(row)) for fn in key_fns)
+                    if key not in groups:
+                        groups[key] = []
+                        group_order.append(key)
+                    groups[key].append(index)
+            else:
+                for index in range(len(contexts)):
+                    ctx = contexts[index]
+                    key = tuple(
+                        hashable_key(expression.evaluate(ctx))
+                        for expression in statement.group_by
+                    )
+                    if key not in groups:
+                        groups[key] = []
+                        group_order.append(key)
+                    groups[key].append(index)
         else:
             key = ()
             groups[key] = list(range(len(contexts)))
             group_order.append(key)
+
+        # Compile each aggregate call's plan once per query (not per group):
+        # definition, reusable aggregator, compiled argument closures.
+        use_batch = getattr(self.database, "compiled_execution", True)
+        call_plans: List[Tuple[FunctionCall, AggregateDefinition, SegmentedAggregator, Optional[list]]] = []
+        for call in aggregate_calls:
+            definition = aggregates[call.name.lower()]
+            argument_fns = None
+            if not call.star and env is not None:
+                compiled = [self._compile(arg, env) for arg in call.args]
+                if all(fn is not None for fn in compiled):
+                    argument_fns = compiled
+            call_plans.append(
+                (call, definition, SegmentedAggregator(definition, use_batch=use_batch), argument_fns)
+            )
 
         single_group = len(groups) == 1 and not statement.group_by
         output_rows: List[Tuple[Any, ...]] = []
@@ -448,10 +606,9 @@ class Executor:
         for key in group_order:
             member_indices = groups[key]
             aggregate_values: Dict[str, Any] = {}
-            for call in aggregate_calls:
-                definition = aggregates[call.name.lower()]
+            for call, definition, aggregator, argument_fns in call_plans:
                 value, timings = self._run_aggregate(
-                    call, definition, member_indices, relation, contexts
+                    call, definition, aggregator, argument_fns, member_indices, relation, contexts, env
                 )
                 aggregate_values[f"__agg_{id(call)}"] = value
                 if single_group:
@@ -476,22 +633,87 @@ class Executor:
             )
         return output_rows
 
+    def _columnar_streams(
+        self,
+        call: FunctionCall,
+        member_indices: List[int],
+        relation: _Relation,
+        env: Optional[tuple],
+    ) -> Optional[List[ColumnBatch]]:
+        """Per-segment argument columns sliced from the table's columnar view.
+
+        Applies only when the aggregated input is an unfiltered base-table
+        scan covering every row and each argument is a plain column
+        reference (or ``count(*)``); returns ``None`` otherwise.
+        """
+        table = relation.source_table
+        if (
+            table is None
+            or env is None
+            or call.distinct
+            or len(member_indices) != len(relation.rows)
+        ):
+            return None
+        layout: ColumnLayout = env[0]
+        if call.star:
+            argument_indices: List[int] = []
+        else:
+            argument_indices = []
+            for arg in call.args:
+                if not isinstance(arg, ColumnRef):
+                    return None
+                index = layout.resolve(arg.name, arg.qualifier)
+                if index is None:
+                    return None
+                argument_indices.append(index)
+        streams: List[ColumnBatch] = []
+        for segment in range(table.num_segments):
+            segment_columns = table.segment_columns(segment)
+            if call.star:
+                length = len(segment_columns[0]) if segment_columns else 0
+                # Constant argument, known NULL-free: O(1) space, no null scan.
+                streams.append(
+                    ColumnBatch((ConstantColumn(1, length),), prefiltered=True)
+                )
+            else:
+                streams.append(
+                    ColumnBatch(tuple(segment_columns[i] for i in argument_indices))
+                )
+        return streams
+
     def _run_aggregate(
         self,
         call: FunctionCall,
         definition: AggregateDefinition,
+        aggregator: SegmentedAggregator,
+        argument_fns: Optional[list],
         member_indices: List[int],
         relation: _Relation,
-        contexts: List[RowContext],
+        contexts,
+        env: Optional[tuple] = None,
     ) -> Tuple[Any, AggregateTimings]:
-        # Build per-segment argument streams.
+        force_serial = not definition.supports_parallel or not self.database.parallel_aggregation
+
+        # Fastest path: argument streams are whole columns from the table's
+        # cached columnar view — no per-row work at all before the fold.
+        segment_streams = self._columnar_streams(call, member_indices, relation, env)
+        if segment_streams is not None:
+            return aggregator.run(segment_streams, force_serial=force_serial)
+
+        # Build per-segment argument streams row by row, through the
+        # pre-compiled argument closures when available, contexts otherwise.
         streams: Dict[int, List[Tuple[Any, ...]]] = {}
+        segment_ids = relation.segment_ids
+        rows = relation.rows
         for index in member_indices:
-            segment = relation.segment_ids[index] if index < len(relation.segment_ids) else 0
-            ctx = contexts[index]
+            segment = segment_ids[index] if index < len(segment_ids) else 0
             if call.star:
                 arguments: Tuple[Any, ...] = (1,)
+            elif argument_fns is not None:
+                row = rows[index]
+                arguments = tuple(fn(row) for fn in argument_fns)
             else:
+                ctx = contexts[index]
                 arguments = tuple(arg.evaluate(ctx) for arg in call.args)
             streams.setdefault(segment, []).append(arguments)
         if call.distinct:
@@ -505,8 +727,6 @@ class Executor:
                         unique.append(arguments)
             streams = {0: unique}
         segment_streams = [streams.get(s, []) for s in range(max(relation.num_segments, 1))]
-        aggregator = SegmentedAggregator(definition)
-        force_serial = not definition.supports_parallel or not self.database.parallel_aggregation
         return aggregator.run(segment_streams, force_serial=force_serial)
 
     def _execute_union(self, statement: UnionStatement, parameters) -> ResultSet:

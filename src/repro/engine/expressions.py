@@ -39,6 +39,8 @@ __all__ = [
     "IsNull",
     "Between",
     "RowContext",
+    "like_match",
+    "like_regex",
 ]
 
 
@@ -234,6 +236,31 @@ def _logical_or(left: Any, right: Any) -> Optional[bool]:
     return False
 
 
+def like_regex(pattern: str) -> "re.Pattern":
+    """Compiled regex for a SQL ``LIKE`` pattern (``%``/``_`` wildcards).
+
+    Separate from :func:`like_match` so the expression compiler can hoist
+    regex construction to plan time when the pattern is a literal.
+    """
+    import re
+
+    regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+    # re.escape escapes % and _ themselves; undo that.
+    regex = regex.replace(re.escape("%"), ".*").replace(re.escape("_"), ".")
+    return re.compile(regex)
+
+
+def like_match(text: Any, pattern: Any) -> Optional[bool]:
+    """SQL ``LIKE``: ``%``/``_`` wildcards, NULL-propagating.
+
+    Shared by the interpreted evaluator and the compiled closures in
+    :mod:`repro.engine.compile` so the two tiers cannot drift.
+    """
+    if is_null(text) or is_null(pattern):
+        return None
+    return like_regex(pattern).match(str(text)) is not None
+
+
 def _concat_op(left: Any, right: Any) -> Any:
     if is_null(left) or is_null(right):
         return None
@@ -286,16 +313,7 @@ class BinaryOp(Expression):
         return func(self.left.evaluate(context), self.right.evaluate(context))
 
     def _like(self, context: RowContext) -> Optional[bool]:
-        import re
-
-        text = self.left.evaluate(context)
-        pattern = self.right.evaluate(context)
-        if is_null(text) or is_null(pattern):
-            return None
-        regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
-        # re.escape escapes % and _ themselves; undo that.
-        regex = regex.replace(re.escape("%"), ".*").replace(re.escape("_"), ".")
-        return re.match(regex, str(text)) is not None
+        return like_match(self.left.evaluate(context), self.right.evaluate(context))
 
 
 @dataclass

@@ -17,15 +17,25 @@ This substitution preserves the quantity Figure 5 studies (speedup of the
 aggregation pattern with the number of segments) because the per-segment work
 is embarrassingly parallel by construction: the transition function touches
 only its segment's rows and the merge cost is independent of *n*.
+
+Per-segment folds run in one of two tiers (see ``docs/engine-execution.md``):
+a **batched** tier that hands a segment's argument columns to the
+aggregate's ``batch_transition`` kernel in a single call (built-in
+aggregates and ``linregr``'s v0.3 kernel define one), and the
+**row-at-a-time** fold, which is the fallback for user-defined aggregates,
+order-sensitive aggregates (``array_agg``, ``string_agg``) and any batch
+kernel that raises.  Both tiers are timed identically, so the per-segment /
+simulated-parallel methodology is unchanged.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from .aggregates import AggregateDefinition, AggregateRunner
+from .vectorized import ColumnBatch, strict_filter_columns
 
 __all__ = ["AggregateTimings", "ExecutionStats", "SegmentedAggregator"]
 
@@ -98,36 +108,105 @@ class SegmentedAggregator:
     and simulated-parallel numbers.
     """
 
-    def __init__(self, definition: AggregateDefinition) -> None:
+    def __init__(self, definition: AggregateDefinition, *, use_batch: bool = True) -> None:
         self.definition = definition
         self.runner = AggregateRunner(definition)
+        #: When false the batched tier is disabled and every fold is
+        #: row-at-a-time (``Database(compiled_execution=False)``), so the
+        #: parity suite compares genuinely different execution strategies.
+        self.use_batch = use_batch
+
+    # -- per-segment folds ---------------------------------------------------
+
+    def _fold_batch(self, stream: Union[ColumnBatch, List[Sequence[Any]]]) -> Any:
+        """One batch-kernel call over a segment's argument columns."""
+        definition = self.definition
+        state = definition.make_state()
+        prefiltered = False
+        if isinstance(stream, ColumnBatch):
+            columns, length = stream.columns, stream.length
+            prefiltered = stream.prefiltered
+        elif stream:
+            columns = tuple(list(column) for column in zip(*stream))
+            length = len(stream)
+        else:
+            return state
+        if length == 0:
+            return state
+        if definition.strict and not prefiltered:
+            columns, length = strict_filter_columns(columns)
+            if length == 0:
+                return state
+        return definition.batch_transition(state, *columns)
+
+    #: Below this many rows the batch machinery (transpose, strict filter,
+    #: kernel dispatch) costs more than a plain fold — e.g. high-cardinality
+    #: GROUP BY produces thousands of single-row streams.
+    _BATCH_MIN_ROWS = 8
+
+    def _fold_stream(self, stream: Union[ColumnBatch, List[Sequence[Any]]]) -> Any:
+        """Fold one segment: batched tier when available, row tier otherwise."""
+        if (
+            self.use_batch
+            and self.definition.batch_transition is not None
+            and len(stream) >= self._BATCH_MIN_ROWS
+        ):
+            try:
+                return self._fold_batch(stream)
+            except Exception:
+                # A failing batch kernel (ragged arrays, unsupported operand
+                # types) must not change which queries succeed.
+                pass
+        rows = stream.rows() if isinstance(stream, ColumnBatch) else stream
+        return self.runner.fold(rows)
+
+    @staticmethod
+    def _concatenate(
+        segment_streams: Sequence[Union[ColumnBatch, List[Sequence[Any]]]]
+    ) -> Union[ColumnBatch, List[Sequence[Any]]]:
+        """Fuse all segment streams into one (the force-serial baseline)."""
+        streams = [stream for stream in segment_streams if len(stream)]
+        if streams and all(isinstance(stream, ColumnBatch) for stream in streams):
+            width = len(streams[0].columns)
+            if all(len(stream.columns) == width for stream in streams):
+                merged = tuple(
+                    [value for stream in streams for value in stream.columns[i]]
+                    for i in range(width)
+                )
+                return ColumnBatch(
+                    merged, prefiltered=all(stream.prefiltered for stream in streams)
+                )
+        all_rows: List[Sequence[Any]] = []
+        for stream in streams:
+            all_rows.extend(stream.rows() if isinstance(stream, ColumnBatch) else stream)
+        return all_rows
 
     def run(
         self,
-        segment_streams: Sequence[List[Sequence[Any]]],
+        segment_streams: Sequence[Union[ColumnBatch, List[Sequence[Any]]]],
         *,
         force_serial: bool = False,
     ) -> tuple:
         """Execute and return ``(value, AggregateTimings)``.
 
-        ``force_serial`` disables the merge path (all rows folded by one
-        transition stream) which is the baseline for the merge-path ablation
-        benchmark.
+        Each stream is one segment's argument rows — either a list of
+        argument tuples or a :class:`~repro.engine.vectorized.ColumnBatch`
+        sliced straight from a table's columnar view.  ``force_serial``
+        disables the merge path (all rows folded by one transition stream)
+        which is the baseline for the merge-path ablation benchmark.
         """
         timings = AggregateTimings(aggregate_name=self.definition.name)
         if force_serial or not self.definition.supports_parallel or len(segment_streams) <= 1:
-            all_rows: List[Sequence[Any]] = []
-            for stream in segment_streams:
-                all_rows.extend(stream)
+            combined = self._concatenate(segment_streams)
             start = time.perf_counter()
-            state = self.runner.fold(all_rows)
+            state = self._fold_stream(combined)
             timings.per_segment_seconds = [time.perf_counter() - start]
-            timings.rows_per_segment = [len(all_rows)]
+            timings.rows_per_segment = [len(combined)]
         else:
             states = []
             for stream in segment_streams:
                 start = time.perf_counter()
-                states.append(self.runner.fold(stream))
+                states.append(self._fold_stream(stream))
                 timings.per_segment_seconds.append(time.perf_counter() - start)
                 timings.rows_per_segment.append(len(stream))
             start = time.perf_counter()

@@ -83,6 +83,10 @@ class Table:
         self._segments: List[List[Row]] = [[] for _ in range(num_segments)]
         self._row_count = 0
         self._round_robin_cursor = 0
+        # Monotonic mutation counter; the cached columnar views below are
+        # valid only for the version they were built at.
+        self._data_version = 0
+        self._columnar_cache: dict = {}
 
     # -- basic protocol -----------------------------------------------------
 
@@ -125,6 +129,7 @@ class Table:
         row = self._coerce_row(values)
         self._segments[self._segment_for(row)].append(row)
         self._row_count += 1
+        self._data_version += 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows inserted."""
@@ -139,6 +144,7 @@ class Table:
         self._segments = [[] for _ in range(self.num_segments)]
         self._row_count = 0
         self._round_robin_cursor = 0
+        self._data_version += 1
 
     def replace_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Replace the full contents (used by UPDATE and CREATE TABLE AS)."""
@@ -158,6 +164,7 @@ class Table:
                     kept.append(row)
             self._segments[segment_index] = kept
         self._row_count -= deleted
+        self._data_version += 1
         return deleted
 
     # -- access -------------------------------------------------------------
@@ -170,6 +177,29 @@ class Table:
     def segment_rows(self, segment: int) -> List[Row]:
         """Rows stored on one segment."""
         return list(self._segments[segment])
+
+    def segment_view(self, segment: int) -> Sequence[Row]:
+        """Read-only view of one segment's rows (no copy — do not mutate)."""
+        return self._segments[segment]
+
+    def segment_columns(self, segment: int) -> Tuple[List[Any], ...]:
+        """Columnar view of one segment, cached until the next mutation.
+
+        The executor's vectorized aggregate path slices these directly into
+        per-segment :class:`~repro.engine.vectorized.ColumnBatch` streams, so
+        the columns are materialized at most once per table version however
+        many aggregates a query (or a benchmark sweep) runs.
+        """
+        entry = self._columnar_cache.get(segment)
+        if entry is not None and entry[0] == self._data_version:
+            return entry[1]
+        rows = self._segments[segment]
+        if rows:
+            columns = tuple(list(column) for column in zip(*rows))
+        else:
+            columns = tuple([] for _ in self.schema)
+        self._columnar_cache[segment] = (self._data_version, columns)
+        return columns
 
     def segment_sizes(self) -> List[int]:
         """Number of rows per segment (used to report distribution skew)."""
@@ -204,6 +234,8 @@ class Table:
         self._segments = [[] for _ in range(num_segments)]
         self._row_count = 0
         self._round_robin_cursor = 0
+        self._data_version += 1
+        self._columnar_cache.clear()
         for row in rows:
             self._segments[self._segment_for(row)].append(row)
             self._row_count += 1

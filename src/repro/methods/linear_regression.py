@@ -140,10 +140,41 @@ def _transition_naive(state: LinRegrTransitionState, y: float, x) -> LinRegrTran
     return state
 
 
+def _batch_transition_optimized(
+    state: LinRegrTransitionState, y_column, x_column
+) -> LinRegrTransitionState:
+    """Batched v0.3 transition: one BLAS-backed Gram update per segment.
+
+    Semantically a fold of :func:`_transition_optimized` over the segment's
+    rows — ``X^T X`` and ``X^T y`` accumulated for the whole batch in single
+    matrix products instead of one rank-1 update per row.  Registered as the
+    optimized kernel's ``batch_transition``; the engine falls back to the
+    row-at-a-time fold if this raises (e.g. ragged feature vectors).
+    """
+    matrix = np.asarray(x_column, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("linregr batch update needs uniform-width feature vectors")
+    responses = np.asarray(y_column, dtype=np.float64)
+    if not state.is_initialized:
+        state.initialize(matrix.shape[1])
+    state.num_rows += matrix.shape[0]
+    state.y_sum += float(responses.sum())
+    state.y_square_sum += float(responses @ responses)
+    state.x_transp_y += matrix.T @ responses
+    state.x_transp_x += matrix.T @ matrix
+    return state
+
+
 KERNELS: Dict[str, Callable] = {
     "optimized": _transition_optimized,
     "unoptimized": _transition_unoptimized,
     "naive": _transition_naive,
+}
+
+#: Batch (whole-segment) kernels; only the v0.3 analog has one — the older
+#: generations are deliberately row-at-a-time, that is what Figure 4 measures.
+BATCH_KERNELS: Dict[str, Callable] = {
+    "optimized": _batch_transition_optimized,
 }
 
 #: Map of paper version labels to kernel names (used by the Figure 4 harness).
@@ -202,6 +233,7 @@ def make_linregr_aggregate(kernel: str = "optimized", name: str = "linregr") -> 
         final=_finalize,
         initial_state=LinRegrTransitionState,
         strict=True,
+        batch_transition=BATCH_KERNELS.get(kernel),
     )
 
 
