@@ -45,8 +45,8 @@ from repro.engine.vectorized import ColumnBatch
 MICRO_ROWS = max(DEFAULT_ROWS * 10, 40_000)
 
 
-def _make_database(compiled: bool, rows: int) -> Database:
-    database = Database(num_segments=4, compiled_execution=compiled)
+def _make_database(compiled: bool, rows: int, *, workers: int = 0, segments: int = 4) -> Database:
+    database = Database(num_segments=segments, compiled_execution=compiled, parallel=workers)
     database.create_table(
         "m",
         [("id", "integer"), ("a", "double precision"), ("b", "double precision")],
@@ -82,26 +82,48 @@ def _time_rows_per_sec(
     return total_rows / best if best > 0 else float("inf"), result
 
 
-def run_micro_suite(rows: int = MICRO_ROWS) -> Dict[str, float]:
-    """All microbenchmark metrics, each in rows/second (higher is better)."""
+#: Metrics that only exist when ``--workers`` is given; excluded from the
+#: committed baseline so the regression gate stays comparable across runs
+#: with and without the parallel tier.
+PARALLEL_ONLY_METRICS = frozenset(
+    {
+        "query_unfiltered_serial_rows_per_sec",
+        "query_unfiltered_parallel_rows_per_sec",
+        "parallel_measured_speedup",
+    }
+)
+
+
+def run_micro_suite(
+    rows: int = MICRO_ROWS, *, workers: int = 0, repeats: int = 3
+) -> Dict[str, float]:
+    """All microbenchmark metrics, each in rows/second (higher is better).
+
+    With ``workers > 0`` the suite additionally measures the *real* parallel
+    tier — the same unfiltered aggregate scan executed serially and through a
+    ``Database(parallel=workers)`` worker pool — and reports the measured
+    (wall-clock, IPC included) speedup.  On a single-core machine expect a
+    value below 1; the point of the metric is that it is measured, not
+    simulated.
+    """
     database = _make_database(True, rows)
     where, executor, relation = _expression_fixture(database)
     metrics: Dict[str, float] = {}
 
     # -- context construction (the cost the compiled tier skips entirely) ----
     metrics["context_construction_rows_per_sec"], contexts = _time_rows_per_sec(
-        rows, lambda: executor._make_contexts(relation, None)
+        rows, repeats=repeats, func=lambda: executor._make_contexts(relation, None)
     )
 
     # -- expression evaluation: interpreted tree walk vs compiled closure ----
     metrics["expression_eval_interpreted_rows_per_sec"], interpreted_hits = _time_rows_per_sec(
-        rows, lambda: sum(1 for ctx in contexts if where.evaluate(ctx) is True)
+        rows, repeats=repeats, func=lambda: sum(1 for ctx in contexts if where.evaluate(ctx) is True)
     )
     layout = ColumnLayout(relation.context_keys())
     predicate = compile_expression(where, layout, executor._function_registry())
     assert predicate is not None
     metrics["expression_eval_compiled_rows_per_sec"], compiled_hits = _time_rows_per_sec(
-        rows, lambda: sum(1 for row in relation.rows if predicate(row) is True)
+        rows, repeats=repeats, func=lambda: sum(1 for row in relation.rows if predicate(row) is True)
     )
     assert interpreted_hits == compiled_hits
 
@@ -111,30 +133,50 @@ def run_micro_suite(rows: int = MICRO_ROWS) -> Dict[str, float]:
     stream_rows = [(value,) for value in column]
     aggregator = SegmentedAggregator(sum_definition)
     metrics["aggregate_fold_rows_per_sec"], folded = _time_rows_per_sec(
-        rows, lambda: aggregator.runner.fold(stream_rows)
+        rows, repeats=repeats, func=lambda: aggregator.runner.fold(stream_rows)
     )
     metrics["aggregate_batch_rows_per_sec"], batched = _time_rows_per_sec(
-        rows, lambda: aggregator._fold_stream(ColumnBatch((column,)))
+        rows, repeats=repeats, func=lambda: aggregator._fold_stream(ColumnBatch((column,)))
     )
     assert abs(folded - batched) <= 1e-6 * max(1.0, abs(folded))
 
     # -- end-to-end query throughput, both tiers -----------------------------
     query = "SELECT sum(a), avg(b), count(*) FROM m WHERE a > 0"
     metrics["query_compiled_rows_per_sec"], fast = _time_rows_per_sec(
-        rows, lambda: database.execute(query).rows
+        rows, repeats=repeats, func=lambda: database.execute(query).rows
     )
     interpreted_db = _make_database(False, rows)
     metrics["query_interpreted_rows_per_sec"], slow = _time_rows_per_sec(
-        rows, lambda: interpreted_db.execute(query).rows
+        rows, repeats=repeats, func=lambda: interpreted_db.execute(query).rows
     )
     assert fast[0][2] == slow[0][2]
+
+    # -- real parallel tier: measured (not simulated) speedup ----------------
+    if workers > 0:
+        scan = "SELECT sum(a), avg(b), count(*) FROM m"  # unfiltered aggregate scan
+        metrics["query_unfiltered_serial_rows_per_sec"], serial_rows = _time_rows_per_sec(
+            rows, repeats=repeats, func=lambda: database.execute(scan).rows
+        )
+        segments = max(4, workers)
+        parallel_db = _make_database(True, rows, workers=workers, segments=segments)
+        parallel_db.ensure_parallel_workers()  # spawn outside the timed region
+        metrics["query_unfiltered_parallel_rows_per_sec"], parallel_rows = _time_rows_per_sec(
+            rows, repeats=repeats, func=lambda: parallel_db.execute(scan).rows
+        )
+        assert parallel_rows[0][2] == serial_rows[0][2]
+        assert parallel_db.last_stats.executed_parallel, "worker pool did not engage"
+        metrics["parallel_measured_speedup"] = (
+            metrics["query_unfiltered_parallel_rows_per_sec"]
+            / metrics["query_unfiltered_serial_rows_per_sec"]
+        )
+        parallel_db.close()
     return metrics
 
 
-def write_report(path: Path, metrics: Dict[str, float]) -> None:
+def write_report(path: Path, metrics: Dict[str, float], *, rows: int = MICRO_ROWS) -> None:
     payload = {
         "benchmark": "engine_micro",
-        "rows": MICRO_ROWS,
+        "rows": rows,
         "unit": "rows_per_sec",
         "metrics": {name: round(value, 2) for name, value in metrics.items()},
     }
@@ -187,25 +229,69 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path(__file__).resolve().parent / "BENCH_engine.json",
-        help="where to write the JSON report (default: benchmarks/BENCH_engine.json)",
+        default=None,
+        help="where to write the JSON report (default: benchmarks/BENCH_engine.json, "
+        "or BENCH_engine_smoke.json in --smoke mode so reduced-row numbers never "
+        "reach the regression gate)",
     )
     parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="also refresh benchmarks/BENCH_engine_baseline.json (machine-specific)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also measure the real parallel tier with an N-process worker pool "
+        "and report the measured (wall-clock) speedup vs the serial scan",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: reduced row count, one timing repeat — checks the "
+        "benchmark still runs, produces no meaningful absolute numbers",
+    )
     args = parser.parse_args(argv)
-    metrics = run_micro_suite()
-    write_report(args.output, metrics)
-    print(f"wrote {args.output}")
+    if args.smoke and args.write_baseline:
+        parser.error("--smoke numbers are meaningless as a baseline; drop one flag")
+    rows = min(MICRO_ROWS, 8_000) if args.smoke else MICRO_ROWS
+    output = args.output
+    if output is None:
+        name = "BENCH_engine_smoke.json" if args.smoke else "BENCH_engine.json"
+        output = Path(__file__).resolve().parent / name
+    metrics = run_micro_suite(rows, workers=args.workers, repeats=1 if args.smoke else 3)
+    write_report(output, metrics, rows=rows)
+    print(f"wrote {output}" + (" (smoke mode)" if args.smoke else ""))
     for name in sorted(metrics):
-        print(f"  {name:44s} {metrics[name]:>14,.0f} rows/sec")
+        if name == "parallel_measured_speedup":
+            print(f"  {name:44s} {metrics[name]:>14.2f}x (measured, not simulated)")
+        else:
+            print(f"  {name:44s} {metrics[name]:>14,.0f} rows/sec")
     if args.write_baseline:
         baseline = Path(__file__).resolve().parent / "BENCH_engine_baseline.json"
-        write_report(baseline, metrics)
+        write_report(
+            baseline,
+            {k: v for k, v in metrics.items() if k not in PARALLEL_ONLY_METRICS},
+            rows=rows,
+        )
         print(f"wrote {baseline}")
     return 0
+
+
+def test_smoke_does_not_touch_default_report(tmp_path):
+    """--smoke without --output must not overwrite BENCH_engine.json."""
+    import json as _json
+
+    out = Path(__file__).resolve().parent / "BENCH_engine_smoke.json"
+    default = Path(__file__).resolve().parent / "BENCH_engine.json"
+    before = default.read_text() if default.exists() else None
+    assert main(["--smoke"]) == 0
+    assert _json.loads(out.read_text())["rows"] <= 8_000
+    if before is not None:
+        assert default.read_text() == before
+    out.unlink()
 
 
 if __name__ == "__main__":

@@ -93,21 +93,47 @@ class LinregrMeasurement:
     #: scale (the paper isolates the same thing at 10M rows).
     aggregate_serial_seconds: float = 0.0
     aggregate_parallel_seconds: float = 0.0
+    #: Real worker-pool execution (``Database(parallel=N)``): pool size and
+    #: the *measured* aggregate elapsed time (fan-out wall clock + merge +
+    #: final).  ``None``/``0`` when the run was in-process (simulated tier).
+    workers: int = 0
+    measured_parallel_seconds: Optional[float] = None
 
     @property
     def speedup(self) -> float:
-        """Speedup of the aggregation pattern (serial fold over simulated parallel)."""
+        """*Simulated* speedup of the aggregation pattern (a model-derived
+        ratio: serial fold time over max-per-segment time — not wall clock)."""
         if self.aggregate_parallel_seconds > 0:
             return self.aggregate_serial_seconds / self.aggregate_parallel_seconds
         if self.simulated_parallel_seconds == 0:
             return float(self.segments)
         return self.serial_seconds / self.simulated_parallel_seconds
 
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        """Measured speedup: serial fold time over real parallel wall clock.
+
+        Only available when the run executed on the worker pool.  Unlike
+        :attr:`speedup` the denominator is real elapsed time (dispatch and
+        IPC included) — but the numerator sums fold times measured inside
+        concurrently contending workers, so treat it as an upper bound; the
+        unbiased comparison is a separately-timed serial run of the same
+        query (``bench_engine_micro.py --workers`` does that).
+        """
+        if not self.measured_parallel_seconds:
+            return None
+        return self.aggregate_serial_seconds / self.measured_parallel_seconds
+
 
 def build_regression_database(num_rows: int, num_variables: int, *, segments: int = 6,
-                              seed: int = 7) -> Database:
-    """A database with one regression table ``data`` of the requested shape."""
-    database = Database(num_segments=segments)
+                              seed: int = 7, workers: int = 0) -> Database:
+    """A database with one regression table ``data`` of the requested shape.
+
+    ``workers > 0`` enables the real parallel tier (a persistent worker pool;
+    see ``docs/architecture.md``) so sweeps can report measured — not only
+    simulated — speedups.
+    """
+    database = Database(num_segments=segments, parallel=workers)
     data = make_regression(num_rows, num_variables, noise=0.5, seed=seed)
     load_regression_table(database, "data", data)
     return database
@@ -141,6 +167,8 @@ def run_linregr(
         wall_seconds=wall,
         aggregate_serial_seconds=timings.serial_seconds,
         aggregate_parallel_seconds=timings.simulated_parallel_seconds,
+        workers=timings.num_workers,
+        measured_parallel_seconds=timings.measured_parallel_seconds,
     )
 
 

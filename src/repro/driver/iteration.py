@@ -76,6 +76,13 @@ class IterationController:
         self.iteration = 0
         self.traces: List[IterationTrace] = []
         self._finished = False
+        # Warm the parallel worker pool (if the database has one) before the
+        # first timed iteration: iterative methods reuse one persistent pool
+        # across all their aggregate passes instead of respawning processes,
+        # and the spawn cost never lands inside an IterationTrace.
+        warm = getattr(database, "ensure_parallel_workers", None)
+        if callable(warm):
+            warm()
         # CREATE TEMPORARY TABLE iterative_algorithm AS SELECT 0 AS iteration, NULL AS state
         database.create_table(
             self.state_table,

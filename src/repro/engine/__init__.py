@@ -11,6 +11,7 @@ from .aggregates import AggregateDefinition, AggregateRunner, builtin_aggregates
 from .catalog import Catalog
 from .database import Database, connect
 from .functions import FunctionDefinition, builtin_functions
+from .parallel import SegmentWorkerPool
 from .result import ResultSet
 from .schema import Column, Schema
 from .segments import AggregateTimings, ExecutionStats, SegmentedAggregator
@@ -41,6 +42,7 @@ __all__ = [
     "AggregateDefinition",
     "AggregateRunner",
     "SegmentedAggregator",
+    "SegmentWorkerPool",
     "AggregateTimings",
     "ExecutionStats",
     "builtin_functions",

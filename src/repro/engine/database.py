@@ -26,6 +26,7 @@ from .aggregates import AggregateDefinition, builtin_aggregates
 from .catalog import Catalog
 from .executor import Executor
 from .functions import FunctionDefinition, builtin_functions
+from .parallel import SegmentWorkerPool
 from .parser import parse_script, parse_statement
 from .result import ResultSet
 from .schema import Column, Schema
@@ -54,6 +55,16 @@ class Database:
         aggregate transitions); when false every query takes the interpreted
         row-at-a-time path.  The two must agree — the flag exists so the
         parity suite and the microbenchmarks can compare them.
+    parallel:
+        Number of worker *processes* for real parallel segment execution
+        (the third execution tier, :mod:`repro.engine.parallel`).  ``0``
+        (default) keeps everything in-process with simulated-parallel
+        timings; ``N >= 1`` creates a persistent
+        :class:`~repro.engine.parallel.SegmentWorkerPool` that runs
+        per-segment transition folds concurrently and merges the partial
+        states on the coordinator.  Aggregates the pool cannot ship
+        (non-picklable UDAs) transparently fall back to the in-process fold,
+        so results are identical with and without workers.
     """
 
     def __init__(
@@ -62,12 +73,21 @@ class Database:
         *,
         parallel_aggregation: bool = True,
         compiled_execution: bool = True,
+        parallel: int = 0,
     ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
+        if parallel is None:
+            parallel = 0
+        if parallel < 0:
+            raise ValidationError("parallel worker count must not be negative")
         self.num_segments = num_segments
         self.parallel_aggregation = parallel_aggregation
         self.compiled_execution = compiled_execution
+        self.parallel = int(parallel)
+        self._worker_pool: Optional[SegmentWorkerPool] = (
+            SegmentWorkerPool(self.parallel) if self.parallel else None
+        )
         self.catalog = Catalog()
         self.executor = Executor(self)
         self.last_stats: Optional[ExecutionStats] = None
@@ -188,6 +208,38 @@ class Database:
 
     def table_names(self) -> List[str]:
         return self.catalog.table_names()
+
+    # ------------------------------------------------------------------ parallel workers
+
+    @property
+    def worker_pool(self) -> Optional[SegmentWorkerPool]:
+        """The persistent segment worker pool, or None when ``parallel=0``."""
+        return self._worker_pool
+
+    def ensure_parallel_workers(self) -> None:
+        """Start the worker pool now instead of on first use (idempotent).
+
+        Driver iteration controllers call this so multipass methods pay the
+        process-spawn cost once up front, never inside a timed iteration.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.ensure_started()
+
+    def close(self) -> None:
+        """Release external resources (the worker pool); idempotent.
+
+        The database object itself stays usable — subsequent queries simply
+        run without the parallel tier.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ segments
 

@@ -8,7 +8,8 @@ the Figure 4 / Figure 5 experiments measure.  Everything else (joins,
 subqueries, window functions, DML) exists so that MADlib-style methods can be
 written as plain SQL plus driver functions, exactly as in the paper.
 
-SELECT execution is two-tier (see ``docs/engine-execution.md``):
+SELECT execution is tiered (see ``docs/engine-execution.md`` and
+``docs/architecture.md``):
 
 * **Compiled/vectorized fast path** — expressions (WHERE predicates, select
   lists, GROUP BY keys, aggregate arguments) are compiled once per query into
@@ -22,6 +23,10 @@ SELECT execution is two-tier (see ``docs/engine-execution.md``):
   (window calls, unresolvable names, unbound parameters, DISTINCT aggregates)
   drops back to per-row :class:`RowContext` dicts and tree-walking
   ``Expression.evaluate``, built lazily so the fast path never pays for them.
+* **Parallel tier** — with ``Database(parallel=N)``, mergeable aggregates
+  additionally fan their per-segment folds out to the persistent worker pool
+  (:mod:`repro.engine.parallel`); the coordinator merges the partial states.
+  Results are identical to the in-process tiers by construction.
 
 Both tiers must produce identical results; ``tests/engine/test_compiled_parity.py``
 runs a query corpus through each and asserts it.
@@ -668,17 +673,15 @@ class Executor:
                 argument_indices.append(index)
         streams: List[ColumnBatch] = []
         for segment in range(table.num_segments):
-            segment_columns = table.segment_columns(segment)
             if call.star:
+                segment_columns = table.segment_columns(segment)
                 length = len(segment_columns[0]) if segment_columns else 0
                 # Constant argument, known NULL-free: O(1) space, no null scan.
                 streams.append(
                     ColumnBatch((ConstantColumn(1, length),), prefiltered=True)
                 )
             else:
-                streams.append(
-                    ColumnBatch(tuple(segment_columns[i] for i in argument_indices))
-                )
+                streams.append(table.segment_batch(segment, argument_indices))
         return streams
 
     def _run_aggregate(
@@ -693,12 +696,15 @@ class Executor:
         env: Optional[tuple] = None,
     ) -> Tuple[Any, AggregateTimings]:
         force_serial = not definition.supports_parallel or not self.database.parallel_aggregation
+        # The worker pool (real parallel execution) engages only where the
+        # merge path would: mergeable aggregate, parallel aggregation on.
+        pool = None if force_serial else self.database.worker_pool
 
         # Fastest path: argument streams are whole columns from the table's
         # cached columnar view — no per-row work at all before the fold.
         segment_streams = self._columnar_streams(call, member_indices, relation, env)
         if segment_streams is not None:
-            return aggregator.run(segment_streams, force_serial=force_serial)
+            return aggregator.run(segment_streams, force_serial=force_serial, pool=pool)
 
         # Build per-segment argument streams row by row, through the
         # pre-compiled argument closures when available, contexts otherwise.
@@ -727,7 +733,7 @@ class Executor:
                         unique.append(arguments)
             streams = {0: unique}
         segment_streams = [streams.get(s, []) for s in range(max(relation.num_segments, 1))]
-        return aggregator.run(segment_streams, force_serial=force_serial)
+        return aggregator.run(segment_streams, force_serial=force_serial, pool=pool)
 
     def _execute_union(self, statement: UnionStatement, parameters) -> ResultSet:
         results = [self._execute_select(select, parameters) for select in statement.selects]

@@ -1,0 +1,307 @@
+"""Real parallel segment execution: a persistent worker-process pool.
+
+The simulated-parallel methodology in :mod:`repro.engine.segments` *models*
+what a shared-nothing cluster would do (``max`` over per-segment fold times).
+This module is the third execution tier that actually does it: a persistent
+:mod:`multiprocessing` pool of worker processes, one task per segment, true
+two-phase aggregation exactly as Greenplum/MADlib execute it —
+
+1. the coordinator ships each segment's argument batch to a worker,
+2. every worker runs the (already compiled/batched) **transition** fold over
+   its segment locally and returns the partial state, and
+3. the coordinator combines partial states with the aggregate's **merge**
+   function and applies **final** — the merge/final phases never leave the
+   coordinator, so their callables (often lambdas) never need to be pickled.
+
+What crosses the process boundary:
+
+* **Down**: an *aggregate spec* plus one segment's argument stream.  Built-in
+  aggregates travel as just their name — every worker rebuilds the builtin
+  registry at startup, so the closure-based builtins (``min``/``max``/
+  ``bool_*``) work without being picklable.  User-defined aggregates travel
+  as their transition/batch kernels pickled *by reference* (module +
+  qualname), which works for module-level functions such as ``linregr``'s
+  kernels.  Aggregates whose callables cannot be pickled (lambdas, local
+  closures — e.g. the IGD objective closures) are detected up front and the
+  caller falls back to the in-process serial fold; parallelism never changes
+  which queries succeed or what they return.
+* **Up**: the partial state and the worker-measured fold wall-clock seconds
+  (so :class:`~repro.engine.segments.AggregateTimings` keeps its per-segment
+  timing semantics under real parallelism).
+
+Argument streams are shipped compactly: :class:`~repro.engine.vectorized.
+ColumnBatch` pickles float columns as packed C-double buffers (see its
+``__reduce__``) and ``count(*)``'s constant column in O(1) space, so the
+dominant IPC cost for numeric workloads is one ``memcpy``-like transfer per
+segment rather than a per-value pickle loop.
+
+The pool is **persistent**: it belongs to the :class:`~repro.engine.database.
+Database` (``Database(parallel=N)``), is started lazily on first use (or
+eagerly via ``ensure_started``, which the driver-iteration controller calls
+so multipass methods pay the spawn cost once, not per iteration), and is
+reused by every query until ``close()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import weakref
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+from .aggregates import AggregateDefinition, builtin_aggregates
+
+__all__ = ["SegmentWorkerPool"]
+
+
+# ---------------------------------------------------------------------------
+# Aggregate specs: what identifies an aggregate inside a worker process.
+# ---------------------------------------------------------------------------
+
+#: Module that defines the built-in aggregates; their transition callables
+#: (including the ``min``/``max``/``bool_*`` closures) all live here.
+_BUILTIN_MODULE = AggregateDefinition.__module__
+
+#: Coordinator-side fingerprints of the builtins:
+#: name -> (transition __qualname__, strict flag).
+_BUILTIN_FINGERPRINTS = {
+    definition.name.lower(): (definition.transition.__qualname__, definition.strict)
+    for definition in builtin_aggregates()
+}
+
+#: Attribute used to memoize the spec decision on a definition object, so the
+#: picklability probe runs once per (definition, batch-tier) rather than once
+#: per query.
+_SPEC_CACHE_ATTR = "_parallel_spec_cache"
+
+
+def shippable_spec(definition: AggregateDefinition, use_batch: bool) -> Optional[tuple]:
+    """A picklable description of ``definition``'s transition side, or None.
+
+    ``("builtin", name)`` when the definition *is* the built-in registered
+    under that name (same transition function identity by module/qualname and
+    same strictness) — workers rebuild it locally from their own registry.
+    ``("funcs", name, transition, batch, initial_state, strict)`` when the
+    transition-side callables pickle (by reference); an unpicklable batch
+    kernel alone only degrades that aggregate to the worker's row-at-a-time
+    fold, it does not force serial execution.  ``None`` means the aggregate
+    cannot run in workers at all and the caller must fold in-process.
+    """
+    cached = getattr(definition, _SPEC_CACHE_ATTR, None)
+    if cached is not None and cached[0] == use_batch:
+        return cached[1]
+    spec = _build_spec(definition, use_batch)
+    try:
+        setattr(definition, _SPEC_CACHE_ATTR, (use_batch, spec))
+    except AttributeError:  # pragma: no cover - slotted subclass
+        pass
+    return spec
+
+
+def _build_spec(definition: AggregateDefinition, use_batch: bool) -> Optional[tuple]:
+    name = definition.name.lower()
+    fingerprint = _BUILTIN_FINGERPRINTS.get(name)
+    if (
+        fingerprint is not None
+        and getattr(definition.transition, "__module__", None) == _BUILTIN_MODULE
+        and definition.transition.__qualname__ == fingerprint[0]
+        and definition.strict == fingerprint[1]
+    ):
+        return ("builtin", name)
+    try:
+        pickle.dumps((definition.transition, definition.initial_state))
+    except Exception:
+        return None
+    batch = definition.batch_transition if use_batch else None
+    if batch is not None:
+        try:
+            pickle.dumps(batch)
+        except Exception:
+            batch = None
+    return (
+        "funcs",
+        definition.name,
+        definition.transition,
+        batch,
+        definition.initial_state,
+        definition.strict,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker registry of built-in aggregate definitions, built once at pool
+#: startup (each worker has its own copy — shared-nothing, like a segment).
+_WORKER_BUILTINS: Optional[dict] = None
+
+
+def _worker_initializer() -> None:
+    global _WORKER_BUILTINS
+    _WORKER_BUILTINS = {d.name.lower(): d for d in builtin_aggregates()}
+
+
+def _resolve_spec(spec: tuple) -> AggregateDefinition:
+    global _WORKER_BUILTINS
+    if spec[0] == "builtin":
+        if _WORKER_BUILTINS is None:  # defensive: initializer not run
+            _worker_initializer()
+        return _WORKER_BUILTINS[spec[1]]
+    _tag, name, transition, batch, initial_state, strict = spec
+    # merge/final are deliberately absent: they run on the coordinator only.
+    return AggregateDefinition(
+        name,
+        transition,
+        initial_state=initial_state,
+        strict=strict,
+        batch_transition=batch,
+    )
+
+
+def _fold_segment_task(task: tuple) -> Tuple[Any, float]:
+    """Run one segment's transition fold in a worker; returns (state, seconds).
+
+    Reuses :meth:`SegmentedAggregator._fold_stream`, so the batched tier, the
+    small-stream threshold and the silent batch-kernel fallback behave
+    identically to the in-process fold — parallel execution cannot change
+    results.
+    """
+    from .segments import SegmentedAggregator  # deferred: avoids import cycle
+
+    spec, stream, use_batch = task
+    aggregator = SegmentedAggregator(_resolve_spec(spec), use_batch=use_batch)
+    start = time.perf_counter()
+    state = aggregator._fold_stream(stream)
+    return state, time.perf_counter() - start
+
+
+def _terminate_pool(pool: multiprocessing.pool.Pool) -> None:
+    pool.terminate()
+    pool.join()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class SegmentWorkerPool:
+    """A persistent pool of segment-worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes (>= 1).  Matching the machine's core count
+        (and the database's segment count) gives the best speedup; more
+        segments than workers simply queue.
+    start_method:
+        Optional :mod:`multiprocessing` start method.  Defaults to ``fork``
+        where available (cheap startup, inherits imports) and ``spawn``
+        elsewhere.
+    min_dispatch_rows:
+        Fan-outs whose streams total fewer rows than this fold in-process —
+        a pool round trip costs a fixed few hundred microseconds, which a
+        high-cardinality GROUP BY would otherwise pay once *per group*.
+        Set to ``0`` to force every eligible aggregate through the workers
+        (the parallel parity tests do).
+    """
+
+    #: Default row floor below which dispatching to workers is not worth it.
+    DEFAULT_MIN_DISPATCH_ROWS = 512
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        start_method: Optional[str] = None,
+        min_dispatch_rows: Optional[int] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValidationError("parallel worker count must be at least 1")
+        self.num_workers = int(num_workers)
+        self.min_dispatch_rows = (
+            self.DEFAULT_MIN_DISPATCH_ROWS if min_dispatch_rows is None else int(min_dispatch_rows)
+        )
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._finalizer = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def ensure_started(self) -> None:
+        """Start the worker processes now (idempotent).
+
+        Called lazily on the first parallel aggregate, and eagerly by
+        :class:`~repro.driver.iteration.IterationController` so iterative
+        methods never pay the spawn cost inside a timed iteration.
+        """
+        if self._pool is None and not self._closed:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(self.num_workers, initializer=_worker_initializer)
+            self._finalizer = weakref.finalize(self, _terminate_pool, self._pool)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent); the pool cannot be restarted."""
+        self._closed = True
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            _terminate_pool(pool)
+
+    # -- execution -------------------------------------------------------------
+
+    def run_aggregate(
+        self,
+        definition: AggregateDefinition,
+        segment_streams: Sequence[Any],
+        *,
+        use_batch: bool = True,
+    ) -> Optional[Tuple[List[Any], List[float], float]]:
+        """Fold every segment stream in the worker pool.
+
+        Returns ``(partial_states, per_segment_seconds, wall_seconds)`` where
+        ``per_segment_seconds`` are measured *inside* the workers (the fold
+        itself) and ``wall_seconds`` is the coordinator-observed elapsed time
+        for the whole fan-out — dispatch, folds and IPC included.  Returns
+        ``None`` when this aggregate cannot be shipped (non-picklable UDA) or
+        the pool is closed, in which case the caller folds in-process.
+        """
+        if self._closed:
+            return None
+        if sum(len(stream) for stream in segment_streams) < self.min_dispatch_rows:
+            return None
+        spec = shippable_spec(definition, use_batch)
+        if spec is None:
+            return None
+        self.ensure_started()
+        tasks = [(spec, stream, use_batch) for stream in segment_streams]
+        start = time.perf_counter()
+        results = self._pool.map(_fold_segment_task, tasks)
+        wall = time.perf_counter() - start
+        states = [state for state, _ in results]
+        seconds = [elapsed for _, elapsed in results]
+        return states, seconds, wall
+
+    def __enter__(self) -> "SegmentWorkerPool":
+        self.ensure_started()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self._closed else ("started" if self.started else "idle")
+        return f"SegmentWorkerPool(num_workers={self.num_workers}, {state})"

@@ -1,22 +1,32 @@
-"""Shared-nothing segment simulation and aggregate timing statistics.
+"""Shared-nothing segment execution and aggregate timing statistics.
 
 The paper's infrastructure evaluation (Section 4.4, Figures 4 and 5) measures
 how the user-defined-aggregate building block scales with the number of
-Greenplum *segments* (one query process per core).  We do not have a cluster;
-instead, per-segment transition folds are executed one after another on a
-single core while their individual wall-clock times are recorded.  The
-harness then reports
+Greenplum *segments* (one query process per core).  Two regimes exist here:
+
+**Simulated parallelism** (the default, ``Database(parallel=0)``): per-segment
+transition folds are executed one after another on a single core while their
+individual wall-clock times are recorded, and the harness reports
 
 * ``serial_seconds`` — the sum of per-segment times (what one segment would
   pay to scan everything), and
 * ``simulated_parallel_seconds`` — ``max`` of the per-segment times plus the
   merge and final phases, i.e. the elapsed time a shared-nothing cluster
-  would observe if every segment ran concurrently.
+  would observe if every segment ran concurrently.  This is a *projection
+  from a model*, not a measurement — never present it as a measured speedup.
 
-This substitution preserves the quantity Figure 5 studies (speedup of the
+The substitution preserves the quantity Figure 5 studies (speedup of the
 aggregation pattern with the number of segments) because the per-segment work
 is embarrassingly parallel by construction: the transition function touches
 only its segment's rows and the merge cost is independent of *n*.
+
+**Measured parallelism** (``Database(parallel=N)``): per-segment folds really
+run concurrently in the persistent worker pool of
+:mod:`repro.engine.parallel`, and the timings additionally record
+``measured_parallel_wall_seconds`` — the coordinator-observed wall clock of
+the whole fan-out (dispatch + folds + IPC) — next to the worker-measured
+per-segment fold times.  ``measured_parallel_seconds`` is then a true
+elapsed-time counterpart to ``simulated_parallel_seconds``.
 
 Per-segment folds run in one of two tiers (see ``docs/engine-execution.md``):
 a **batched** tier that hands a segment's argument columns to the
@@ -24,8 +34,9 @@ aggregate's ``batch_transition`` kernel in a single call (built-in
 aggregates and ``linregr``'s v0.3 kernel define one), and the
 **row-at-a-time** fold, which is the fallback for user-defined aggregates,
 order-sensitive aggregates (``array_agg``, ``string_agg``) and any batch
-kernel that raises.  Both tiers are timed identically, so the per-segment /
-simulated-parallel methodology is unchanged.
+kernel that raises.  Both tiers are timed identically — on the coordinator
+and inside pool workers — so the per-segment timing methodology is unchanged
+across all three execution strategies.
 """
 
 from __future__ import annotations
@@ -42,17 +53,34 @@ __all__ = ["AggregateTimings", "ExecutionStats", "SegmentedAggregator"]
 
 @dataclass
 class AggregateTimings:
-    """Wall-clock timings for one aggregate executed with the segmented path."""
+    """Wall-clock timings for one aggregate executed with the segmented path.
+
+    ``per_segment_seconds`` are always the fold times themselves: measured on
+    the coordinator when segments run one after another, measured *inside*
+    the workers when the pool executes them.  ``measured_parallel_wall_seconds``
+    and ``num_workers`` are populated only when the fan-out really ran in the
+    worker pool.
+    """
 
     aggregate_name: str
     per_segment_seconds: List[float] = field(default_factory=list)
     merge_seconds: float = 0.0
     final_seconds: float = 0.0
     rows_per_segment: List[int] = field(default_factory=list)
+    #: Coordinator-observed wall clock of the parallel per-segment phase
+    #: (dispatch + worker folds + IPC); ``None`` when segments ran in-process.
+    measured_parallel_wall_seconds: Optional[float] = None
+    #: Worker-pool size that executed the fan-out; ``0`` = in-process.
+    num_workers: int = 0
 
     @property
     def num_segments(self) -> int:
         return len(self.per_segment_seconds)
+
+    @property
+    def executed_parallel(self) -> bool:
+        """True when the per-segment folds really ran in worker processes."""
+        return self.measured_parallel_wall_seconds is not None
 
     @property
     def serial_seconds(self) -> float:
@@ -61,17 +89,54 @@ class AggregateTimings:
 
     @property
     def simulated_parallel_seconds(self) -> float:
-        """Elapsed time with all segments running concurrently."""
+        """*Projected* elapsed time if all segments ran concurrently.
+
+        This is the model quantity (max over per-segment fold times plus the
+        merge/final phases), not a measurement — compare with
+        :attr:`measured_parallel_seconds`, which is real wall clock from the
+        worker-pool tier.  Reports must label the two distinctly.
+        """
         slowest = max(self.per_segment_seconds, default=0.0)
         return slowest + self.merge_seconds + self.final_seconds
 
     @property
+    def measured_parallel_seconds(self) -> Optional[float]:
+        """Measured elapsed time of the aggregate under real parallelism.
+
+        Wall clock of the worker-pool fan-out plus the coordinator-side merge
+        and final phases; ``None`` when the aggregate did not run in the pool.
+        """
+        if self.measured_parallel_wall_seconds is None:
+            return None
+        return self.measured_parallel_wall_seconds + self.merge_seconds + self.final_seconds
+
+    @property
     def speedup(self) -> float:
-        """Serial over simulated-parallel time (ideal value: num_segments)."""
+        """Serial over *simulated*-parallel time (ideal value: num_segments).
+
+        A modelled ratio; for measured speedup divide ``serial_seconds`` by
+        :attr:`measured_parallel_seconds` instead.
+        """
         parallel = self.simulated_parallel_seconds
         if parallel == 0.0:
             return float(self.num_segments or 1)
         return self.serial_seconds / parallel
+
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        """Serial fold time over measured parallel elapsed time.
+
+        The denominator is real wall clock, but the numerator sums fold times
+        measured *inside concurrently running workers*, which contention
+        (cache, memory bandwidth, SMT) can inflate relative to a genuinely
+        serial run — so this ratio is an upper bound on the true speedup.
+        For an unbiased number time a separate serial execution of the same
+        query, as ``bench_engine_micro.py --workers`` does.
+        """
+        measured = self.measured_parallel_seconds
+        if measured is None or measured == 0.0:
+            return None
+        return self.serial_seconds / measured
 
 
 @dataclass
@@ -86,17 +151,40 @@ class ExecutionStats:
 
     @property
     def simulated_parallel_seconds(self) -> float:
-        """Simulated elapsed time: non-aggregate work plus parallel aggregate time.
+        """*Projected* elapsed time: non-aggregate work plus modelled parallel
+        aggregate time.
 
-        The non-aggregate part of the query (planning, projection of the tiny
-        final result) is not parallelised, matching the paper's observation
-        that "the overhead for a single query is very low and only a fraction
-        of a second".
+        A model quantity, not a measurement (see the module docstring): when
+        the statement actually executed on the worker pool, ``total_seconds``
+        is already the measured parallel wall clock — check
+        :attr:`executed_parallel` before presenting either number as a
+        speedup.  The non-aggregate part of the query (planning, projection
+        of the tiny final result) is not parallelised, matching the paper's
+        observation that "the overhead for a single query is very low and
+        only a fraction of a second".
         """
         serial_aggregate = sum(t.serial_seconds for t in self.aggregate_timings)
         parallel_aggregate = sum(t.simulated_parallel_seconds for t in self.aggregate_timings)
         other = max(self.total_seconds - serial_aggregate, 0.0)
         return other + parallel_aggregate
+
+    @property
+    def executed_parallel(self) -> bool:
+        """True when any aggregate of this statement ran on the worker pool."""
+        return any(t.executed_parallel for t in self.aggregate_timings)
+
+    @property
+    def measured_parallel_seconds(self) -> Optional[float]:
+        """Sum of measured parallel aggregate times, or None if none ran
+        in the pool."""
+        measured = [
+            t.measured_parallel_seconds
+            for t in self.aggregate_timings
+            if t.measured_parallel_seconds is not None
+        ]
+        if not measured:
+            return None
+        return sum(measured)
 
 
 class SegmentedAggregator:
@@ -186,6 +274,7 @@ class SegmentedAggregator:
         segment_streams: Sequence[Union[ColumnBatch, List[Sequence[Any]]]],
         *,
         force_serial: bool = False,
+        pool=None,
     ) -> tuple:
         """Execute and return ``(value, AggregateTimings)``.
 
@@ -194,6 +283,14 @@ class SegmentedAggregator:
         sliced straight from a table's columnar view.  ``force_serial``
         disables the merge path (all rows folded by one transition stream)
         which is the baseline for the merge-path ablation benchmark.
+
+        ``pool`` is an optional :class:`~repro.engine.parallel.
+        SegmentWorkerPool`; when given (and the aggregate is mergeable and
+        shippable) the per-segment folds run concurrently in worker
+        processes — real two-phase aggregation — and the timings carry the
+        measured fan-out wall clock.  Any aggregate the pool cannot execute
+        (non-picklable UDA) silently folds in-process instead, so the pool
+        never changes which queries succeed or what they return.
         """
         timings = AggregateTimings(aggregate_name=self.definition.name)
         if force_serial or not self.definition.supports_parallel or len(segment_streams) <= 1:
@@ -203,12 +300,30 @@ class SegmentedAggregator:
             timings.per_segment_seconds = [time.perf_counter() - start]
             timings.rows_per_segment = [len(combined)]
         else:
-            states = []
-            for stream in segment_streams:
-                start = time.perf_counter()
-                states.append(self._fold_stream(stream))
-                timings.per_segment_seconds.append(time.perf_counter() - start)
-                timings.rows_per_segment.append(len(stream))
+            states = None
+            if pool is not None:
+                try:
+                    outcome = pool.run_aggregate(
+                        self.definition, segment_streams, use_batch=self.use_batch
+                    )
+                except Exception:
+                    # IPC failures (e.g. a partial state that does not pickle)
+                    # must not change which queries succeed: refold in-process,
+                    # where a genuinely raising transition raises identically.
+                    outcome = None
+                if outcome is not None:
+                    states, per_segment, wall = outcome
+                    timings.per_segment_seconds = per_segment
+                    timings.rows_per_segment = [len(s) for s in segment_streams]
+                    timings.measured_parallel_wall_seconds = wall
+                    timings.num_workers = pool.num_workers
+            if states is None:
+                states = []
+                for stream in segment_streams:
+                    start = time.perf_counter()
+                    states.append(self._fold_stream(stream))
+                    timings.per_segment_seconds.append(time.perf_counter() - start)
+                    timings.rows_per_segment.append(len(stream))
             start = time.perf_counter()
             state = self.runner.merge_states(states)
             timings.merge_seconds = time.perf_counter() - start

@@ -201,6 +201,20 @@ class Table:
         self._columnar_cache[segment] = (self._data_version, columns)
         return columns
 
+    def segment_batch(self, segment: int, column_indices: Sequence[int]) -> "ColumnBatch":
+        """One segment's values for the given columns, as a ``ColumnBatch``.
+
+        Zero-copy-ish export for the aggregate fast path and the parallel
+        worker pool: the batch holds references into the cached columnar view
+        (no per-row materialization; the columns are built at most once per
+        table version), and ``ColumnBatch`` itself pickles float columns as
+        packed double buffers when a batch is shipped to a worker process.
+        """
+        from .vectorized import ColumnBatch
+
+        columns = self.segment_columns(segment)
+        return ColumnBatch(tuple(columns[i] for i in column_indices))
+
     def segment_sizes(self) -> List[int]:
         """Number of rows per segment (used to report distribution skew)."""
         return [len(segment) for segment in self._segments]

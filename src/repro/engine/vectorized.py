@@ -27,6 +27,7 @@ falls back, leaving the driver-function methods untouched.
 
 from __future__ import annotations
 
+from array import array
 from itertools import repeat
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -66,6 +67,11 @@ class ConstantColumn(Sequence):
             return self.value
         raise IndexError(index)
 
+    def __reduce__(self):
+        # O(1) wire format regardless of length (slots classes need explicit
+        # support anyway; the worker pool ships these for count(*)).
+        return (ConstantColumn, (self.value, self.length))
+
 
 class ColumnBatch:
     """One segment's aggregate arguments, stored as columns.
@@ -94,6 +100,41 @@ class ColumnBatch:
         if not self.columns:
             return [()] * self.length
         return list(zip(*self.columns))
+
+    def __reduce__(self):
+        # Compact segment-batch export for the parallel worker pool: float
+        # columns travel as packed C-double buffers instead of one pickle op
+        # per value.  ``array('d').tolist()`` restores bit-identical Python
+        # floats, so shipping a batch through a worker cannot change results.
+        return (
+            _rebuild_column_batch,
+            (tuple(_pack_column(column) for column in self.columns), self.prefiltered),
+        )
+
+
+def _pack_column(column: Sequence[Any]) -> Tuple[str, Any]:
+    """Wire format for one column: ('f64', packed doubles) or ('raw', values)."""
+    if isinstance(column, ConstantColumn):
+        return ("const", column)
+    # `type(v) is float` (not isinstance) keeps bools/ints/np.float64 on the
+    # raw path so the round-trip preserves value types exactly.  len() (not
+    # truthiness) so array-likes without a scalar bool (ndarray) stay raw.
+    if len(column) and all(type(value) is float for value in column):
+        return ("f64", array("d", column))
+    return ("raw", list(column))
+
+
+def _unpack_column(packed: Tuple[str, Any]) -> Sequence[Any]:
+    tag, payload = packed
+    if tag == "f64":
+        return payload.tolist()
+    return payload
+
+
+def _rebuild_column_batch(packed_columns, prefiltered: bool) -> "ColumnBatch":
+    return ColumnBatch(
+        tuple(_unpack_column(packed) for packed in packed_columns), prefiltered=prefiltered
+    )
 
 
 def _null_positions(column: Sequence[Any]) -> Optional[set]:

@@ -1,0 +1,146 @@
+"""merge_states correctness for every built-in aggregate.
+
+Two-phase aggregation is only sound if folding per-segment partial states and
+merging them equals one serial fold — for *any* partitioning of the rows,
+including empty segments and NULL-heavy ones.  This is the invariant both the
+simulated-parallel path and the real worker-pool tier rely on, so it gets
+exhaustive coverage: every built-in aggregate, many random contiguous splits
+(contiguity preserves the row order that ``array_agg``/``string_agg`` are
+sensitive to), plus adversarial NULL/empty cases.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import AggregateRunner, builtin_aggregates
+
+
+AGGREGATES = {definition.name: definition for definition in builtin_aggregates()}
+
+
+def _value_rows(kind: str, rng: random.Random, *, null_rate: float = 0.2, size: int = 57):
+    """Argument-tuple rows appropriate for one aggregate's signature."""
+    rows = []
+    for i in range(size):
+        if kind == "count":
+            rows.append((1,))
+            continue
+        is_null = rng.random() < null_rate
+        if kind == "float":
+            value = None if is_null else rng.uniform(-1e3, 1e3)
+            rows.append((value,))
+        elif kind == "bool":
+            rows.append((None if is_null else rng.random() < 0.5,))
+        elif kind == "text":
+            rows.append((None if is_null else f"v{i % 7}",))
+        elif kind == "text_delim":
+            value = None if is_null else f"v{i % 7}"
+            delimiter = None if rng.random() < 0.2 else rng.choice([",", "|", ""])
+            rows.append((value, delimiter))
+        elif kind == "vector":
+            value = None if is_null else [rng.uniform(-5, 5) for _ in range(4)]
+            rows.append((np.asarray(value) if value is not None else None,))
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+    return rows
+
+
+#: aggregate name -> argument kind.
+SIGNATURES = {
+    "count": "count",
+    "sum": "float",
+    "avg": "float",
+    "min": "float",
+    "max": "float",
+    "var_samp": "float",
+    "var_pop": "float",
+    "variance": "float",
+    "stddev": "float",
+    "stddev_pop": "float",
+    "array_agg": "text",
+    "string_agg": "text_delim",
+    "bool_and": "bool",
+    "bool_or": "bool",
+    "vector_sum": "vector",
+}
+
+
+def _random_contiguous_split(rows, rng: random.Random, num_segments: int):
+    """Split rows into ``num_segments`` contiguous (possibly empty) chunks."""
+    cuts = sorted(rng.randint(0, len(rows)) for _ in range(num_segments - 1))
+    bounds = [0] + cuts + [len(rows)]
+    return [rows[bounds[i] : bounds[i + 1]] for i in range(num_segments)]
+
+
+def _assert_equal(merged, serial, label: str):
+    if isinstance(serial, float) and isinstance(merged, float):
+        if math.isnan(serial):
+            assert math.isnan(merged), label
+        else:
+            assert merged == pytest.approx(serial, rel=1e-9, abs=1e-9), label
+    elif isinstance(serial, np.ndarray) or isinstance(merged, np.ndarray):
+        np.testing.assert_allclose(
+            np.asarray(merged, dtype=np.float64),
+            np.asarray(serial, dtype=np.float64),
+            rtol=1e-9,
+            err_msg=label,
+        )
+    else:
+        assert merged == serial, label
+
+
+@pytest.mark.parametrize("name", sorted(SIGNATURES))
+@pytest.mark.parametrize("null_rate", [0.0, 0.2, 0.9])
+def test_random_segment_splits_equal_serial_fold(name, null_rate):
+    definition = AGGREGATES[name]
+    runner = AggregateRunner(definition)
+    rng = random.Random(hash((name, null_rate)) & 0xFFFF)
+    rows = _value_rows(SIGNATURES[name], rng, null_rate=null_rate)
+    serial = definition.finalize(runner.fold(list(rows)))
+    for trial in range(10):
+        num_segments = rng.choice([2, 3, 4, 7, 12])
+        segments = _random_contiguous_split(rows, rng, num_segments)
+        merged = runner.run_segmented(segments)
+        _assert_equal(merged, serial, f"{name} null_rate={null_rate} trial={trial}")
+
+
+@pytest.mark.parametrize("name", sorted(SIGNATURES))
+def test_empty_and_all_null_segments(name):
+    definition = AGGREGATES[name]
+    runner = AggregateRunner(definition)
+    rng = random.Random(99)
+    rows = _value_rows(SIGNATURES[name], rng, null_rate=0.3, size=23)
+    serial = definition.finalize(runner.fold(list(rows)))
+    nulls = [] if name == "count" else [(None,) * len(rows[0])] * 5
+    # Empty leading/trailing segments and an all-NULL segment inserted at the
+    # end must not change the result (strict aggregates skip NULL rows; the
+    # non-strict ones — array_agg/string_agg — handle value-NULLs themselves).
+    if definition.strict or name in ("array_agg",):
+        segments = [[], list(rows), [], nulls if definition.strict else []]
+        merged = runner.run_segmented(segments)
+        _assert_equal(merged, serial, f"{name} with empty/all-NULL segments")
+    # All segments empty: same as folding nothing at all.
+    empty_serial = definition.finalize(runner.fold([]))
+    empty_merged = runner.run_segmented([[], [], []])
+    _assert_equal(empty_merged, empty_serial, f"{name} all segments empty")
+
+
+def test_array_agg_null_values_survive_merge():
+    definition = AGGREGATES["array_agg"]
+    runner = AggregateRunner(definition)
+    rows = [("a",), (None,), ("b",), (None,)]
+    assert runner.run_segmented([rows[:2], rows[2:]]) == ["a", None, "b", None]
+
+
+def test_string_agg_null_values_skipped_but_null_delims_kept():
+    definition = AGGREGATES["string_agg"]
+    runner = AggregateRunner(definition)
+    rows = [("a", ","), (None, ","), ("b", None), ("c", "|")]
+    serial = definition.finalize(runner.fold(list(rows)))
+    merged = runner.run_segmented([rows[:1], rows[1:3], [], rows[3:]])
+    assert merged == serial == "ab|c"
