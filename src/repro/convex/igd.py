@@ -13,6 +13,14 @@ example's gradient step into the model, the merge function averages the
 per-segment models (weighted by example counts — the model-averaging scheme of
 Zinkevich et al.), and the final function returns the model plus the summed
 loss of the epoch.
+
+The transition/merge/final triple lives on :class:`IGDEpochKernel`, a
+module-level class whose bound methods pickle (the instance ships the
+objective by value, the class travels by reference) — the UDA picklability
+contract of ``docs/engine-execution.md``.  That is what lets
+``Database(parallel=N)`` run each epoch's per-segment gradient folds in real
+worker processes and average the partial models on the coordinator: true
+parallel model averaging per iteration instead of a silent serial fallback.
 """
 
 from __future__ import annotations
@@ -24,32 +32,34 @@ import numpy as np
 from ..engine.aggregates import AggregateDefinition
 from .objectives import Objective
 
-__all__ = ["install_igd", "make_igd_aggregate"]
+__all__ = ["IGDEpochKernel", "install_igd", "make_igd_aggregate"]
 
 
-def make_igd_aggregate(objective: Objective, *, name: str = "igd_epoch") -> AggregateDefinition:
-    """Build the per-epoch IGD aggregate for ``objective``.
+class IGDEpochKernel:
+    """Picklable transition/merge/final kernel for the per-epoch IGD aggregate.
 
-    SQL signature: ``igd_epoch(model_in, stepsize, col1, col2, ...)`` where the
-    trailing columns form the objective's row format.  ``model_in`` may be NULL
-    on the first epoch.
+    State: ``{"model": ndarray, "n": int, "loss": float}`` — everything a
+    worker returns to the coordinator, all plain picklable values.
     """
 
-    def transition(state, model_in, stepsize, *row):
+    def __init__(self, objective: Objective) -> None:
+        self.objective = objective
+
+    def transition(self, state, model_in, stepsize, *row):
         if state is None:
             if model_in is None:
-                model = objective.initial_model()
+                model = self.objective.initial_model()
             else:
                 model = np.array(model_in, dtype=np.float64, copy=True)
             state = {"model": model, "n": 0, "loss": 0.0}
         if any(value is None for value in row):
             return state
-        state["loss"] += objective.loss(state["model"], row)
-        objective.apply_gradient(state["model"], row, float(stepsize))
+        state["loss"] += self.objective.loss(state["model"], row)
+        self.objective.apply_gradient(state["model"], row, float(stepsize))
         state["n"] += 1
         return state
 
-    def merge(a, b):
+    def merge(self, a, b):
         if a is None:
             return b
         if b is None:
@@ -64,13 +74,27 @@ def make_igd_aggregate(objective: Objective, *, name: str = "igd_epoch") -> Aggr
         a["n"] = total
         return a
 
-    def final(state):
+    def final(self, state):
         if state is None:
             return None
         return {"model": state["model"], "loss": float(state["loss"]), "n": int(state["n"])}
 
+
+def make_igd_aggregate(objective: Objective, *, name: str = "igd_epoch") -> AggregateDefinition:
+    """Build the per-epoch IGD aggregate for ``objective``.
+
+    SQL signature: ``igd_epoch(model_in, stepsize, col1, col2, ...)`` where the
+    trailing columns form the objective's row format.  ``model_in`` may be NULL
+    on the first epoch.
+    """
+    kernel = IGDEpochKernel(objective)
     return AggregateDefinition(
-        name, transition, merge=merge, final=final, initial_state=None, strict=False
+        name,
+        kernel.transition,
+        merge=kernel.merge,
+        final=kernel.final,
+        initial_state=None,
+        strict=False,
     )
 
 

@@ -35,6 +35,10 @@ class IterationTrace:
     iteration: int
     seconds: float
     state_summary: Optional[float] = None
+    #: True when the iteration's aggregate pass ran on the worker pool —
+    #: with picklable UDA kernels (IGD, k-means) this is per-iteration
+    #: parallel model averaging; False means the in-process fold served it.
+    executed_parallel: bool = False
 
 
 class IterationController:
@@ -132,14 +136,18 @@ class IterationController:
         bound.setdefault("iteration", self.iteration)
         rendered = sql.replace("{state_table}", self.state_table)
         start = time.perf_counter()
-        new_state = self.database.execute(rendered, bound).scalar()
+        result = self.database.execute(rendered, bound)
+        new_state = result.scalar()
         elapsed = time.perf_counter() - start
         self.iteration += 1
         self.database.execute(
             f"INSERT INTO {self.state_table} (iteration, state) VALUES (%(it)s, %(state)s)",
             {"it": self.iteration, "state": new_state},
         )
-        self.traces.append(IterationTrace(self.iteration, elapsed))
+        executed_parallel = bool(result.stats is not None and result.stats.executed_parallel)
+        self.traces.append(
+            IterationTrace(self.iteration, elapsed, executed_parallel=executed_parallel)
+        )
         return new_state
 
     def run(

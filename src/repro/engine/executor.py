@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from ..errors import CatalogError, ExecutionError, SQLSyntaxError
 from .aggregates import AggregateDefinition
 from .compile import ColumnLayout, compile_expression
+from .parallel import guarded_function_registry, shippable_spec
 from .vectorized import ColumnBatch, ConstantColumn
 from .expressions import (
     ColumnRef,
@@ -562,7 +563,65 @@ class Executor:
     ) -> List[Tuple[Any, ...]]:
         aggregates = self._aggregate_registry()
 
-        # Group rows.
+        # Compile each aggregate call's plan once per query (not per group):
+        # definition, reusable aggregator, compiled argument closures.
+        use_batch = getattr(self.database, "compiled_execution", True)
+        call_plans: List[Tuple[FunctionCall, AggregateDefinition, SegmentedAggregator, Optional[list]]] = []
+        for call in aggregate_calls:
+            definition = aggregates[call.name.lower()]
+            argument_fns = None
+            if not call.star and env is not None:
+                compiled = [self._compile(arg, env) for arg in call.args]
+                if all(fn is not None for fn in compiled):
+                    argument_fns = compiled
+            call_plans.append(
+                (call, definition, SegmentedAggregator(definition, use_batch=use_batch), argument_fns)
+            )
+
+        # Phase-one grouping: the worker pool when the statement qualifies
+        # (two-phase per-segment hash tables), in-process otherwise.  Both
+        # produce the same structure: (key, representative row index or None,
+        # {aggregate placeholder: value}) in global first-appearance order.
+        group_results = self._parallel_grouped(statement, call_plans, relation, parameters, stats, env)
+        if group_results is None:
+            group_results = self._inprocess_grouped(
+                statement, call_plans, relation, contexts, parameters, stats, env
+            )
+
+        output_rows: List[Tuple[Any, ...]] = []
+        group_contexts: List[RowContext] = []
+        for _key, representative, aggregate_values in group_results:
+            if representative is not None:
+                base_context = contexts[representative]
+            else:
+                base_context = RowContext({}, self._function_registry(), parameters)
+            group_context = base_context.with_values(aggregate_values)
+            if statement.having is not None:
+                if statement.having.evaluate(group_context) is not True:
+                    continue
+            output_rows.append(
+                tuple(item.expression.evaluate(group_context) for item in select_items)
+            )
+            group_contexts.append(group_context)
+
+        if statement.order_by:
+            output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
+            output_rows = self._apply_order_by(
+                statement.order_by, select_items, output_names, group_contexts, output_rows
+            )
+        return output_rows
+
+    def _inprocess_grouped(
+        self,
+        statement: SelectStatement,
+        call_plans: List[tuple],
+        relation: _Relation,
+        contexts,
+        parameters,
+        stats: ExecutionStats,
+        env: Optional[tuple],
+    ) -> List[Tuple[Any, Optional[int], Dict[str, Any]]]:
+        """Coordinator-side grouping and per-group aggregation."""
         groups: Dict[Any, List[int]] = {}
         group_order: List[Any] = []
         if statement.group_by:
@@ -590,53 +649,199 @@ class Executor:
             groups[key] = list(range(len(contexts)))
             group_order.append(key)
 
-        # Compile each aggregate call's plan once per query (not per group):
-        # definition, reusable aggregator, compiled argument closures.
-        use_batch = getattr(self.database, "compiled_execution", True)
-        call_plans: List[Tuple[FunctionCall, AggregateDefinition, SegmentedAggregator, Optional[list]]] = []
-        for call in aggregate_calls:
-            definition = aggregates[call.name.lower()]
-            argument_fns = None
-            if not call.star and env is not None:
-                compiled = [self._compile(arg, env) for arg in call.args]
-                if all(fn is not None for fn in compiled):
-                    argument_fns = compiled
-            call_plans.append(
-                (call, definition, SegmentedAggregator(definition, use_batch=use_batch), argument_fns)
-            )
-
         single_group = len(groups) == 1 and not statement.group_by
-        output_rows: List[Tuple[Any, ...]] = []
-        group_contexts: List[RowContext] = []
+        # Grouped statements accumulate one statement-level timings object per
+        # aggregate call (per-group contributions folded together), so
+        # ``simulated_parallel_seconds`` projects grouped work too instead of
+        # silently dropping it.
+        grouped_timings = [
+            AggregateTimings(aggregate_name=definition.name)
+            for _call, definition, _aggregator, _argument_fns in call_plans
+        ]
+        results: List[Tuple[Any, Optional[int], Dict[str, Any]]] = []
         for key in group_order:
             member_indices = groups[key]
             aggregate_values: Dict[str, Any] = {}
-            for call, definition, aggregator, argument_fns in call_plans:
+            for position, (call, definition, aggregator, argument_fns) in enumerate(call_plans):
                 value, timings = self._run_aggregate(
                     call, definition, aggregator, argument_fns, member_indices, relation, contexts, env
                 )
                 aggregate_values[f"__agg_{id(call)}"] = value
                 if single_group:
                     stats.aggregate_timings.append(timings)
-            if member_indices:
-                base_context = contexts[member_indices[0]]
-            else:
-                base_context = RowContext({}, self._function_registry(), parameters)
-            group_context = base_context.with_values(aggregate_values)
-            if statement.having is not None:
-                if statement.having.evaluate(group_context) is not True:
-                    continue
-            output_rows.append(
-                tuple(item.expression.evaluate(group_context) for item in select_items)
-            )
-            group_contexts.append(group_context)
+                else:
+                    grouped_timings[position].accumulate(timings)
+            representative = member_indices[0] if member_indices else None
+            results.append((key, representative, aggregate_values))
+        if not single_group and group_order:
+            stats.aggregate_timings.extend(grouped_timings)
+        return results
 
-        if statement.order_by:
-            output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
-            output_rows = self._apply_order_by(
-                statement.order_by, select_items, output_names, group_contexts, output_rows
+    def _parallel_grouped(
+        self,
+        statement: SelectStatement,
+        call_plans: List[tuple],
+        relation: _Relation,
+        parameters,
+        stats: ExecutionStats,
+        env: Optional[tuple],
+    ) -> Optional[List[Tuple[Any, Optional[int], Dict[str, Any]]]]:
+        """Two-phase grouped aggregation on the worker pool, or None.
+
+        Phase one runs in the workers: one task per segment builds a partial
+        ``{group_key: [agg_states]}`` table over that segment's rows (see
+        :func:`repro.engine.parallel._grouped_segment_task`).  Phase two runs
+        here: partial tables are merged in segment order — which, because
+        dispatch requires segment-sorted row provenance, reproduces the
+        in-process first-appearance group order exactly — then each group's
+        states merge via the aggregate's merge function and finalize.
+
+        Returns ``None`` (→ in-process grouping) when the statement does not
+        qualify: no pool, keys or arguments outside the shippable compilable
+        subset (builtin scalar functions only), a DISTINCT or non-mergeable
+        or non-picklable aggregate, a fan-out below ``min_dispatch_rows``, or
+        estimated group cardinality so high that coordinator-side merging
+        would dominate (``docs/parallel-groupby.md`` documents the planner
+        rules).
+        """
+        database = self.database
+        pool = getattr(database, "worker_pool", None)
+        if (
+            pool is None
+            or not database.parallel_aggregation
+            or env is None
+            or not statement.group_by
+            or not call_plans
+            or relation.num_segments <= 1
+            or len(relation.rows) < pool.min_dispatch_rows
+        ):
+            return None
+        for call, definition, _aggregator, _argument_fns in call_plans:
+            if call.distinct or not definition.supports_parallel:
+                return None
+
+        # Keys and aggregate arguments must compile against the *guarded*
+        # registry (genuine builtins only) so workers reproduce them exactly.
+        layout, _functions, _parameters, aggregate_names = env
+        guarded = guarded_function_registry(self._function_registry())
+        key_fns = [
+            compile_expression(expression, layout, guarded, parameters, aggregate_names)
+            for expression in statement.group_by
+        ]
+        if any(fn is None for fn in key_fns):
+            return None
+        use_batch = getattr(database, "compiled_execution", True)
+        agg_entries: List[tuple] = []
+        for call, definition, _aggregator, _argument_fns in call_plans:
+            spec = shippable_spec(definition, use_batch)
+            if spec is None:
+                return None
+            if call.star:
+                agg_entries.append((spec, ("star",)))
+                continue
+            arg_fns = [
+                compile_expression(argument, layout, guarded, parameters, aggregate_names)
+                for argument in call.args
+            ]
+            if any(fn is None for fn in arg_fns):
+                return None
+            agg_entries.append((spec, ("exprs", tuple(call.args))))
+
+        # Dispatch relies on segment-sorted row provenance to reconstruct the
+        # global first-appearance group order from per-segment tables; when
+        # sorted, each segment's rows are one contiguous run, so segments
+        # ship as plain slices.
+        segment_ids = relation.segment_ids
+        segment_slices: List[Tuple[int, int]] = []
+        run_start = 0
+        for index in range(1, len(segment_ids) + 1):
+            if index == len(segment_ids) or segment_ids[index] != segment_ids[run_start]:
+                segment_slices.append((run_start, index))
+                run_start = index
+        if any(
+            segment_ids[first[0]] > segment_ids[second[0]]
+            for first, second in zip(segment_slices, segment_slices[1:])
+        ):
+            return None
+
+        rows = relation.rows
+        sample_size = min(len(rows), pool.GROUP_SAMPLE_ROWS)
+        if pool.min_dispatch_rows > 0:
+            sample_keys = {
+                tuple(hashable_key(fn(rows[index])) for fn in key_fns)
+                for index in range(sample_size)
+            }
+            if not pool.grouped_dispatch_worthwhile(len(sample_keys), sample_size):
+                return None
+
+        segment_rows = [rows[start:end] for start, end in segment_slices]
+        try:
+            outcome = pool.run_grouped(
+                tuple(statement.group_by),
+                relation.context_keys(),
+                agg_entries,
+                parameters,
+                segment_rows,
+                use_batch=use_batch,
             )
-        return output_rows
+        except Exception:
+            # Unpicklable rows/states or a worker-side failure must not change
+            # which queries succeed: regroup in-process, where a genuinely
+            # raising transition raises identically.
+            outcome = None
+        if outcome is None:
+            return None
+        tables, agg_seconds, key_seconds, wall = outcome
+
+        # Merge the per-segment partial tables in segment order.
+        group_order: List[Any] = []
+        representative: Dict[Any, int] = {}
+        partial_states: Dict[Any, List[list]] = {}
+        for position, table in enumerate(tables):
+            slice_start = segment_slices[position][0]
+            for key, first_local, states in table:
+                known = partial_states.get(key)
+                if known is None:
+                    group_order.append(key)
+                    representative[key] = slice_start + first_local
+                    partial_states[key] = [[state] for state in states]
+                else:
+                    for state_list, state in zip(known, states):
+                        state_list.append(state)
+
+        results: List[Tuple[Any, Optional[int], Dict[str, Any]]] = [
+            (key, representative[key], {}) for key in group_order
+        ]
+        wall_share = wall / max(len(call_plans), 1)
+        rows_per_segment = [len(batch) for batch in segment_rows]
+        for position, (call, definition, aggregator, _argument_fns) in enumerate(call_plans):
+            timings = AggregateTimings(aggregate_name=definition.name)
+            timings.per_segment_seconds = [seconds[position] for seconds in agg_seconds]
+            if position == 0:
+                # The keying pass is shared by every aggregate of the
+                # statement; attribute it once, to the first call.
+                timings.per_segment_seconds = [
+                    fold + keying
+                    for fold, keying in zip(timings.per_segment_seconds, key_seconds)
+                ]
+            timings.rows_per_segment = list(rows_per_segment)
+            timings.measured_parallel_wall_seconds = wall_share
+            timings.num_workers = pool.num_workers
+            timings.num_groups = len(group_order)
+            timings.grouped_dispatch = True
+            agg_key = f"__agg_{id(call)}"
+            start = time.perf_counter()
+            merged = {
+                key: aggregator.runner.merge_states(partial_states[key][position])
+                for key in group_order
+            }
+            timings.merge_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            for key, _representative, values in results:
+                values[agg_key] = definition.finalize(merged[key])
+            timings.final_seconds = time.perf_counter() - start
+            stats.aggregate_timings.append(timings)
+        return results
 
     def _columnar_streams(
         self,

@@ -35,6 +35,25 @@ ColumnBatch` pickles float columns as packed C-double buffers (see its
 dominant IPC cost for numeric workloads is one ``memcpy``-like transfer per
 segment rather than a per-value pickle loop.
 
+Two dispatch shapes exist.  **Ungrouped** (`run_aggregate`): one task per
+segment per aggregate, each returning a single partial state.  **Grouped**
+(`run_grouped`, the two-phase GROUP BY path): one task per segment for the
+*whole statement* — the worker receives the segment's rows plus the group-key
+expressions (shipped as picklable AST nodes and compiled to positional-row
+closures inside the worker), builds a partial ``{group_key: [agg_states]}``
+hash table locally (batched kernels engage per group where available), and
+the coordinator merges the per-segment partial tables with each aggregate's
+merge function.  That is one IPC round trip per segment instead of one
+coordinator-side pass per group, which is what makes grouped aggregation
+scale the way the paper's Greenplum experiments assume.
+
+Group-key and aggregate-argument expressions can only be shipped when every
+scalar function they reference is a genuine built-in — workers rebuild the
+builtin function registry locally, so a user-defined (or shadowed) function
+would silently change meaning across the boundary.
+:func:`guarded_function_registry` enforces this with a code-object
+fingerprint; anything outside it keeps the statement on the coordinator.
+
 The pool is **persistent**: it belongs to the :class:`~repro.engine.database.
 Database` (``Database(parallel=N)``), is started lazily on first use (or
 eagerly via ``ensure_started``, which the driver-iteration controller calls
@@ -48,12 +67,15 @@ import multiprocessing
 import pickle
 import time
 import weakref
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ValidationError
 from .aggregates import AggregateDefinition, builtin_aggregates
+from .compile import ColumnLayout, compile_expression
+from .functions import builtin_functions
+from .types import hashable_key
 
-__all__ = ["SegmentWorkerPool"]
+__all__ = ["SegmentWorkerPool", "guarded_function_registry", "shippable_spec"]
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +153,59 @@ def _build_spec(definition: AggregateDefinition, use_batch: bool) -> Optional[tu
 
 
 # ---------------------------------------------------------------------------
+# Shippable scalar functions (for group keys and aggregate arguments)
+# ---------------------------------------------------------------------------
+
+
+#: Coordinator-side cache of one freshly built builtin scalar-function
+#: registry (immutable per process) — the fingerprint source for
+#: :func:`guarded_function_registry`, built once instead of per query.
+_FRESH_FUNCTION_REGISTRY: Optional[dict] = None
+
+
+def _fresh_function_registry() -> dict:
+    global _FRESH_FUNCTION_REGISTRY
+    if _FRESH_FUNCTION_REGISTRY is None:
+        _FRESH_FUNCTION_REGISTRY = {
+            definition.name.lower(): definition for definition in builtin_functions()
+        }
+    return _FRESH_FUNCTION_REGISTRY
+
+
+def guarded_function_registry(
+    catalog_functions: Dict[str, Callable[..., Any]]
+) -> Dict[str, Callable[..., Any]]:
+    """The subset of a catalog's scalar functions a worker can reproduce.
+
+    Workers compile shipped expressions against their own freshly built
+    ``builtin_functions()`` registry, so an expression may only be dispatched
+    when every function it references is *exactly* the built-in of that name:
+    same definition class, same strictness, same underlying code object (the
+    identity that survives re-running ``builtin_functions()``, lambdas
+    included).  User-defined functions — and user functions *shadowing* a
+    builtin name — are excluded, which makes compilation against the returned
+    registry fail for them and keeps the statement on the coordinator.
+    """
+    guarded: Dict[str, Callable[..., Any]] = {}
+    fresh = _fresh_function_registry()
+    for name, registered in catalog_functions.items():
+        reference = fresh.get(name)
+        if (
+            reference is None
+            or type(registered) is not type(reference)
+            or getattr(registered, "strict", None) != reference.strict
+        ):
+            continue
+        func = getattr(registered, "func", None)
+        code = getattr(func, "__code__", None)
+        if func is reference.func or (
+            code is not None and code is getattr(reference.func, "__code__", None)
+        ):
+            guarded[name] = registered
+    return guarded
+
+
+# ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
@@ -138,10 +213,17 @@ def _build_spec(definition: AggregateDefinition, use_batch: bool) -> Optional[tu
 #: startup (each worker has its own copy — shared-nothing, like a segment).
 _WORKER_BUILTINS: Optional[dict] = None
 
+#: Per-worker registry of built-in scalar functions, used to compile shipped
+#: group-key / argument expressions (the coordinator guarantees, via
+#: :func:`guarded_function_registry`, that these behave identically to the
+#: functions its own compilation would have used).
+_WORKER_FUNCTIONS: Optional[dict] = None
+
 
 def _worker_initializer() -> None:
-    global _WORKER_BUILTINS
+    global _WORKER_BUILTINS, _WORKER_FUNCTIONS
     _WORKER_BUILTINS = {d.name.lower(): d for d in builtin_aggregates()}
+    _WORKER_FUNCTIONS = {d.name.lower(): d for d in builtin_functions()}
 
 
 def _resolve_spec(spec: tuple) -> AggregateDefinition:
@@ -178,6 +260,69 @@ def _fold_segment_task(task: tuple) -> Tuple[Any, float]:
     return state, time.perf_counter() - start
 
 
+def _compile_shipped(expression, layout, parameters):
+    """Compile a shipped AST in the worker; raise if it falls outside the
+    compilable subset (the coordinator pre-validated, so this is defensive —
+    the raise propagates to the coordinator, which refolds in-process)."""
+    global _WORKER_FUNCTIONS
+    if _WORKER_FUNCTIONS is None:  # defensive: initializer not run
+        _worker_initializer()
+    fn = compile_expression(expression, layout, _WORKER_FUNCTIONS, parameters)
+    if fn is None:
+        raise ValidationError("shipped expression did not compile in worker")
+    return fn
+
+
+def _grouped_segment_task(task: tuple) -> Tuple[list, List[float], float]:
+    """Phase one of two-phase GROUP BY for one segment, inside a worker.
+
+    Builds the partial hash table ``{group_key: [state per aggregate]}`` over
+    the segment's rows: group keys come from closures compiled locally from
+    the shipped ASTs, per-group argument streams feed ``_fold_stream`` (so
+    batched kernels engage for groups past the batch threshold, exactly as
+    in-process).  Returns ``(table, per_aggregate_seconds, key_seconds)``
+    where ``table`` preserves first-appearance order and carries each group's
+    first local row index so the coordinator can reconstruct global
+    first-appearance order and a representative row per group.
+    """
+    from .segments import SegmentedAggregator  # deferred: avoids import cycle
+
+    keys_per_column, key_exprs, parameters, agg_entries, use_batch, rows = task
+    layout = ColumnLayout(keys_per_column)
+    key_fns = [_compile_shipped(expr, layout, parameters) for expr in key_exprs]
+
+    start = time.perf_counter()
+    groups: Dict[Any, List[int]] = {}
+    for index, row in enumerate(rows):
+        key = tuple(hashable_key(fn(row)) for fn in key_fns)
+        members = groups.get(key)
+        if members is None:
+            groups[key] = [index]
+        else:
+            members.append(index)
+    key_seconds = time.perf_counter() - start
+
+    states: Dict[Any, list] = {key: [] for key in groups}
+    agg_seconds: List[float] = []
+    for spec, arg_mode in agg_entries:
+        aggregator = SegmentedAggregator(_resolve_spec(spec), use_batch=use_batch)
+        if arg_mode[0] == "exprs":
+            arg_fns = [_compile_shipped(expr, layout, parameters) for expr in arg_mode[1]]
+        else:  # count(*): the synthetic constant argument
+            arg_fns = None
+        start = time.perf_counter()
+        for key, members in groups.items():
+            if arg_fns is None:
+                stream: List[Tuple[Any, ...]] = [(1,)] * len(members)
+            else:
+                stream = [tuple(fn(rows[i]) for fn in arg_fns) for i in members]
+            states[key].append(aggregator._fold_stream(stream))
+        agg_seconds.append(time.perf_counter() - start)
+
+    table = [(key, members[0], states[key]) for key, members in groups.items()]
+    return table, agg_seconds, key_seconds
+
+
 def _terminate_pool(pool: multiprocessing.pool.Pool) -> None:
     pool.terminate()
     pool.join()
@@ -206,11 +351,23 @@ class SegmentWorkerPool:
         a pool round trip costs a fixed few hundred microseconds, which a
         high-cardinality GROUP BY would otherwise pay once *per group*.
         Set to ``0`` to force every eligible aggregate through the workers
-        (the parallel parity tests do).
+        and to disable the grouped-dispatch cardinality heuristic (the
+        parallel parity tests do).
     """
 
     #: Default row floor below which dispatching to workers is not worth it.
     DEFAULT_MIN_DISPATCH_ROWS = 512
+
+    #: Grouped dispatch samples this many leading rows to estimate group
+    #: cardinality before shipping anything.
+    GROUP_SAMPLE_ROWS = 512
+
+    #: Estimated groups-per-row above which grouped dispatch stays in-process:
+    #: when nearly every row is its own group, the coordinator still merges
+    #: and finalizes O(groups) ≈ O(rows) states and the partial tables cost
+    #: about as much IPC as the rows themselves, so phase one's parallelism
+    #: cannot pay for the round trip.
+    MAX_GROUP_FRACTION = 0.5
 
     def __init__(
         self,
@@ -294,6 +451,58 @@ class SegmentWorkerPool:
         states = [state for state, _ in results]
         seconds = [elapsed for _, elapsed in results]
         return states, seconds, wall
+
+    def grouped_dispatch_worthwhile(self, sample_groups: int, sample_rows: int) -> bool:
+        """The group-cardinality planner heuristic for grouped dispatch.
+
+        ``min_dispatch_rows == 0`` is the force-everything test mode and
+        bypasses the check.
+        """
+        if self.min_dispatch_rows == 0:
+            return True
+        if sample_rows == 0:
+            return False
+        return sample_groups <= self.MAX_GROUP_FRACTION * sample_rows
+
+    def run_grouped(
+        self,
+        key_exprs: Sequence[Any],
+        keys_per_column: Sequence[Sequence[str]],
+        agg_entries: Sequence[tuple],
+        parameters: Optional[dict],
+        segment_rows: Sequence[Sequence[tuple]],
+        *,
+        use_batch: bool = True,
+    ) -> Optional[Tuple[List[list], List[List[float]], List[float], float]]:
+        """Run phase one of a grouped statement in the pool, one task per segment.
+
+        ``agg_entries`` pairs each aggregate's shippable spec with its
+        argument mode (``("star",)`` or ``("exprs", asts)``); the caller (the
+        executor's grouped planner) has already validated shippability and
+        compiled the expressions against the guarded builtin registry.
+        Returns ``(partial_tables, per_segment_agg_seconds, key_seconds,
+        wall_seconds)`` — one partial table per segment, in segment order —
+        or ``None`` when the fan-out is too small, the payload does not
+        pickle, or the pool is closed; the caller then groups in-process.
+        """
+        if self._closed:
+            return None
+        if sum(len(rows) for rows in segment_rows) < self.min_dispatch_rows:
+            return None
+        header = (tuple(keys_per_column), tuple(key_exprs), parameters, tuple(agg_entries), use_batch)
+        try:
+            pickle.dumps(header)
+        except Exception:
+            return None
+        self.ensure_started()
+        tasks = [header + (rows,) for rows in segment_rows]
+        start = time.perf_counter()
+        results = self._pool.map(_grouped_segment_task, tasks)
+        wall = time.perf_counter() - start
+        tables = [table for table, _, _ in results]
+        agg_seconds = [seconds for _, seconds, _ in results]
+        key_seconds = [elapsed for _, _, elapsed in results]
+        return tables, agg_seconds, key_seconds, wall
 
     def __enter__(self) -> "SegmentWorkerPool":
         self.ensure_started()

@@ -72,10 +72,51 @@ class AggregateTimings:
     measured_parallel_wall_seconds: Optional[float] = None
     #: Worker-pool size that executed the fan-out; ``0`` = in-process.
     num_workers: int = 0
+    #: Number of groups this aggregate was evaluated over; ``0`` for a plain
+    #: (ungrouped) aggregate.  Grouped statements report one timings object
+    #: per aggregate call with the per-group work folded together, so
+    #: ``simulated_parallel_seconds`` / ``measured_parallel_seconds`` stay
+    #: comparable between grouped and ungrouped statements.
+    num_groups: int = 0
+    #: True when the statement's phase one ran as the *two-phase grouped
+    #: dispatch* (one worker task per segment building a partial group table).
+    #: Distinct from per-group pool fan-outs inside the in-process grouped
+    #: fallback, which also set ``executed_parallel`` but pay one round trip
+    #: per group.
+    grouped_dispatch: bool = False
 
     @property
     def num_segments(self) -> int:
         return len(self.per_segment_seconds)
+
+    def accumulate(self, other: "AggregateTimings") -> None:
+        """Fold one group's timings into this statement-level accumulator.
+
+        Per-segment fold times add elementwise (segment *i*'s total transition
+        work across all groups), merge/final phases add, and ``num_groups``
+        counts the contributions — so ``simulated_parallel_seconds`` of the
+        accumulated object projects the two-phase grouped execution (max of
+        per-segment totals plus all merges/finals), matching what the grouped
+        worker-pool dispatch measures.
+        """
+        if len(other.per_segment_seconds) > len(self.per_segment_seconds):
+            grow = len(other.per_segment_seconds) - len(self.per_segment_seconds)
+            self.per_segment_seconds.extend([0.0] * grow)
+            self.rows_per_segment.extend([0] * grow)
+        for i, seconds in enumerate(other.per_segment_seconds):
+            self.per_segment_seconds[i] += seconds
+        for i, rows in enumerate(other.rows_per_segment):
+            self.rows_per_segment[i] += rows
+        self.merge_seconds += other.merge_seconds
+        self.final_seconds += other.final_seconds
+        if other.measured_parallel_wall_seconds is not None:
+            # A group's fan-out really ran on the pool (per-group dispatch);
+            # group fan-outs execute one after another, so walls add.
+            self.measured_parallel_wall_seconds = (
+                self.measured_parallel_wall_seconds or 0.0
+            ) + other.measured_parallel_wall_seconds
+            self.num_workers = max(self.num_workers, other.num_workers)
+        self.num_groups += 1
 
     @property
     def executed_parallel(self) -> bool:

@@ -12,6 +12,7 @@ Two implementations:
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -22,7 +23,13 @@ from ..driver import validate_columns_exist, validate_table_exists
 from ..errors import ValidationError
 from ..engine.aggregates import AggregateDefinition
 
-__all__ = ["exact_quantile", "exact_quantiles", "approximate_quantiles", "install_quantile_aggregate"]
+__all__ = [
+    "ReservoirQuantileKernel",
+    "exact_quantile",
+    "exact_quantiles",
+    "approximate_quantiles",
+    "install_quantile_aggregate",
+]
 
 
 def _validate_fraction(fraction: float) -> None:
@@ -69,46 +76,89 @@ def exact_quantiles(database, table: str, column: str, fractions: Sequence[float
 # ---------------------------------------------------------------------------
 
 
-def install_quantile_aggregate(database, *, reservoir_size: int = 2048, seed: int = 7,
-                               name: str = "quantile_reservoir") -> None:
-    """Register a mergeable reservoir-sampling aggregate.
+class ReservoirQuantileKernel:
+    """Picklable kernel of the mergeable reservoir-sampling aggregate.
 
-    The state is ``(count_seen, [(priority, value), ...])`` keeping the
-    ``reservoir_size`` items with the largest random priorities; keeping
-    max-priority items makes the merge of two reservoirs another reservoir of
-    the union, so the aggregate parallelizes across segments correctly.
+    The state is ``{"n": count_seen, "h": prefix_digest, "sample":
+    [(priority, value), ...]}`` keeping the ``reservoir_size`` items with the
+    largest priorities; keeping max-priority items makes the merge of two
+    reservoirs another reservoir of the union, so the aggregate parallelizes
+    across segments correctly.
+
+    Priorities are **deterministic hashes** rather than draws from a shared
+    random generator: a shared generator is process-local mutable state, so a
+    worker's fold would see a different random stream than the coordinator's
+    and the parallel tier would return a different (if equally valid) sample.
+    Hash priorities make every per-segment fold a pure function of its input
+    stream, which is what keeps the three execution tiers byte-identical.
+    Each row's priority is derived from the running digest of the *entire
+    stream prefix* (not just the row's position), so two segments only
+    produce correlated priorities when their prefixes are byte-identical —
+    hashing ``(position, value)`` alone would couple the selection of equal
+    rows at equal positions across segments and bias the merged sample on
+    low-cardinality data.
     """
-    rng = np.random.default_rng(seed)
 
-    def transition(state, value):
+    def __init__(self, reservoir_size: int = 2048, seed: int = 7) -> None:
+        if reservoir_size < 1:
+            raise ValidationError("reservoir_size must be at least 1")
+        self.reservoir_size = reservoir_size
+        self.seed = seed
+
+    def _digest(self, prefix: int, value: float) -> int:
+        payload = hashlib.blake2b(
+            f"{self.seed}:{prefix}:{value!r}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(payload, "little")
+
+    def transition(self, state, value):
         if state is None:
-            state = {"n": 0, "sample": []}
+            state = {"n": 0, "h": 0, "sample": []}
+        value = float(value)
+        digest = self._digest(state["h"], value)
+        priority = digest / 2.0 ** 64
+        state["h"] = digest  # chain: the next priority depends on the whole prefix
         state["n"] += 1
-        priority = float(rng.random())
-        if len(state["sample"]) < reservoir_size:
-            heapq.heappush(state["sample"], (priority, float(value)))
+        if len(state["sample"]) < self.reservoir_size:
+            heapq.heappush(state["sample"], (priority, value))
         elif priority > state["sample"][0][0]:
-            heapq.heapreplace(state["sample"], (priority, float(value)))
+            heapq.heapreplace(state["sample"], (priority, value))
         return state
 
-    def merge(a, b):
+    def merge(self, a, b):
         if a is None:
             return b
         if b is None:
             return a
-        merged = list(heapq.merge(a["sample"], b["sample"]))
-        merged = heapq.nlargest(reservoir_size, merged)
+        merged = heapq.nlargest(self.reservoir_size, a["sample"] + b["sample"])
         heapq.heapify(merged)
-        return {"n": a["n"] + b["n"], "sample": merged}
+        return {"n": a["n"] + b["n"], "h": a["h"] ^ b["h"], "sample": merged}
 
-    def final(state):
+    def final(self, state):
         if state is None or not state["sample"]:
             return None
         values = sorted(value for _, value in state["sample"])
         return {"n": state["n"], "values": values}
 
+
+def install_quantile_aggregate(database, *, reservoir_size: int = 2048, seed: int = 7,
+                               name: str = "quantile_reservoir") -> None:
+    """Register the mergeable reservoir-sampling aggregate.
+
+    Built from :class:`ReservoirQuantileKernel`, whose bound methods pickle —
+    so with ``Database(parallel=N)`` the per-segment sampling folds run in
+    worker processes and only reservoirs cross the process boundary.
+    """
+    kernel = ReservoirQuantileKernel(reservoir_size=reservoir_size, seed=seed)
     database.catalog.register_aggregate(
-        AggregateDefinition(name, transition, merge=merge, final=final, initial_state=None, strict=True)
+        AggregateDefinition(
+            name,
+            kernel.transition,
+            merge=kernel.merge,
+            final=kernel.final,
+            initial_state=None,
+            strict=True,
+        )
     )
 
 

@@ -1,13 +1,15 @@
 """Sketch-based descriptive statistics: Count-Min and Flajolet–Martin."""
 
-from .countmin import CountMinSketch, install_countmin, sketch_column
-from .fm import FMSketch, count_distinct, install_fm
+from .countmin import CountMinKernel, CountMinSketch, install_countmin, sketch_column
+from .fm import FMSketch, FMSketchKernel, count_distinct, install_fm
 
 __all__ = [
+    "CountMinKernel",
     "CountMinSketch",
     "install_countmin",
     "sketch_column",
     "FMSketch",
+    "FMSketchKernel",
     "install_fm",
     "count_distinct",
 ]

@@ -21,7 +21,7 @@ import numpy as np
 from ...errors import ValidationError
 from ...engine.aggregates import AggregateDefinition
 
-__all__ = ["CountMinSketch", "install_countmin", "sketch_column"]
+__all__ = ["CountMinSketch", "CountMinKernel", "install_countmin", "sketch_column"]
 
 
 def _hash(value: Any, row: int, width: int) -> int:
@@ -74,23 +74,40 @@ class CountMinSketch:
         return math.e / self.width * self.total
 
 
-def install_countmin(database, *, eps: float = 0.01, delta: float = 0.01, name: str = "cmsketch") -> None:
-    """Register a ``cmsketch(value)`` aggregate returning a :class:`CountMinSketch`."""
+class CountMinKernel:
+    """Picklable transition/merge kernel for the ``cmsketch`` aggregate.
 
-    def transition(state: Optional[CountMinSketch], value: Any) -> CountMinSketch:
+    Hash-based counter addition — order-insensitive and associative — so the
+    parallel tier returns exactly the in-process sketch; only the counter
+    matrix crosses the process boundary.
+    """
+
+    def __init__(self, eps: float = 0.01, delta: float = 0.01) -> None:
+        if not (0 < eps < 1) or not (0 < delta < 1):
+            raise ValidationError("eps and delta must be in (0, 1)")
+        self.eps = eps
+        self.delta = delta
+
+    def transition(self, state: Optional[CountMinSketch], value: Any) -> CountMinSketch:
         if state is None:
-            state = CountMinSketch.empty(eps=eps, delta=delta)
+            state = CountMinSketch.empty(eps=self.eps, delta=self.delta)
         return state.add(value)
 
-    def merge(a: Optional[CountMinSketch], b: Optional[CountMinSketch]):
+    def merge(self, a: Optional[CountMinSketch], b: Optional[CountMinSketch]):
         if a is None:
             return b
         if b is None:
             return a
         return a.merge(b)
 
+
+def install_countmin(database, *, eps: float = 0.01, delta: float = 0.01, name: str = "cmsketch") -> None:
+    """Register a ``cmsketch(value)`` aggregate returning a :class:`CountMinSketch`."""
+    kernel = CountMinKernel(eps=eps, delta=delta)
     database.catalog.register_aggregate(
-        AggregateDefinition(name, transition, merge=merge, initial_state=None, strict=True)
+        AggregateDefinition(
+            name, kernel.transition, merge=kernel.merge, initial_state=None, strict=True
+        )
     )
 
 

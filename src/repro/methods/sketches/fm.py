@@ -20,7 +20,7 @@ import numpy as np
 from ...errors import ValidationError
 from ...engine.aggregates import AggregateDefinition
 
-__all__ = ["FMSketch", "install_fm", "count_distinct"]
+__all__ = ["FMSketch", "FMSketchKernel", "install_fm", "count_distinct"]
 
 _PHI = 0.77351
 _BITMAP_BITS = 64
@@ -76,23 +76,39 @@ class FMSketch:
         return (2.0 ** mean_rank) / _PHI
 
 
-def install_fm(database, *, num_maps: int = 64, name: str = "fmsketch") -> None:
-    """Register an ``fmsketch(value)`` aggregate returning an :class:`FMSketch`."""
+class FMSketchKernel:
+    """Picklable transition/merge kernel for the ``fmsketch`` aggregate.
 
-    def transition(state: Optional[FMSketch], value: Any) -> FMSketch:
+    Hash-based and order-insensitive (bitwise OR), so per-segment folds in
+    worker processes are byte-identical to the in-process fold; only the
+    (fixed-size) bitmap array crosses the process boundary.
+    """
+
+    def __init__(self, num_maps: int = 64) -> None:
+        if num_maps < 1:
+            raise ValidationError("num_maps must be at least 1")
+        self.num_maps = num_maps
+
+    def transition(self, state: Optional[FMSketch], value: Any) -> FMSketch:
         if state is None:
-            state = FMSketch.empty(num_maps)
+            state = FMSketch.empty(self.num_maps)
         return state.add(value)
 
-    def merge(a: Optional[FMSketch], b: Optional[FMSketch]):
+    def merge(self, a: Optional[FMSketch], b: Optional[FMSketch]):
         if a is None:
             return b
         if b is None:
             return a
         return a.merge(b)
 
+
+def install_fm(database, *, num_maps: int = 64, name: str = "fmsketch") -> None:
+    """Register an ``fmsketch(value)`` aggregate returning an :class:`FMSketch`."""
+    kernel = FMSketchKernel(num_maps=num_maps)
     database.catalog.register_aggregate(
-        AggregateDefinition(name, transition, merge=merge, initial_state=None, strict=True)
+        AggregateDefinition(
+            name, kernel.transition, merge=kernel.merge, initial_state=None, strict=True
+        )
     )
 
 

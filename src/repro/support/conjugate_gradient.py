@@ -16,7 +16,36 @@ import numpy as np
 
 from ..errors import ConvergenceError, ValidationError
 
-__all__ = ["ConjugateGradientResult", "conjugate_gradient", "conjugate_gradient_sql"]
+__all__ = [
+    "CGMatvecKernel",
+    "ConjugateGradientResult",
+    "conjugate_gradient",
+    "conjugate_gradient_sql",
+]
+
+
+class CGMatvecKernel:
+    """Picklable kernel for the in-database matrix-vector product aggregate.
+
+    One instance per CG iteration, carrying that iteration's vector by value;
+    the transition computes one matrix row's dot product, the merge
+    concatenates the per-segment ``(row_id, value)`` lists, and the final
+    sorts by row id — so the product is independent of segment order and the
+    per-segment folds can run in ``Database(parallel=N)`` worker processes.
+    """
+
+    def __init__(self, vector: np.ndarray) -> None:
+        self.vector = np.asarray(vector, dtype=np.float64)
+
+    def transition(self, state, row_id, row):
+        state.append((int(row_id), float(np.dot(np.asarray(row, dtype=np.float64), self.vector))))
+        return state
+
+    def merge(self, a, b):
+        return a + b
+
+    def final(self, state):
+        return [value for _, value in sorted(state)]
 
 
 @dataclass
@@ -102,11 +131,12 @@ def conjugate_gradient_sql(
     n = len(rows)
 
     def matvec(vector: np.ndarray) -> np.ndarray:
+        kernel = CGMatvecKernel(vector)
         database.create_aggregate(
             "cg_matvec",
-            transition=lambda state, row_id, row: state + [(int(row_id), float(np.dot(np.asarray(row), vector)))],
-            merge=lambda a, b: a + b,
-            final=lambda state: [value for _, value in sorted(state)],
+            transition=kernel.transition,
+            merge=kernel.merge,
+            final=kernel.final,
             initial_state=list,
         )
         result = database.query_scalar(f"SELECT cg_matvec(id, {row_column}) FROM {table}")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 
 import numpy as np
 import pytest
@@ -144,3 +145,136 @@ def test_string_agg_null_values_skipped_but_null_delims_kept():
     serial = definition.finalize(runner.fold(list(rows)))
     merged = runner.run_segmented([rows[:1], rows[1:3], [], rows[3:]])
     assert merged == serial == "ab|c"
+
+
+# ---------------------------------------------------------------------------
+# Newly picklable method-tier UDA kernels (igd, quantiles, fm, countmin,
+# cg_matvec).  Hash-based and list-based kernels are partition-invariant
+# (any segmentation equals the serial fold); the model-averaging and
+# reservoir kernels are partition-*dependent* by design, so for them the
+# invariant under test is associativity of the merge operator itself — the
+# property the coordinator's left-to-right merge of per-segment partial
+# tables relies on.
+# ---------------------------------------------------------------------------
+
+
+def _method_kernel_definitions():
+    import numpy as np
+
+    from repro.convex.igd import make_igd_aggregate
+    from repro.convex.objectives import LeastSquaresObjective
+    from repro.engine.aggregates import AggregateDefinition
+    from repro.methods.quantiles import ReservoirQuantileKernel
+    from repro.methods.sketches.countmin import CountMinKernel
+    from repro.methods.sketches.fm import FMSketchKernel
+    from repro.support.conjugate_gradient import CGMatvecKernel
+
+    fm = FMSketchKernel(num_maps=8)
+    cm = CountMinKernel(eps=0.1, delta=0.1)
+    cg = CGMatvecKernel(np.array([1.0, -2.0, 0.5]))
+    reservoir = ReservoirQuantileKernel(reservoir_size=16, seed=3)
+    return {
+        "fmsketch": AggregateDefinition(
+            "fmsketch", fm.transition, merge=fm.merge, initial_state=None, strict=True
+        ),
+        "cmsketch": AggregateDefinition(
+            "cmsketch", cm.transition, merge=cm.merge, initial_state=None, strict=True
+        ),
+        "cg_matvec": AggregateDefinition(
+            "cg_matvec", cg.transition, merge=cg.merge, final=cg.final, initial_state=list
+        ),
+        "quantile_reservoir": AggregateDefinition(
+            "quantile_reservoir",
+            reservoir.transition,
+            merge=reservoir.merge,
+            final=reservoir.final,
+            initial_state=None,
+            strict=True,
+        ),
+        "igd_epoch": make_igd_aggregate(LeastSquaresObjective(3)),
+    }
+
+
+def _method_kernel_rows(name: str, rng: random.Random, size: int = 41):
+    import numpy as np
+
+    if name in ("fmsketch", "cmsketch"):
+        return [(None if rng.random() < 0.2 else f"v{i % 9}",) for i in range(size)]
+    if name == "cg_matvec":
+        return [(i, [rng.uniform(-2, 2) for _ in range(3)]) for i in range(size)]
+    if name == "quantile_reservoir":
+        return [(None if rng.random() < 0.2 else rng.uniform(-50, 50),) for i in range(size)]
+    if name == "igd_epoch":
+        return [
+            (None, 0.01, rng.uniform(-1, 1), np.array([rng.uniform(-1, 1) for _ in range(3)]))
+            for _ in range(size)
+        ]
+    raise AssertionError(name)
+
+
+@pytest.mark.parametrize("name", ["fmsketch", "cmsketch", "cg_matvec"])
+def test_partition_invariant_kernels_equal_serial_fold(name):
+    definitions = _method_kernel_definitions()
+    definition = definitions[name]
+    runner = AggregateRunner(definition)
+    rng = random.Random(zlib.crc32(name.encode()))  # stable across processes
+    rows = _method_kernel_rows(name, rng)
+    serial = definition.finalize(runner.fold(list(rows)))
+    for trial in range(8):
+        segments = _random_contiguous_split(rows, rng, rng.choice([2, 3, 5, 9]))
+        merged = runner.run_segmented(segments)
+        if name == "fmsketch":
+            assert (merged.bitmaps == serial.bitmaps).all(), trial
+        elif name == "cmsketch":
+            assert (merged.counters == serial.counters).all(), trial
+            assert merged.total == serial.total, trial
+        else:
+            np.testing.assert_allclose(merged, serial, rtol=1e-12, err_msg=str(trial))
+
+
+@pytest.mark.parametrize("name", sorted(_method_kernel_definitions()))
+def test_method_kernel_merge_is_associative(name):
+    definitions = _method_kernel_definitions()
+    definition = definitions[name]
+    runner = AggregateRunner(definition)
+    rng = random.Random(zlib.crc32(b"assoc:" + name.encode()))  # stable across processes
+    rows = _method_kernel_rows(name, rng, size=30)
+    a, b, c = (runner.fold(chunk) for chunk in (rows[:9], rows[9:21], rows[21:]))
+    import copy
+
+    left = definition.merge(definition.merge(copy.deepcopy(a), copy.deepcopy(b)), copy.deepcopy(c))
+    right = definition.merge(copy.deepcopy(a), definition.merge(copy.deepcopy(b), copy.deepcopy(c)))
+    left, right = definition.finalize(left), definition.finalize(right)
+    if name == "igd_epoch":
+        np.testing.assert_allclose(left["model"], right["model"], rtol=1e-9)
+        assert left["n"] == right["n"]
+        assert left["loss"] == pytest.approx(right["loss"], rel=1e-9)
+    elif name == "fmsketch":
+        assert (left.bitmaps == right.bitmaps).all()
+    elif name == "cmsketch":
+        assert (left.counters == right.counters).all() and left.total == right.total
+    else:
+        assert left == right
+
+
+def test_reservoir_kernel_exact_when_sample_covers_stream():
+    """With the reservoir at least as large as the stream, any segmentation
+    returns exactly the sorted input values."""
+    from repro.engine.aggregates import AggregateDefinition
+    from repro.methods.quantiles import ReservoirQuantileKernel
+
+    kernel = ReservoirQuantileKernel(reservoir_size=64, seed=1)
+    definition = AggregateDefinition(
+        "quantile_reservoir",
+        kernel.transition,
+        merge=kernel.merge,
+        final=kernel.final,
+        initial_state=None,
+        strict=True,
+    )
+    runner = AggregateRunner(definition)
+    rng = random.Random(11)
+    rows = [(rng.uniform(-10, 10),) for _ in range(40)]
+    expected = sorted(value for (value,) in rows)
+    assert runner.run_segmented([rows[:13], rows[13:20], [], rows[20:]])["values"] == expected
+    assert definition.finalize(runner.fold(rows))["values"] == expected

@@ -1,0 +1,344 @@
+"""Two-phase parallel GROUP BY: parity, planner heuristics, grouped stats.
+
+The grouped worker-pool dispatch (``Executor._parallel_grouped`` +
+``repro.engine.parallel._grouped_segment_task``) must be observationally
+identical to both in-process tiers over a corpus of grouped queries spanning
+random, NULL-heavy, single-group and high-cardinality key distributions —
+and the planner must keep statements in-process whenever shipping them could
+change results (user functions, DISTINCT, non-mergeable or non-picklable
+aggregates) or could not pay for the round trip (small fan-outs, extreme
+group cardinality).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+
+from test_compiled_parity import _assert_results_equal
+
+
+ROWS = 240
+
+
+def _populate(db: Database) -> None:
+    db.create_table(
+        "g",
+        [
+            ("id", "integer"),
+            ("grp", "text"),            # random low-cardinality split (3 values + NULLs)
+            ("sparse", "text"),         # NULL-heavy split (~70% NULL keys)
+            ("konst", "text"),          # single-group split
+            ("hc", "integer"),          # high-cardinality split (~ROWS/2 groups)
+            ("a", "double precision"),
+            ("b", "double precision"),
+        ],
+        distributed_by="id",
+    )
+    rows = []
+    for i in range(1, ROWS + 1):
+        grp = None if i % 19 == 0 else "xyz"[i % 3]
+        sparse = f"s{i % 4}" if i % 10 < 3 else None
+        a = None if i % 7 == 0 else float(i) * 1.25
+        b = None if i % 5 == 0 else float(i % 11) - 4.0
+        rows.append((i, grp, sparse, "k", i % (ROWS // 2), a, b))
+    db.load_rows("g", rows)
+
+
+def _force_pool(db: Database) -> Database:
+    db.worker_pool.min_dispatch_rows = 0  # dispatch everything, skip heuristics
+    return db
+
+
+@pytest.fixture(scope="module")
+def tiers():
+    """(parallel, compiled-serial, interpreted-serial) databases, same data."""
+    databases = [
+        _force_pool(Database(num_segments=4, parallel=2)),
+        Database(num_segments=4),
+        Database(num_segments=4, compiled_execution=False),
+    ]
+    for db in databases:
+        _populate(db)
+    yield databases
+    databases[0].close()
+
+
+GROUPED_CORPUS = [
+    # Random low-cardinality split, builtin aggregates, NULL group keys.
+    "SELECT grp, count(*), sum(a), avg(b), min(a), max(a) FROM g GROUP BY grp ORDER BY grp",
+    "SELECT grp, var_samp(a), stddev(a), stddev_pop(b) FROM g GROUP BY grp ORDER BY grp",
+    "SELECT grp, count(a), count(b) FROM g GROUP BY grp ORDER BY grp",
+    # NULL-heavy split.
+    "SELECT sparse, count(*), sum(b) FROM g GROUP BY sparse ORDER BY sparse",
+    # Single-group split.
+    "SELECT konst, count(*), sum(a), avg(a) FROM g GROUP BY konst",
+    # High-cardinality split (group count ~ half the row count).
+    "SELECT hc, count(*), max(a) FROM g GROUP BY hc ORDER BY hc",
+    # Expression keys, multi-column keys, builtin scalar functions in keys.
+    "SELECT id % 5, count(*), sum(a) FROM g GROUP BY id % 5 ORDER BY 1",
+    "SELECT grp, id % 2, count(*) FROM g GROUP BY grp, id % 2 ORDER BY grp, 2",
+    "SELECT upper(grp), count(*) FROM g GROUP BY upper(grp) ORDER BY 1",
+    "SELECT abs(b), count(*) FROM g GROUP BY abs(b) ORDER BY 1",
+    # Expression aggregate arguments, HAVING, aggregate-only ORDER BY.
+    "SELECT grp, sum(a + b), avg(a * 2) FROM g GROUP BY grp ORDER BY grp",
+    "SELECT grp, count(*) FROM g GROUP BY grp HAVING count(*) > 20 ORDER BY grp",
+    "SELECT grp, sum(a) FROM g GROUP BY grp ORDER BY sum(a) DESC",
+    # Order-sensitive aggregates: merged in segment order on every tier.
+    "SELECT grp, array_agg(id) FROM g GROUP BY grp ORDER BY grp",
+    "SELECT grp, string_agg(sparse, ',') FROM g GROUP BY grp ORDER BY grp",
+    # WHERE + GROUP BY (filtered relation keeps segment provenance).
+    "SELECT grp, count(*), sum(a) FROM g WHERE id > 40 GROUP BY grp ORDER BY grp",
+    # Bool aggregates over expressions.
+    "SELECT grp, bool_and(a > 0), bool_or(b > 2) FROM g GROUP BY grp ORDER BY grp",
+]
+
+
+@pytest.mark.parametrize("query", GROUPED_CORPUS)
+def test_grouped_parallel_matches_both_serial_tiers(tiers, query):
+    parallel_db, compiled_db, interpreted_db = tiers
+    expected = compiled_db.execute(query)
+    _assert_results_equal(expected, interpreted_db.execute(query), query)
+    _assert_results_equal(parallel_db.execute(query), expected, query)
+
+
+def test_grouped_dispatch_actually_engages(tiers):
+    parallel_db, _, _ = tiers
+    stats = parallel_db.execute("SELECT grp, count(*), sum(a) FROM g GROUP BY grp").stats
+    assert len(stats.aggregate_timings) == 2
+    for timings in stats.aggregate_timings:
+        assert timings.executed_parallel
+        assert timings.grouped_dispatch  # the two-phase path, not per-group fan-outs
+        assert timings.num_groups == 4  # x, y, z and the NULL group
+        assert timings.num_workers == 2
+        assert len(timings.per_segment_seconds) == 4
+    assert stats.executed_parallel
+    assert stats.measured_parallel_seconds is not None
+
+
+def test_grouped_statements_report_simulated_parallel_seconds(tiers):
+    # The satellite fix: grouped statements used to contribute nothing to
+    # aggregate_timings, so simulated vs measured numbers were incomparable.
+    _, compiled_db, _ = tiers
+    stats = compiled_db.execute("SELECT grp, count(*), sum(a) FROM g GROUP BY grp").stats
+    assert len(stats.aggregate_timings) == 2
+    for timings in stats.aggregate_timings:
+        assert not timings.executed_parallel
+        assert timings.num_groups == 4
+        assert sum(timings.rows_per_segment) > 0
+    assert 0.0 <= stats.simulated_parallel_seconds <= stats.total_seconds + 1e-6
+
+
+def test_ungrouped_aggregates_keep_num_groups_zero(tiers):
+    _, compiled_db, _ = tiers
+    stats = compiled_db.execute("SELECT sum(a) FROM g").stats
+    assert stats.aggregate_timings[0].num_groups == 0
+
+
+# ---------------------------------------------------------------------------
+# Planner guards: what stays in-process, and why.
+# ---------------------------------------------------------------------------
+
+
+def _fresh_parallel(min_dispatch_rows=None) -> Database:
+    db = Database(num_segments=4, parallel=2)
+    if min_dispatch_rows is not None:
+        db.worker_pool.min_dispatch_rows = min_dispatch_rows
+    _populate(db)
+    return db
+
+
+def test_high_cardinality_stays_in_process_under_default_floor():
+    db = _fresh_parallel(min_dispatch_rows=100)
+    # Every row its own group: merging O(groups) = O(rows) states on the
+    # coordinator would dominate, so the planner keeps the statement local.
+    result = db.execute("SELECT id, count(*) FROM g GROUP BY id")
+    assert len(result.rows) == ROWS
+    assert not result.stats.executed_parallel
+    assert not any(t.grouped_dispatch for t in result.stats.aggregate_timings)
+    # Low cardinality over the same data does dispatch.
+    result = db.execute("SELECT grp, count(*) FROM g GROUP BY grp")
+    assert result.stats.executed_parallel
+    assert all(t.grouped_dispatch for t in result.stats.aggregate_timings)
+    db.close()
+
+
+def test_small_grouped_fanouts_stay_in_process():
+    db = _fresh_parallel()  # default floor (512) above ROWS
+    result = db.execute("SELECT grp, count(*) FROM g GROUP BY grp")
+    assert not result.stats.executed_parallel
+    assert not db.worker_pool.started
+    db.close()
+
+
+def test_user_scalar_function_in_key_falls_back():
+    db = _fresh_parallel(min_dispatch_rows=0)
+    db.create_function("bucket", lambda x: int(x) % 3, return_type="integer")
+    result = db.execute("SELECT bucket(id), count(*) FROM g GROUP BY bucket(id) ORDER BY 1")
+    assert [row[0] for row in result.rows] == [0, 1, 2]
+    # The statement must not take the grouped dispatch (a worker would resolve
+    # a different `bucket`); per-group fan-outs of the builtin count are fine.
+    assert not any(t.grouped_dispatch for t in result.stats.aggregate_timings)
+    db.close()
+
+
+def test_shadowed_builtin_function_in_key_falls_back():
+    db = _fresh_parallel(min_dispatch_rows=0)
+    # Same name as the builtin, different semantics: shipping it would let a
+    # worker silently resolve the genuine builtin instead.
+    db.create_function("abs", lambda x: 0.0)
+    result = db.execute("SELECT abs(b), count(*) FROM g GROUP BY abs(b)")
+    assert [row[0] for row in result.rows] == [0.0, None]  # strict: abs(NULL) is NULL
+    assert not any(t.grouped_dispatch for t in result.stats.aggregate_timings)
+    db.close()
+
+
+def test_per_group_pool_fanouts_surface_in_grouped_timings():
+    # When grouped dispatch declines but individual groups still fan out to
+    # the pool, the accumulated statement-level timings must say so.
+    db = _fresh_parallel(min_dispatch_rows=0)
+    db.create_function("bucket", lambda x: int(x) % 3, return_type="integer")
+    result = db.execute("SELECT bucket(id), sum(a) FROM g GROUP BY bucket(id)")
+    timings = result.stats.aggregate_timings[0]
+    assert timings.executed_parallel and not timings.grouped_dispatch
+    assert timings.num_groups == 3
+    assert timings.num_workers == 2
+    db.close()
+
+
+def test_unshippable_aggregate_keeps_statement_in_process():
+    db = _fresh_parallel(min_dispatch_rows=0)
+    db.create_aggregate(
+        "lambda_sum",
+        transition=lambda state, value: state + value,
+        merge=lambda a, b: a + b,
+        initial_state=0,
+    )
+    result = db.execute("SELECT grp, lambda_sum(id) FROM g GROUP BY grp ORDER BY grp")
+    serial = Database(num_segments=4)
+    _populate(serial)
+    serial.create_aggregate(
+        "lambda_sum",
+        transition=lambda state, value: state + value,
+        merge=lambda a, b: a + b,
+        initial_state=0,
+    )
+    expected = serial.execute("SELECT grp, lambda_sum(id) FROM g GROUP BY grp ORDER BY grp")
+    _assert_results_equal(result, expected, "lambda_sum grouped")
+    assert not result.stats.executed_parallel
+    db.close()
+
+
+def test_distinct_aggregate_keeps_statement_in_process():
+    db = _fresh_parallel(min_dispatch_rows=0)
+    result = db.execute("SELECT grp, count(DISTINCT sparse) FROM g GROUP BY grp ORDER BY grp")
+    assert not any(t.grouped_dispatch for t in result.stats.aggregate_timings)
+    db.close()
+
+
+# ---------------------------------------------------------------------------
+# Formerly-fallback UDA kernels on the pool (the acceptance criterion).
+# ---------------------------------------------------------------------------
+
+
+def _uda_pair():
+    serial = Database(num_segments=4)
+    parallel = _force_pool(Database(num_segments=4, parallel=2))
+    for db in (serial, parallel):
+        db.create_table("v", [("x", "double precision"), ("grp", "text")], distributed_by="x")
+        db.load_rows("v", [(float(i % 37) * 1.7, "ab"[i % 2]) for i in range(300)])
+    return serial, parallel
+
+
+def test_quantile_reservoir_runs_on_pool_with_identical_result():
+    from repro.methods.quantiles import install_quantile_aggregate
+
+    serial, parallel = _uda_pair()
+    for db in (serial, parallel):
+        install_quantile_aggregate(db, reservoir_size=64)
+    expected = serial.query_scalar("SELECT quantile_reservoir(x) FROM v")
+    result = parallel.query_scalar("SELECT quantile_reservoir(x) FROM v")
+    assert parallel.last_stats.aggregate_timings[0].executed_parallel
+    assert result == expected  # byte-identical reservoirs, not just close
+    parallel.close()
+
+
+def test_fm_sketch_runs_on_pool_with_identical_result():
+    from repro.methods.sketches import install_fm
+
+    serial, parallel = _uda_pair()
+    for db in (serial, parallel):
+        install_fm(db, num_maps=16)
+    expected = serial.query_scalar("SELECT fmsketch(x) FROM v")
+    result = parallel.query_scalar("SELECT fmsketch(x) FROM v")
+    assert parallel.last_stats.aggregate_timings[0].executed_parallel
+    assert (result.bitmaps == expected.bitmaps).all()
+    parallel.close()
+
+
+def test_countmin_sketch_runs_on_pool_grouped_and_ungrouped():
+    from repro.methods.sketches import install_countmin
+
+    serial, parallel = _uda_pair()
+    for db in (serial, parallel):
+        install_countmin(db, eps=0.05, delta=0.05)
+    expected = serial.query_scalar("SELECT cmsketch(x) FROM v")
+    result = parallel.query_scalar("SELECT cmsketch(x) FROM v")
+    assert parallel.last_stats.aggregate_timings[0].executed_parallel
+    assert (result.counters == expected.counters).all() and result.total == expected.total
+    # The same kernel also rides the grouped dispatch.
+    expected_rows = serial.execute("SELECT grp, cmsketch(x) FROM v GROUP BY grp ORDER BY grp").rows
+    result_rows = parallel.execute("SELECT grp, cmsketch(x) FROM v GROUP BY grp ORDER BY grp").rows
+    assert parallel.last_stats.aggregate_timings[0].executed_parallel
+    assert parallel.last_stats.aggregate_timings[0].num_groups == 2
+    for (grp_a, sketch_a), (grp_b, sketch_b) in zip(result_rows, expected_rows):
+        assert grp_a == grp_b
+        assert (sketch_a.counters == sketch_b.counters).all()
+    parallel.close()
+
+
+def test_igd_epoch_runs_on_pool_with_identical_model():
+    import numpy as np
+
+    from repro.convex.igd import install_igd
+    from repro.convex.objectives import LeastSquaresObjective
+    from repro.datasets import make_regression, load_regression_table
+
+    data = make_regression(300, 4, noise=0.2, seed=17)
+    models = []
+    for workers in (0, 2):
+        db = Database(num_segments=4, parallel=workers)
+        if workers:
+            _force_pool(db)
+        load_regression_table(db, "d", data)
+        install_igd(db, LeastSquaresObjective(4))
+        record = db.execute("SELECT igd_epoch(%(m)s, 0.01, y, x) FROM d", {"m": None})
+        if workers:
+            assert record.stats.aggregate_timings[0].executed_parallel
+            db.close()
+        models.append(np.asarray(record.rows[0][0]["model"]))
+    np.testing.assert_array_equal(models[0], models[1])
+
+
+def test_cg_matvec_runs_on_pool_with_identical_solution():
+    import numpy as np
+
+    from repro.support.conjugate_gradient import conjugate_gradient_sql
+
+    rng = np.random.default_rng(5)
+    basis = rng.normal(size=(6, 6))
+    matrix = basis @ basis.T + 6 * np.eye(6)
+    rhs = rng.normal(size=6)
+    solutions = []
+    for workers in (0, 2):
+        db = Database(num_segments=3, parallel=workers)
+        if workers:
+            _force_pool(db)
+        db.create_table("m", [("id", "integer"), ("row", "double precision[]")])
+        db.load_rows("m", [(i, list(map(float, matrix[i]))) for i in range(6)])
+        result = conjugate_gradient_sql(db, "m", "row", rhs, tolerance=1e-10)
+        solutions.append(result.solution)
+        if workers:
+            db.close()
+    np.testing.assert_allclose(solutions[0], solutions[1], rtol=1e-12)
