@@ -50,7 +50,7 @@ from .expressions import (
 )
 from .types import coerce_value, is_null, type_from_name, values_equal
 
-__all__ = ["ColumnLayout", "compile_expression"]
+__all__ = ["ColumnLayout", "compile_expression", "keys_for_columns"]
 
 #: Compiled row function: takes one positional row tuple, returns a value.
 RowFunction = Callable[[Tuple[Any, ...]], Any]
@@ -58,6 +58,36 @@ RowFunction = Callable[[Tuple[Any, ...]], Any]
 
 class _Uncompilable(Exception):
     """Raised internally when a subtree cannot be compiled (fallback signal)."""
+
+
+def keys_for_columns(
+    columns: Sequence[Tuple[Optional[str], str]]
+) -> List[List[str]]:
+    """The row-dict keys each ``(alias, name)`` column populates.
+
+    This is the canonical name-visibility rule for a relation: a qualified key
+    when the column has a source alias, plus the bare name when it is unique
+    across the relation.  ``Executor._Relation.context_keys`` (interpreted
+    tier) and :class:`ColumnLayout` (compiled tier) both derive from it, and
+    the join planner uses it to build layouts for the *two-relation* case —
+    each side alone plus the combined ``left.columns + right.columns`` row —
+    so a pushed-down predicate resolves names exactly as the post-join row
+    would.
+    """
+    bare_counts: Dict[str, int] = {}
+    for _, name in columns:
+        bare_counts[name.lower()] = bare_counts.get(name.lower(), 0) + 1
+    keys: List[List[str]] = []
+    for alias, name in columns:
+        column_keys = []
+        if alias:
+            column_keys.append(f"{alias.lower()}.{name.lower()}")
+        if bare_counts[name.lower()] == 1:
+            column_keys.append(name.lower())
+        elif not alias:
+            column_keys.append(name.lower())
+        keys.append(column_keys)
+    return keys
 
 
 class ColumnLayout:
@@ -69,10 +99,33 @@ class ColumnLayout:
     """
 
     def __init__(self, keys_per_column: Sequence[Sequence[str]]) -> None:
+        self.width = len(keys_per_column)
         self.key_to_index: Dict[str, int] = {}
         for index, keys in enumerate(keys_per_column):
             for key in keys:
                 self.key_to_index[key] = index
+
+    @classmethod
+    def for_columns(cls, columns: Sequence[Tuple[Optional[str], str]]) -> "ColumnLayout":
+        """Layout for a relation given as ``(alias, name)`` columns."""
+        return cls(keys_for_columns(columns))
+
+    def column_indices(self, expression: Expression) -> Optional[frozenset]:
+        """Tuple indices of every column reference in ``expression``.
+
+        ``None`` when any reference fails to resolve (missing or ambiguous
+        name) — the join planner then abandons its plan so the interpreted
+        path can raise the proper error.  An expression with no column
+        references returns the empty set (a constant predicate).
+        """
+        indices = set()
+        for node in expression.walk():
+            if isinstance(node, ColumnRef):
+                index = self.resolve(node.name, node.qualifier)
+                if index is None:
+                    return None
+                indices.add(index)
+        return frozenset(indices)
 
     def resolve(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
         """Tuple index for a column reference, or ``None`` if unresolvable.

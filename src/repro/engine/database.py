@@ -65,6 +65,15 @@ class Database:
         states on the coordinator.  Aggregates the pool cannot ship
         (non-picklable UDAs) transparently fall back to the in-process fold,
         so results are identical with and without workers.
+    hash_joins:
+        When true (default), equi-joins — explicit ``JOIN ... ON`` and
+        implicit multi-table FROM lists with WHERE equality conjuncts — run
+        as build/probe hash joins with predicate pushdown
+        (:mod:`repro.engine.join`); when false every join takes the legacy
+        interpreted nested loop / Cartesian-product path.  Results are
+        identical either way — the flag exists so the join parity suite and
+        the ``--joins`` microbenchmark can compare the strategies.  Hash
+        joins also require ``compiled_execution``.
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class Database:
         parallel_aggregation: bool = True,
         compiled_execution: bool = True,
         parallel: int = 0,
+        hash_joins: bool = True,
     ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
@@ -84,6 +94,7 @@ class Database:
         self.num_segments = num_segments
         self.parallel_aggregation = parallel_aggregation
         self.compiled_execution = compiled_execution
+        self.hash_joins = hash_joins
         self.parallel = int(parallel)
         self._worker_pool: Optional[SegmentWorkerPool] = (
             SegmentWorkerPool(self.parallel) if self.parallel else None

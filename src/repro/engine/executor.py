@@ -4,9 +4,14 @@ The executor evaluates parsed statements against the catalog.  The part that
 matters most for the paper is aggregate execution: queries that aggregate a
 single base table run the *segmented* path — independent per-segment
 transition folds followed by a merge — which is the Greenplum execution model
-the Figure 4 / Figure 5 experiments measure.  Everything else (joins,
-subqueries, window functions, DML) exists so that MADlib-style methods can be
-written as plain SQL plus driver functions, exactly as in the paper.
+the Figure 4 / Figure 5 experiments measure.  Joins have their own execution
+layer (:mod:`repro.engine.join`): inner/left equi-joins — and implicit
+multi-table FROM lists whose WHERE clause contains cross-source equality
+conjuncts — run as compiled build/probe hash joins with single-side conjuncts
+pushed below the join, falling back to the interpreted nested loop for
+anything the planner cannot prove safe.  Everything else (subqueries, window
+functions, DML) exists so that MADlib-style methods can be written as plain
+SQL plus driver functions, exactly as in the paper.
 
 SELECT execution is tiered (see ``docs/engine-execution.md`` and
 ``docs/architecture.md``):
@@ -34,13 +39,23 @@ runs a query corpus through each and asserts it.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
+from functools import cmp_to_key
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError, ExecutionError, SQLSyntaxError
 from .aggregates import AggregateDefinition
-from .compile import ColumnLayout, compile_expression
+from .compile import ColumnLayout, compile_expression, keys_for_columns
+from .join import (
+    apply_prefilter,
+    classify_where_conjuncts,
+    conjoin,
+    execute_hash_join,
+    plan_hash_join,
+    plan_key_join,
+)
 from .parallel import guarded_function_registry, shippable_spec
 from .vectorized import ColumnBatch, ConstantColumn
 from .expressions import (
@@ -93,23 +108,23 @@ class _Relation:
     #: slice per-segment argument columns straight from the table's cached
     #: columnar view.  Any derivation (WHERE, joins, projection) drops it.
     source_table: Optional[Table] = None
+    #: Column index whose hashed value determines each row's segment, and the
+    #: stored python type of that column — the join planner's co-location
+    #: evidence.  Filtering preserves both (rows never move segments); a join
+    #: inherits the probe side's, since the joined row still lives on the
+    #: probe row's segment.
+    distribution_index: Optional[int] = None
+    distribution_type: Optional[type] = None
 
     def context_keys(self) -> List[List[str]]:
         """For each column, the row-dict keys it populates."""
-        bare_counts: Dict[str, int] = {}
-        for _, name in self.columns:
-            bare_counts[name.lower()] = bare_counts.get(name.lower(), 0) + 1
-        keys: List[List[str]] = []
-        for alias, name in self.columns:
-            column_keys = []
-            if alias:
-                column_keys.append(f"{alias.lower()}.{name.lower()}")
-            if bare_counts[name.lower()] == 1:
-                column_keys.append(name.lower())
-            elif not alias:
-                column_keys.append(name.lower())
-            keys.append(column_keys)
-        return keys
+        return keys_for_columns(self.columns)
+
+    def distribution(self) -> Optional[Tuple[int, type]]:
+        """``(column index, python type)`` co-location evidence, or ``None``."""
+        if self.distribution_index is None or self.num_segments <= 1:
+            return None
+        return (self.distribution_index, self.distribution_type)
 
 
 class _LazyContexts:
@@ -251,7 +266,7 @@ class Executor:
 
     # ------------------------------------------------------------------ FROM clause
 
-    def _scan_table(self, ref: TableRef) -> _Relation:
+    def _scan_table(self, ref: TableRef, stats: Optional[ExecutionStats] = None) -> _Relation:
         table = self.catalog.get_table(ref.name)
         alias = ref.effective_alias
         columns = [(alias, name) for name in table.schema.names]
@@ -261,12 +276,32 @@ class Executor:
             segment_rows = table.segment_view(segment)
             rows.extend(segment_rows)
             segment_ids.extend([segment] * len(segment_rows))
-        return _Relation(columns, rows, segment_ids, table.num_segments, source_table=table)
+        if stats is not None:
+            stats.rows_scanned_per_source.append(len(rows))
+        distribution_index = table._distribution_index
+        distribution_type = (
+            table.schema[distribution_index].sql_type.python_type
+            if distribution_index is not None
+            else None
+        )
+        return _Relation(
+            columns,
+            rows,
+            segment_ids,
+            table.num_segments,
+            source_table=table,
+            distribution_index=distribution_index,
+            distribution_type=distribution_type,
+        )
 
-    def _scan_subquery(self, source: SubquerySource, parameters) -> _Relation:
+    def _scan_subquery(
+        self, source: SubquerySource, parameters, stats: Optional[ExecutionStats] = None
+    ) -> _Relation:
         result = self.execute(source.select, parameters)
         columns = [(source.alias, name) for name in result.columns]
         rows = list(result.rows)
+        if stats is not None:
+            stats.rows_scanned_per_source.append(len(rows))
         return _Relation(columns, rows, [0] * len(rows), 1)
 
     def _scan_function(self, source: FunctionSource, parameters) -> _Relation:
@@ -290,15 +325,20 @@ class Executor:
         rows = [(value,) for value in values]
         return _Relation(columns, rows, [0] * len(rows), 1)
 
-    def _scan_from_item(self, item, parameters) -> _Relation:
+    def _scan_from_item(
+        self, item, parameters, stats: Optional[ExecutionStats] = None
+    ) -> _Relation:
         if isinstance(item, TableRef):
-            return self._scan_table(item)
+            return self._scan_table(item, stats)
         if isinstance(item, SubquerySource):
-            return self._scan_subquery(item, parameters)
+            return self._scan_subquery(item, parameters, stats)
         if isinstance(item, FunctionSource):
-            return self._scan_function(item, parameters)
+            relation = self._scan_function(item, parameters)
+            if stats is not None:
+                stats.rows_scanned_per_source.append(len(relation.rows))
+            return relation
         if isinstance(item, Join):
-            return self._execute_join(item, parameters)
+            return self._execute_join(item, parameters, stats)
         raise ExecutionError(f"unsupported FROM item {type(item).__name__}")
 
     def _combine(self, left: _Relation, right: _Relation, pairs: List[Tuple[int, Optional[int]]]) -> _Relation:
@@ -314,15 +354,67 @@ class Executor:
         num_segments = left.num_segments
         return _Relation(columns, rows, segment_ids, num_segments)
 
-    def _execute_join(self, join: Join, parameters) -> _Relation:
-        left = self._scan_from_item(join.left, parameters)
-        right = self._scan_from_item(join.right, parameters)
+    def _hash_joins_enabled(self) -> bool:
+        return getattr(self.database, "compiled_execution", True) and getattr(
+            self.database, "hash_joins", True
+        )
+
+    def _join_pool(self):
+        """The worker pool, when parallel join dispatch is permitted."""
+        if not self.database.parallel_aggregation:
+            return None
+        return getattr(self.database, "worker_pool", None)
+
+    def _joined_relation(self, left: _Relation, right: _Relation, outcome) -> _Relation:
+        return _Relation(
+            left.columns + right.columns,
+            outcome.rows,
+            outcome.segment_ids,
+            left.num_segments,
+            distribution_index=left.distribution_index,
+            distribution_type=left.distribution_type,
+        )
+
+    def _execute_join(
+        self, join: Join, parameters, stats: Optional[ExecutionStats] = None
+    ) -> _Relation:
+        left = self._scan_from_item(join.left, parameters, stats)
+        right = self._scan_from_item(join.right, parameters, stats)
         pairs: List[Tuple[int, Optional[int]]] = []
         if join.kind == "cross" or join.condition is None:
             for i in range(len(left.rows)):
                 for j in range(len(right.rows)):
                     pairs.append((i, j))
-            return self._combine(left, right, pairs)
+            relation = self._combine(left, right, pairs)
+            if stats is not None:
+                stats.record_join("cross", len(relation.rows))
+            return relation
+
+        if self._hash_joins_enabled():
+            pool = self._join_pool()
+            plan = plan_hash_join(
+                left.columns,
+                right.columns,
+                join.kind,
+                join.condition,
+                self._function_registry(),
+                parameters,
+                left_distribution=left.distribution(),
+                right_distribution=right.distribution(),
+                check_shippable=pool is not None,
+            )
+            if plan is not None:
+                outcome = execute_hash_join(
+                    plan, left, right, pool=pool, parameters=parameters
+                )
+                if stats is not None:
+                    stats.record_join(
+                        outcome.strategy, len(outcome.rows), outcome.parallel_wall_seconds
+                    )
+                return self._joined_relation(left, right, outcome)
+
+        # Interpreted nested-loop fallback: non-equi conditions, uncompilable
+        # or volatile subtrees, names the planner could not resolve.
         combined_columns = left.columns + right.columns
         probe = _Relation(combined_columns, [], [], left.num_segments)
         keys_per_column = probe.context_keys()
@@ -341,18 +433,150 @@ class Executor:
                     matched = True
             if join.kind == "left" and not matched:
                 pairs.append((i, None))
-        return self._combine(left, right, pairs)
+        relation = self._combine(left, right, pairs)
+        if stats is not None:
+            stats.record_join("nested_loop", len(relation.rows))
+        return relation
 
-    def _build_relation(self, from_items: List[object], parameters) -> _Relation:
+    def _build_relation(
+        self,
+        from_items: List[object],
+        parameters,
+        where: Optional[Expression] = None,
+        stats: Optional[ExecutionStats] = None,
+    ) -> Tuple[_Relation, Optional[Expression]]:
+        """Materialize the FROM clause; returns ``(relation, residual WHERE)``.
+
+        For a multi-source FROM list with a WHERE clause, the planner tries
+        to turn the legacy Cartesian-product-then-filter shape into a chain
+        of pushed-down prefilters and hash-join steps
+        (:func:`repro.engine.join.classify_where_conjuncts`); WHERE conjuncts
+        consumed by the plan are removed from the returned residual.  When
+        planning is not applicable (single source, no WHERE, hash joins
+        disabled, unsafe clause) the WHERE comes back untouched.
+        """
         if not from_items:
             # SELECT without FROM: a single empty row.
-            return _Relation([], [()], [0], 1)
-        relation = self._scan_from_item(from_items[0], parameters)
-        for item in from_items[1:]:
-            right = self._scan_from_item(item, parameters)
+            return _Relation([], [()], [0], 1), where
+        relations = [self._scan_from_item(item, parameters, stats) for item in from_items]
+        if len(relations) == 1:
+            return relations[0], where
+        if where is not None and self._hash_joins_enabled():
+            planned = self._plan_multi_from(relations, where, parameters, stats)
+            if planned is not None:
+                return planned
+        relation = relations[0]
+        for right in relations[1:]:
             pairs = [(i, j) for i in range(len(relation.rows)) for j in range(len(right.rows))]
             relation = self._combine(relation, right, pairs)
-        return relation
+            if stats is not None:
+                stats.record_join("cross", len(relation.rows))
+        return relation, where
+
+    def _plan_multi_from(
+        self,
+        relations: List[_Relation],
+        where: Expression,
+        parameters,
+        stats: Optional[ExecutionStats],
+    ) -> Optional[Tuple[_Relation, Optional[Expression]]]:
+        """WHERE→join pushdown over a comma FROM list, or ``None`` (legacy).
+
+        Sources are joined left-to-right exactly as written; every equality
+        edge becomes usable at the step that joins its later source, so the
+        emitted row order is the Cartesian product's lexicographic
+        ``(source 0 row, source 1 row, ...)`` order restricted to surviving
+        rows — byte-identical to product-then-filter.
+        """
+        functions = self._function_registry()
+        all_columns = [column for relation in relations for column in relation.columns]
+        source_of: List[int] = []
+        for source, relation in enumerate(relations):
+            source_of.extend([source] * len(relation.columns))
+        classified = classify_where_conjuncts(
+            where, ColumnLayout.for_columns(all_columns), source_of, functions
+        )
+        if classified is None:
+            return None
+        prefilters, edges, residual = classified
+
+        # Compile and apply the single-source prefilters (no relation is
+        # mutated before every compile has succeeded).
+        predicates: Dict[int, Callable] = {}
+        for source, conjuncts in prefilters.items():
+            predicate = compile_expression(
+                conjoin(conjuncts),
+                ColumnLayout(relations[source].context_keys()),
+                functions,
+                parameters,
+            )
+            if predicate is None:
+                return None
+            predicates[source] = predicate
+        filtered: List[_Relation] = []
+        for source, relation in enumerate(relations):
+            predicate = predicates.get(source)
+            if predicate is not None:
+                rows, segment_ids = apply_prefilter(
+                    predicate, relation.rows, relation.segment_ids
+                )
+                relation = _Relation(
+                    relation.columns,
+                    rows,
+                    segment_ids,
+                    relation.num_segments,
+                    distribution_index=relation.distribution_index,
+                    distribution_type=relation.distribution_type,
+                )
+            filtered.append(relation)
+
+        pool = self._join_pool()
+        current = filtered[0]
+        for position in range(1, len(filtered)):
+            right = filtered[position]
+            step_left: List[Expression] = []
+            step_right: List[Expression] = []
+            for source_a, expr_a, source_b, expr_b in edges:
+                if max(source_a, source_b) != position:
+                    continue  # both joined already, or the later source is ahead
+                if source_a == position:
+                    step_left.append(expr_b)
+                    step_right.append(expr_a)
+                else:
+                    step_left.append(expr_a)
+                    step_right.append(expr_b)
+            if not step_left:
+                pairs = [
+                    (i, j)
+                    for i in range(len(current.rows))
+                    for j in range(len(right.rows))
+                ]
+                current = self._combine(current, right, pairs)
+                if stats is not None:
+                    stats.record_join("cross", len(current.rows))
+                continue
+            plan = plan_key_join(
+                current.columns,
+                right.columns,
+                step_left,
+                step_right,
+                functions,
+                parameters,
+                left_distribution=current.distribution(),
+                right_distribution=right.distribution(),
+                check_shippable=pool is not None,
+            )
+            if plan is None:
+                return None
+            outcome = execute_hash_join(
+                plan, current, right, pool=pool, parameters=parameters
+            )
+            if stats is not None:
+                stats.record_join(
+                    outcome.strategy, len(outcome.rows), outcome.parallel_wall_seconds
+                )
+            current = self._joined_relation(current, right, outcome)
+        return current, conjoin(residual)
 
     # ------------------------------------------------------------------ SELECT
 
@@ -418,20 +642,28 @@ class Executor:
 
     def _execute_select(self, statement: SelectStatement, parameters) -> ResultSet:
         stats = ExecutionStats(statement_kind="select")
-        relation = self._build_relation(statement.from_items, parameters)
-        stats.rows_scanned = len(relation.rows)
+        relation, residual_where = self._build_relation(
+            statement.from_items, parameters, statement.where, stats
+        )
+        # Per-source base rows, never the size of a join product; single-source
+        # statements keep the historical value (their base scan).
+        stats.rows_scanned = (
+            sum(stats.rows_scanned_per_source)
+            if stats.rows_scanned_per_source
+            else len(relation.rows)
+        )
         env = self._compiler_env(relation, parameters)
         contexts = self._lazy_contexts(relation, parameters)
 
-        if statement.where is not None:
-            predicate = self._compile(statement.where, env)
+        if residual_where is not None:
+            predicate = self._compile(residual_where, env)
             if predicate is not None:
                 kept = [i for i, row in enumerate(relation.rows) if predicate(row) is True]
             else:
                 kept = [
                     i
                     for i in range(len(relation.rows))
-                    if statement.where.evaluate(contexts[i]) is True
+                    if residual_where.evaluate(contexts[i]) is True
                 ]
             relation = _Relation(
                 relation.columns,
@@ -454,9 +686,24 @@ class Executor:
         aggregate_calls = self._collect_aggregate_calls(all_expressions)
         window_calls = self._collect_window_calls(all_expressions)
 
+        # ORDER BY + LIMIT k: only the top k (+ offset) rows are needed, so
+        # the sort can short-circuit into a bounded heap selection — unless
+        # DISTINCT must deduplicate the full ordering first.
+        limit_hint: Optional[int] = None
+        if statement.order_by and statement.limit is not None and not statement.distinct:
+            limit_hint = statement.limit + (statement.offset or 0)
+
         if aggregate_calls or statement.group_by:
             output_rows = self._execute_grouped(
-                statement, select_items, aggregate_calls, relation, contexts, parameters, stats, env
+                statement,
+                select_items,
+                aggregate_calls,
+                relation,
+                contexts,
+                parameters,
+                stats,
+                env,
+                limit_hint=limit_hint,
             )
         else:
             if window_calls:
@@ -492,6 +739,7 @@ class Executor:
                     output_rows,
                     compiled_keys=order_key_fns,
                     relation_rows=relation.rows,
+                    limit_hint=limit_hint,
                 )
 
         if statement.distinct:
@@ -521,6 +769,7 @@ class Executor:
         *,
         compiled_keys: Optional[Dict[int, Any]] = None,
         relation_rows: Optional[List[Tuple[Any, ...]]] = None,
+        limit_hint: Optional[int] = None,
     ) -> List[Tuple[Any, ...]]:
         indices = list(range(len(output_rows)))
         lowered_names = [name.lower() for name in output_names]
@@ -542,6 +791,14 @@ class Executor:
                 return expression.evaluate(contexts[index])
             raise ExecutionError("cannot evaluate ORDER BY expression for aggregated output")
 
+        if limit_hint is not None and 0 <= limit_hint < len(indices):
+            top = self._top_k_order_by(order_by, output_rows, key_value, limit_hint)
+            if top is not None:
+                return top
+            # NaN keys: fall through to the multi-pass sort below, whose
+            # NaN placement (timsort with always-False comparisons) a
+            # consistent comparator cannot reproduce.
+
         for order_item in reversed(order_by):
             keys = {i: key_value(order_item, i) for i in indices}
             non_null = [i for i in indices if keys[i] is not None]
@@ -549,6 +806,58 @@ class Executor:
             non_null.sort(key=lambda i: hashable_key(keys[i]), reverse=not order_item.ascending)
             indices = (non_null + nulls) if order_item.nulls_last else (nulls + non_null)
         return [output_rows[i] for i in indices]
+
+    @staticmethod
+    def _top_k_order_by(
+        order_by: List[OrderItem],
+        output_rows: List[Tuple[Any, ...]],
+        key_value: Callable[[OrderItem, int], Any],
+        limit: int,
+    ) -> Optional[List[Tuple[Any, ...]]]:
+        """``ORDER BY ... LIMIT k`` short-circuit: bounded heap selection.
+
+        One ``heapq.nsmallest`` over a composite comparator replaces the full
+        multi-pass sort — O(n log k) instead of O(k_order · n log n) — which
+        is the shape of Viterbi's per-position argmax (``ORDER BY score DESC
+        LIMIT 1``).  The comparator reproduces the multi-pass semantics
+        exactly: per-key ascending/descending over ``hashable_key`` values,
+        NULLS FIRST/LAST partitioning per key, ties falling through to the
+        next key, and final ties keeping input order (``nsmallest`` is
+        stable), so the selected prefix is byte-identical to sorting
+        everything and slicing.  The one case a comparator cannot reproduce
+        is a NaN sort key — the multi-pass sort feeds NaN through timsort,
+        whose placement no antisymmetric comparator matches — so NaN keys
+        return ``None`` and the caller takes the full sort.
+        """
+        count = len(output_rows)
+        keys_per_item = [
+            [key_value(order_item, index) for index in range(count)]
+            for order_item in order_by
+        ]
+        for keys in keys_per_item:
+            for value in keys:
+                if isinstance(value, float) and value != value:
+                    return None
+
+        def compare(first: int, second: int) -> int:
+            for keys, order_item in zip(keys_per_item, order_by):
+                a, b = keys[first], keys[second]
+                if a is None or b is None:
+                    if a is None and b is None:
+                        continue
+                    if order_item.nulls_last:
+                        return 1 if a is None else -1
+                    return -1 if a is None else 1
+                a, b = hashable_key(a), hashable_key(b)
+                if a == b:
+                    continue
+                if a < b:
+                    return -1 if order_item.ascending else 1
+                return 1 if order_item.ascending else -1
+            return 0
+
+        top = heapq.nsmallest(limit, range(count), key=cmp_to_key(compare))
+        return [output_rows[index] for index in top]
 
     def _execute_grouped(
         self,
@@ -560,6 +869,7 @@ class Executor:
         parameters,
         stats: ExecutionStats,
         env: Optional[tuple] = None,
+        limit_hint: Optional[int] = None,
     ) -> List[Tuple[Any, ...]]:
         aggregates = self._aggregate_registry()
 
@@ -607,7 +917,12 @@ class Executor:
         if statement.order_by:
             output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
             output_rows = self._apply_order_by(
-                statement.order_by, select_items, output_names, group_contexts, output_rows
+                statement.order_by,
+                select_items,
+                output_names,
+                group_contexts,
+                output_rows,
+                limit_hint=limit_hint,
             )
         return output_rows
 
@@ -1035,23 +1350,49 @@ class Executor:
         return ResultSet([], [], rowcount=count)
 
     def _execute_update(self, statement: UpdateStatement, parameters) -> ResultSet:
+        """UPDATE through the compiled-predicate path.
+
+        The WHERE predicate and each assignment expression compile once per
+        statement against the table's column layout and run over positional
+        row tuples; any uncompilable expression falls back to its interpreted
+        evaluation against a lazily built ``RowContext`` — per expression,
+        so one odd assignment does not de-optimize the whole statement.
+        """
         table = self.catalog.get_table(statement.table)
         relation = self._scan_table(TableRef(statement.table))
-        contexts = self._make_contexts(relation, parameters)
-        assignments = [(table.schema.index_of(name), expr) for name, expr in statement.assignments]
+        env = self._compiler_env(relation, parameters)
+        contexts = self._lazy_contexts(relation, parameters)
+        predicate = self._compile(statement.where, env)
+        assignments = [
+            (table.schema.index_of(name), expression, self._compile(expression, env))
+            for name, expression in statement.assignments
+        ]
         new_rows: List[List[Any]] = []
         updated = 0
-        for row, ctx in zip(relation.rows, contexts):
-            if statement.where is None or statement.where.evaluate(ctx) is True:
+        for index, row in enumerate(relation.rows):
+            if statement.where is None:
+                matched = True
+            elif predicate is not None:
+                matched = predicate(row) is True
+            else:
+                matched = statement.where.evaluate(contexts[index]) is True
+            if matched:
                 new_row = list(row)
-                for position, expression in assignments:
-                    new_row[position] = expression.evaluate(ctx)
+                for position, expression, compiled in assignments:
+                    new_row[position] = (
+                        compiled(row) if compiled is not None else expression.evaluate(contexts[index])
+                    )
                 new_rows.append(new_row)
                 updated += 1
             else:
                 new_rows.append(list(row))
         table.replace_rows(new_rows)
-        return ResultSet([], [], rowcount=updated)
+        stats = ExecutionStats(
+            statement_kind="update",
+            rows_scanned=len(relation.rows),
+            rows_scanned_per_source=[len(relation.rows)],
+        )
+        return ResultSet([], [], rowcount=updated, stats=stats)
 
     def _execute_delete(self, statement: DeleteStatement, parameters) -> ResultSet:
         table = self.catalog.get_table(statement.table)
@@ -1059,16 +1400,36 @@ class Executor:
             count = len(table)
             table.truncate()
             return ResultSet([], [], rowcount=count)
-        functions = self._function_registry()
+        rows_scanned = len(table)
 
-        def predicate(row_dict: Dict[str, Any]) -> bool:
-            context = RowContext(
-                {key.lower(): value for key, value in row_dict.items()}, functions, parameters
+        # Compiled path: the predicate runs over positional row tuples with
+        # bare column names only — mirroring the interpreted row-dict below,
+        # which never exposes qualified names — so both tiers resolve (and
+        # fail to resolve) identically.
+        compiled = None
+        if getattr(self.database, "compiled_execution", True):
+            layout = ColumnLayout([[name.lower()] for name in table.schema.names])
+            compiled = compile_expression(
+                statement.where, layout, self._function_registry(), parameters
             )
-            return statement.where.evaluate(context) is True
+        if compiled is not None:
+            count = table.delete_where_rows(lambda row: compiled(row) is True)
+        else:
+            functions = self._function_registry()
 
-        count = table.delete_where(predicate)
-        return ResultSet([], [], rowcount=count)
+            def predicate(row_dict: Dict[str, Any]) -> bool:
+                context = RowContext(
+                    {key.lower(): value for key, value in row_dict.items()}, functions, parameters
+                )
+                return statement.where.evaluate(context) is True
+
+            count = table.delete_where(predicate)
+        stats = ExecutionStats(
+            statement_kind="delete",
+            rows_scanned=rows_scanned,
+            rows_scanned_per_source=[rows_scanned],
+        )
+        return ResultSet([], [], rowcount=count, stats=stats)
 
     def _execute_drop(self, statement: DropTableStatement) -> ResultSet:
         for name in statement.names:

@@ -323,6 +323,56 @@ def _grouped_segment_task(task: tuple) -> Tuple[list, List[float], float]:
     return table, agg_seconds, key_seconds
 
 
+def _join_segment_task(task: tuple) -> Tuple[list, float]:
+    """Build/probe one probe segment of a hash join, inside a worker.
+
+    The task carries the join spec (side layouts, key/residual ASTs compiled
+    locally against the builtin registry — the coordinator pre-validated
+    shippability via the guarded registry) plus this segment's probe rows and
+    its build rows: the matching build segment for a co-located join, the
+    whole (small) build side for a broadcast join.  The emitted rows preserve
+    (probe order, build order), so concatenating per-segment outputs in
+    segment order reproduces the coordinator's in-process join exactly.
+    """
+    from .join import build_hash_table, probe_hash_table  # deferred: avoids cycle
+
+    (
+        left_keys_per_column,
+        right_keys_per_column,
+        combined_keys_per_column,
+        left_key_exprs,
+        right_key_exprs,
+        residual_expr,
+        kind,
+        right_width,
+        parameters,
+        probe_rows,
+        build_rows,
+    ) = task
+    left_layout = ColumnLayout(left_keys_per_column)
+    right_layout = ColumnLayout(right_keys_per_column)
+    combined_layout = ColumnLayout(combined_keys_per_column)
+    left_key_fns = [_compile_shipped(expr, left_layout, parameters) for expr in left_key_exprs]
+    right_key_fns = [_compile_shipped(expr, right_layout, parameters) for expr in right_key_exprs]
+    residual_fn = (
+        _compile_shipped(residual_expr, combined_layout, parameters)
+        if residual_expr is not None
+        else None
+    )
+    start = time.perf_counter()
+    buckets = build_hash_table(build_rows, right_key_fns)
+    rows, _segments = probe_hash_table(
+        probe_rows,
+        [0] * len(probe_rows),
+        buckets,
+        left_key_fns,
+        residual_fn,
+        kind,
+        right_width,
+    )
+    return rows, time.perf_counter() - start
+
+
 def _terminate_pool(pool: multiprocessing.pool.Pool) -> None:
     pool.terminate()
     pool.join()
@@ -368,6 +418,12 @@ class SegmentWorkerPool:
     #: about as much IPC as the rows themselves, so phase one's parallelism
     #: cannot pay for the round trip.
     MAX_GROUP_FRACTION = 0.5
+
+    #: Largest build side a broadcast hash join will replicate to every
+    #: worker; above this the IPC of shipping the build side num_workers
+    #: times outweighs the probe parallelism (co-located joins have no such
+    #: limit — each worker receives only its own build segment).
+    BROADCAST_MAX_BUILD_ROWS = 8192
 
     def __init__(
         self,
@@ -503,6 +559,49 @@ class SegmentWorkerPool:
         agg_seconds = [seconds for _, seconds, _ in results]
         key_seconds = [elapsed for _, _, elapsed in results]
         return tables, agg_seconds, key_seconds, wall
+
+    def run_join(
+        self,
+        join_spec: tuple,
+        probe_segments: Sequence[Sequence[tuple]],
+        build_segments: Optional[Sequence[Sequence[tuple]]],
+        build_rows: Sequence[tuple],
+    ) -> Optional[Tuple[List[list], List[float], float]]:
+        """Run a hash join's build/probe phase in the pool, one task per segment.
+
+        ``join_spec`` is the shippable description produced by
+        :func:`repro.engine.join.execute_hash_join` (side layouts, key and
+        residual ASTs, join kind, parameters).  When ``build_segments`` is
+        given the join is co-located — task *i* pairs probe segment *i* with
+        build segment *i*; otherwise ``build_rows`` (the whole, small, build
+        side) is broadcast to every task.  Returns ``(per_segment_rows,
+        per_segment_seconds, wall_seconds)`` with per-segment outputs in
+        segment order, or ``None`` when the payload does not pickle or the
+        pool is closed — the caller then joins in-process.
+        """
+        if self._closed:
+            return None
+        if sum(len(rows) for rows in probe_segments) < self.min_dispatch_rows:
+            return None
+        try:
+            pickle.dumps(join_spec)
+        except Exception:
+            return None
+        self.ensure_started()
+        if build_segments is not None:
+            tasks = [
+                join_spec + (probe, build)
+                for probe, build in zip(probe_segments, build_segments)
+            ]
+        else:
+            build_payload = list(build_rows)
+            tasks = [join_spec + (probe, build_payload) for probe in probe_segments]
+        start = time.perf_counter()
+        results = self._pool.map(_join_segment_task, tasks)
+        wall = time.perf_counter() - start
+        rows = [segment_rows for segment_rows, _ in results]
+        seconds = [elapsed for _, elapsed in results]
+        return rows, seconds, wall
 
     def __enter__(self) -> "SegmentWorkerPool":
         self.ensure_started()

@@ -185,10 +185,42 @@ class ExecutionStats:
     """Statistics attached to a :class:`~repro.engine.result.ResultSet`."""
 
     statement_kind: str = "select"
+    #: Base rows read from the statement's sources.  For multi-source FROM
+    #: lists this is the *sum of per-source base-table rows* (see
+    #: ``rows_scanned_per_source``), never the size of a join product — the
+    #: old accounting counted post-product rows, which made a 100×100
+    #: Cartesian product look like a 10,000-row scan.
     rows_scanned: int = 0
+    #: One entry per FROM source in scan order: base-table rows for table
+    #: scans, produced rows for subqueries and table functions.
+    rows_scanned_per_source: List[int] = field(default_factory=list)
+    #: Comma-joined strategy labels, one per executed join step, in execution
+    #: order: ``hash`` (in-process build/probe), ``hash_colocated`` /
+    #: ``hash_broadcast`` (worker-pool dispatch), ``nested_loop`` (non-equi
+    #: or uncompilable condition), ``cross`` (Cartesian step).  ``None`` when
+    #: the statement joined nothing.
+    join_strategy: Optional[str] = None
+    #: Total rows emitted by all join steps (intermediate steps included).
+    join_rows_emitted: int = 0
+    #: Coordinator-observed wall clock of worker-pool join fan-outs, summed
+    #: over dispatched join steps; ``None`` when no join ran on the pool.
+    join_parallel_wall_seconds: Optional[float] = None
     aggregate_timings: List[AggregateTimings] = field(default_factory=list)
     planning_seconds: float = 0.0
     total_seconds: float = 0.0
+
+    def record_join(
+        self, strategy: str, rows_emitted: int, parallel_wall_seconds: Optional[float] = None
+    ) -> None:
+        """Record one executed join step (strategy label + emitted rows)."""
+        self.join_strategy = (
+            strategy if self.join_strategy is None else f"{self.join_strategy},{strategy}"
+        )
+        self.join_rows_emitted += rows_emitted
+        if parallel_wall_seconds is not None:
+            self.join_parallel_wall_seconds = (
+                self.join_parallel_wall_seconds or 0.0
+            ) + parallel_wall_seconds
 
     @property
     def simulated_parallel_seconds(self) -> float:

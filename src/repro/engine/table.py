@@ -167,6 +167,26 @@ class Table:
         self._data_version += 1
         return deleted
 
+    def delete_where_rows(self, predicate) -> int:
+        """Delete rows for which ``predicate(row_tuple)`` is true; returns count.
+
+        The positional-tuple counterpart of :meth:`delete_where`, used by the
+        compiled DML path: the executor hands a predicate closure compiled
+        against the schema's column layout, so no per-row dict is built.
+        Rows stay on their segments — deletion never rehashes.
+        """
+        deleted = 0
+        for segment_index, segment in enumerate(self._segments):
+            kept = [row for row in segment if not predicate(row)]
+            removed = len(segment) - len(kept)
+            if removed:
+                self._segments[segment_index] = kept
+                deleted += removed
+        if deleted:
+            self._row_count -= deleted
+            self._data_version += 1
+        return deleted
+
     # -- access -------------------------------------------------------------
 
     def rows(self) -> Iterator[Row]:

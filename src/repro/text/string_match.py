@@ -98,7 +98,16 @@ class TrigramIndex:
         return name
 
     def search(self, query: str, *, threshold: float = 0.3, limit: Optional[int] = None) -> List[MatchResult]:
-        """Documents whose trigram similarity with ``query`` is at least ``threshold``."""
+        """Documents whose trigram similarity with ``query`` is at least ``threshold``.
+
+        Candidate retrieval is a single SQL statement: the trigram index
+        filtered by the query's grams, hash-joined back to the document table
+        on the id column.  The engine's join planner pushes the ``IN`` filter
+        below the join and executes the id match as a build/probe hash join
+        (``docs/joins.md``) — one pass over each table instead of the old
+        one-lookup-per-candidate loop, which rescanned the document table
+        O(candidates) times.
+        """
         if self.index_table is None:
             self.build()
         if not (0.0 < threshold <= 1.0):
@@ -109,20 +118,17 @@ class TrigramIndex:
         placeholders = ", ".join(f"%(g{i})s" for i in range(len(query_grams)))
         parameters = {f"g{i}": gram for i, gram in enumerate(query_grams)}
         candidates = self.database.query_dicts(
-            f"SELECT DISTINCT doc_id FROM {self.index_table} WHERE trigram IN ({placeholders})",
+            f"SELECT DISTINCT d.{self.id_column} AS doc_id, d.{self.text_column} AS text "
+            f"FROM {self.index_table} g, {self.documents_table} d "
+            f"WHERE g.trigram IN ({placeholders}) AND g.doc_id = d.{self.id_column}",
             parameters,
         )
         results: List[MatchResult] = []
         for candidate in candidates:
             doc_id = int(candidate["doc_id"])
-            text = self.database.query_scalar(
-                f"SELECT {self.text_column} FROM {self.documents_table} "
-                f"WHERE {self.id_column} = %(id)s",
-                {"id": doc_id},
-            )
-            similarity = trigram_similarity(query, text, q=self.q)
+            similarity = trigram_similarity(query, candidate["text"], q=self.q)
             if similarity >= threshold:
-                results.append(MatchResult(doc_id, text, similarity))
+                results.append(MatchResult(doc_id, candidate["text"], similarity))
         results.sort(key=lambda match: (-match.similarity, match.document_id))
         if limit is not None:
             results = results[:limit]

@@ -11,6 +11,15 @@ Greenplum, parallel over documents).  Both are reproduced here:
   scores are staged in a table, and each DP step is one SQL statement over
   that table joined with the previous step's partial paths, so all bulk work
   happens in the engine while Python only sequences the positions.
+
+The DP-step statement is a three-way implicit join (``FROM factors f,
+paths p, transitions t``) whose WHERE clause carries two cross-table
+equality conjuncts; the engine's join planner (``docs/joins.md``) pushes
+the single-table position filters below the join and executes the equality
+conjuncts as build/probe hash joins, so each step visits O(F + P + T) rows
+instead of materializing the O(F·P·T) Cartesian product the pre-join-layer
+executor built.  The final ``ORDER BY score DESC LIMIT 1`` argmax rides the
+top-k short-circuit (bounded heap selection, no full sort).
 """
 
 from __future__ import annotations
