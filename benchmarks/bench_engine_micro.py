@@ -98,11 +98,11 @@ PARALLEL_ONLY_METRICS = frozenset(
 def _baseline_metric(name: str) -> bool:
     """Whether a metric belongs in the committed regression baseline.
 
-    Parallel metrics (machine/worker dependent) and the opt-in ``--joins``
-    metrics (absent from default runs, so the gate would flag them MISSING)
-    stay out.
+    Parallel metrics (machine/worker dependent) and the opt-in ``--joins`` /
+    ``--indexes`` metrics (absent from default runs, so the gate would flag
+    them MISSING) stay out.
     """
-    return name not in PARALLEL_ONLY_METRICS and not name.startswith("join_")
+    return name not in PARALLEL_ONLY_METRICS and not name.startswith(("join_", "index_"))
 
 
 def _make_groupby_database(rows: int, *, workers: int = 0, segments: int = 4) -> Database:
@@ -275,6 +275,80 @@ def _run_join_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -> No
     )
 
 
+def _make_index_database(rows: int, *, use_indexes: bool = True) -> Database:
+    """A table shaped for the access-path sweep: unique ``pk`` (point lookups
+    and range predicates of any selectivity are exact row-count fractions)."""
+    database = Database(num_segments=4, use_indexes=use_indexes)
+    database.create_table(
+        "ix",
+        [("pk", "integer"), ("k", "integer"), ("v", "double precision")],
+        distributed_by="pk",
+    )
+    rng = np.random.default_rng(23)
+    values = rng.normal(size=rows)
+    database.load_rows("ix", [(i, i % 50, float(x)) for i, x in enumerate(values)])
+    if use_indexes:
+        database.execute("CREATE INDEX ix_pk_hash ON ix USING hash (pk)")
+        database.execute("CREATE INDEX ix_pk ON ix (pk)")
+        database.execute("ANALYZE ix")
+    return database
+
+
+#: Range-predicate hit rates for the ``--indexes`` selectivity sweep, as
+#: fractions of the table (0.001% → 50%).
+INDEX_SWEEP_FRACTIONS = (0.00001, 0.0001, 0.001, 0.01, 0.1, 0.5)
+
+
+def _run_index_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -> None:
+    """The ``--indexes`` pattern: index-probe vs sequential-scan rows/sec.
+
+    Point lookup (``WHERE pk = const``, the acceptance shape: EXPLAIN must
+    show an index-scan node and the probe must beat the scan by a wide
+    margin) plus a range-selectivity sweep from 0.001% to 50% hit rate —
+    at the high-selectivity end the cost model is expected to *decline* the
+    index and match the scan, which the sweep makes visible.
+    """
+    indexed = _make_index_database(rows)
+    scan = _make_index_database(rows, use_indexes=False)
+
+    target = rows // 2
+    point_query = f"SELECT v FROM ix WHERE pk = {target}"
+    explain_text = "\n".join(
+        row[0] for row in indexed.execute("EXPLAIN " + point_query).rows
+    )
+    assert "Index Scan" in explain_text, explain_text
+
+    metrics["index_point_lookup_rows_per_sec"], hit = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: indexed.execute(point_query).rows
+    )
+    assert indexed.last_stats.scan_details[0].access == "index"
+    assert indexed.last_stats.rows_scanned == 1
+    metrics["index_point_scan_rows_per_sec"], scan_hit = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: scan.execute(point_query).rows
+    )
+    assert hit == scan_hit
+    metrics["index_point_lookup_speedup"] = (
+        metrics["index_point_lookup_rows_per_sec"] / metrics["index_point_scan_rows_per_sec"]
+    )
+
+    for fraction in INDEX_SWEEP_FRACTIONS:
+        hits = max(1, int(rows * fraction))
+        query = f"SELECT count(*) FROM ix WHERE pk >= 0 AND pk < {hits}"
+        label = f"{fraction * 100:g}pct"
+        metrics[f"index_range_{label}_indexed_rows_per_sec"], left = _time_rows_per_sec(
+            rows, repeats=repeats, func=lambda: indexed.execute(query).rows
+        )
+        access = indexed.last_stats.scan_details[0].access
+        metrics[f"index_range_{label}_scan_rows_per_sec"], right = _time_rows_per_sec(
+            rows, repeats=1, func=lambda: scan.execute(query).rows
+        )
+        assert left == right and left[0][0] == hits
+        # Selective probes must take the index; at 50% the cost model is
+        # expected to fall back to the scan (both shapes are load-bearing).
+        if fraction <= 0.01:
+            assert access == "index", (fraction, access)
+
+
 def run_micro_suite(
     rows: int = MICRO_ROWS,
     *,
@@ -282,6 +356,7 @@ def run_micro_suite(
     repeats: int = 3,
     groupby: bool = False,
     joins: bool = False,
+    indexes: bool = False,
 ) -> Dict[str, float]:
     """All microbenchmark metrics, each in rows/second (higher is better).
 
@@ -364,6 +439,11 @@ def run_micro_suite(
         _run_groupby_suite(metrics, rows, workers=workers, repeats=repeats)
     if joins:
         _run_join_suite(metrics, min(rows, 10_000), repeats=repeats)
+    if indexes:
+        # The acceptance shape is a 100k-row indexed table; smoke runs keep
+        # their reduced row count.
+        index_rows = max(rows, 100_000) if rows >= MICRO_ROWS else rows
+        _run_index_suite(metrics, index_rows, repeats=repeats)
     return metrics
 
 
@@ -464,6 +544,14 @@ def main(argv=None) -> int:
         "(excluded from the committed baseline, like the parallel metrics)",
     )
     parser.add_argument(
+        "--indexes",
+        action="store_true",
+        help="also measure the access-path pattern: index-probe vs "
+        "sequential-scan point lookups on a 100k-row indexed table plus a "
+        "range-selectivity sweep (0.001%% to 50%% hit rate; excluded from "
+        "the committed baseline, like the join metrics)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI mode: reduced row count, one timing repeat — checks the "
@@ -483,6 +571,7 @@ def main(argv=None) -> int:
         repeats=1 if args.smoke else 3,
         groupby=args.groupby,
         joins=args.joins,
+        indexes=args.indexes,
     )
     write_report(output, metrics, rows=rows)
     print(f"wrote {output}" + (" (smoke mode)" if args.smoke else ""))

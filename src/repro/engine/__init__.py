@@ -11,10 +11,12 @@ from .aggregates import AggregateDefinition, AggregateRunner, builtin_aggregates
 from .catalog import Catalog
 from .database import Database, connect
 from .functions import FunctionDefinition, builtin_functions
+from .index import BaseIndex, HashIndex, SortedIndex
 from .parallel import SegmentWorkerPool
+from .planner import ColumnStatistics, TableStatistics, collect_table_statistics
 from .result import ResultSet
 from .schema import Column, Schema
-from .segments import AggregateTimings, ExecutionStats, SegmentedAggregator
+from .segments import AggregateTimings, ExecutionStats, JoinStep, ScanDetail, SegmentedAggregator
 from .table import Table
 from .types import (
     ANY,
@@ -45,6 +47,14 @@ __all__ = [
     "SegmentWorkerPool",
     "AggregateTimings",
     "ExecutionStats",
+    "ScanDetail",
+    "JoinStep",
+    "BaseIndex",
+    "HashIndex",
+    "SortedIndex",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_table_statistics",
     "builtin_functions",
     "builtin_aggregates",
     "SQLType",

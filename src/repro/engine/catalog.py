@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from ..errors import CatalogError
 from .aggregates import AggregateDefinition
 from .functions import FunctionDefinition
+from .index import BaseIndex, make_index
 from .schema import Schema
 from .table import Table
 
@@ -23,12 +24,16 @@ __all__ = ["Catalog"]
 
 
 class Catalog:
-    """Namespace of tables, scalar functions and aggregates."""
+    """Namespace of tables, secondary indexes, statistics, UDFs and UDAs."""
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._functions: Dict[str, FunctionDefinition] = {}
         self._aggregates: Dict[str, AggregateDefinition] = {}
+        self._indexes: Dict[str, BaseIndex] = {}
+        #: Per-table ANALYZE snapshots (:class:`repro.engine.planner.TableStatistics`),
+        #: keyed by lowercased table name.
+        self._statistics: Dict[str, object] = {}
 
     # -- tables --------------------------------------------------------------
 
@@ -54,6 +59,15 @@ class Catalog:
             if if_exists:
                 return
             raise CatalogError(f"table {name!r} does not exist")
+        # DROP TABLE cascades to the table's secondary indexes and its
+        # ANALYZE statistics, like dependent objects in PostgreSQL.
+        for index_name in [
+            index_key
+            for index_key, index in self._indexes.items()
+            if index.table_name.lower() == key
+        ]:
+            del self._indexes[index_name]
+        self._statistics.pop(key, None)
         del self._tables[key]
 
     def rename_table(self, old: str, new: str) -> None:
@@ -63,6 +77,18 @@ class Catalog:
         del self._tables[old.lower()]
         table.name = new
         self._tables[new.lower()] = table
+        # Indexes follow the rename and are rebuilt (the (segment, position)
+        # entries stay valid across a pure rename, but RENAME is rare enough
+        # that the rebuild's self-check costs nothing in practice);
+        # statistics snapshots are re-keyed.
+        for index in self._indexes.values():
+            if index.table_name.lower() == old.lower():
+                index.table_name = new
+                index.rebuild(table._segments)
+        statistics = self._statistics.pop(old.lower(), None)
+        if statistics is not None:
+            statistics.table_name = new
+            self._statistics[new.lower()] = statistics
 
     def table_names(self, *, include_temporary: bool = True) -> List[str]:
         return sorted(
@@ -79,8 +105,101 @@ class Catalog:
         """Drop all temp tables (end-of-session cleanup); returns count dropped."""
         temp_names = [name for name, table in self._tables.items() if table.temporary]
         for name in temp_names:
-            del self._tables[name]
+            self.drop_table(name)
         return len(temp_names)
+
+    # -- secondary indexes ---------------------------------------------------
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        column: str,
+        *,
+        kind: str = "sorted",
+        if_not_exists: bool = False,
+    ) -> Optional[BaseIndex]:
+        """Create and build a secondary index; registers it with its table.
+
+        Returns the index, or None when ``if_not_exists`` suppressed a
+        duplicate.  The index is built from the table's current rows and is
+        maintained incrementally by the table's DML hooks from then on.
+        """
+        key = name.lower()
+        if key in self._indexes:
+            if if_not_exists:
+                return None
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.get_table(table_name)
+        column_index = table.schema.index_of(column)  # validates the column
+        index = make_index(name, table.name, table.schema[column_index].name, column_index, kind)
+        table.attach_index(index)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, name: str, *, if_exists: bool = False) -> None:
+        key = name.lower()
+        index = self._indexes.get(key)
+        if index is None:
+            if if_exists:
+                return
+            raise CatalogError(f"index {name!r} does not exist")
+        table = self._tables.get(index.table_name.lower())
+        if table is not None:
+            table.detach_index(index.name)
+        del self._indexes[key]
+
+    def get_index(self, name: str) -> BaseIndex:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"index {name!r} does not exist") from None
+
+    def indexes(self, table: Optional[str] = None) -> List[Dict[str, object]]:
+        """``pg_indexes``-style listing, optionally filtered to one table.
+
+        The introspection surface driver UDFs interrogate (Section 3.1.3):
+        one dict per index with its table, column, kind and entry count.
+        """
+        rows = [
+            index.describe()
+            for index in self._indexes.values()
+            if table is None or index.table_name.lower() == table.lower()
+        ]
+        return sorted(rows, key=lambda row: (row["tablename"], row["indexname"]))
+
+    def index_names(self) -> List[str]:
+        return sorted(index.name for index in self._indexes.values())
+
+    # -- planner statistics --------------------------------------------------
+
+    def set_statistics(self, statistics) -> None:
+        """Store one table's ANALYZE snapshot (replacing any previous one)."""
+        self._statistics[statistics.table_name.lower()] = statistics
+
+    def get_statistics(self, table_name: str):
+        """The table's ANALYZE snapshot, or None when never analyzed."""
+        return self._statistics.get(table_name.lower())
+
+    def statistics(self, table: Optional[str] = None) -> List[Dict[str, object]]:
+        """``pg_stats``-style listing: one dict per analyzed column.
+
+        Each row carries the collected statistics plus a ``stale`` flag (the
+        table has seen DML since its ANALYZE).
+        """
+        rows: List[Dict[str, object]] = []
+        for key, statistics in self._statistics.items():
+            if table is not None and key != table.lower():
+                continue
+            stored = self._tables.get(key)
+            stale = stored is None or statistics.is_stale(stored)
+            for row in statistics.column_rows():
+                row["stale"] = stale
+                rows.append(row)
+        return sorted(rows, key=lambda row: (row["tablename"], row["columnname"]))
 
     # -- scalar functions ----------------------------------------------------
 

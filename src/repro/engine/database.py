@@ -74,6 +74,20 @@ class Database:
         identical either way — the flag exists so the join parity suite and
         the ``--joins`` microbenchmark can compare the strategies.  Hash
         joins also require ``compiled_execution``.
+    use_indexes:
+        When true (default), the planner (:mod:`repro.engine.planner`) may
+        rewrite a single-table WHERE into a secondary-index probe
+        (``CREATE INDEX``) whenever its estimated selectivity beats the full
+        segment scan.  Results are byte-identical either way — the flag
+        exists so the planner parity suite and the ``--indexes``
+        microbenchmark can compare access paths.  Index scans also require
+        ``compiled_execution``.
+    auto_analyze:
+        When true, the planner refreshes a table's ``ANALYZE`` statistics at
+        planning time once enough DML has accumulated since the last
+        snapshot (autovacuum-style damping).  Off by default: statistics are
+        collected only by explicit ``ANALYZE`` (or :meth:`analyze`), the
+        paper's interrogate-the-catalog workflow.
     """
 
     def __init__(
@@ -84,6 +98,8 @@ class Database:
         compiled_execution: bool = True,
         parallel: int = 0,
         hash_joins: bool = True,
+        use_indexes: bool = True,
+        auto_analyze: bool = False,
     ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
@@ -95,6 +111,8 @@ class Database:
         self.parallel_aggregation = parallel_aggregation
         self.compiled_execution = compiled_execution
         self.hash_joins = hash_joins
+        self.use_indexes = use_indexes
+        self.auto_analyze = auto_analyze
         self.parallel = int(parallel)
         self._worker_pool: Optional[SegmentWorkerPool] = (
             SegmentWorkerPool(self.parallel) if self.parallel else None
@@ -219,6 +237,33 @@ class Database:
 
     def table_names(self) -> List[str]:
         return self.catalog.table_names()
+
+    # ------------------------------------------------------------------ planner
+
+    def analyze(self, table: Optional[str] = None) -> int:
+        """Collect planner statistics (the ``ANALYZE [table]`` statement).
+
+        Returns the number of tables analyzed.  Statistics land in the
+        catalog (``catalog.statistics()`` lists them, the pg_stats analog)
+        where the access-path planner and driver UDFs interrogate them.
+        Delegates to the SQL statement so the two surfaces cannot diverge.
+        """
+        sql = "ANALYZE" if table is None else f"ANALYZE {table}"
+        return self.execute(sql).rowcount
+
+    def create_index(
+        self, name: str, table: str, column: str, *, kind: str = "sorted"
+    ) -> None:
+        """Create a secondary index programmatically (``CREATE INDEX`` analog)."""
+        self.catalog.create_index(name, table, column, kind=kind)
+
+    def explain(
+        self, sql: str, parameters: Optional[Dict[str, Any]] = None, *, analyze: bool = False
+    ) -> str:
+        """Render a statement's plan as text (``EXPLAIN [ANALYZE]`` analog)."""
+        prefix = "EXPLAIN ANALYZE " if analyze else "EXPLAIN "
+        result = self.execute(prefix + sql, parameters)
+        return "\n".join(row[0] for row in result.rows)
 
     # ------------------------------------------------------------------ parallel workers
 

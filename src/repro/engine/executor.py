@@ -49,6 +49,7 @@ from ..errors import CatalogError, ExecutionError, SQLSyntaxError
 from .aggregates import AggregateDefinition
 from .compile import ColumnLayout, compile_expression, keys_for_columns
 from .join import (
+    JoinEstimates,
     apply_prefilter,
     classify_where_conjuncts,
     conjoin,
@@ -57,6 +58,12 @@ from .join import (
     plan_key_join,
 )
 from .parallel import guarded_function_registry, shippable_spec
+from .planner import (
+    choose_access_path,
+    collect_table_statistics,
+    explain_statement,
+    maybe_auto_analyze,
+)
 from .vectorized import ColumnBatch, ConstantColumn
 from .expressions import (
     ColumnRef,
@@ -69,10 +76,14 @@ from .expressions import (
 )
 from .parser.ast_nodes import (
     AlterTableRenameStatement,
+    AnalyzeStatement,
+    CreateIndexStatement,
     CreateTableAsStatement,
     CreateTableStatement,
     DeleteStatement,
+    DropIndexStatement,
     DropTableStatement,
+    ExplainStatement,
     FunctionSource,
     InsertStatement,
     Join,
@@ -88,7 +99,7 @@ from .parser.ast_nodes import (
 )
 from .result import ResultSet
 from .schema import Column, Schema
-from .segments import AggregateTimings, ExecutionStats, SegmentedAggregator
+from .segments import AggregateTimings, ExecutionStats, ScanDetail, SegmentedAggregator
 from .table import Table
 from .types import ANY, SQLType, hashable_key, infer_type, type_from_name
 from .window import compute_window_values
@@ -115,6 +126,11 @@ class _Relation:
     #: probe row's segment.
     distribution_index: Optional[int] = None
     distribution_type: Optional[type] = None
+    #: Planner cardinality estimate for this relation (statistics-backed for
+    #: base-table scans, the access path's estimate for index scans); None
+    #: for derived relations, where the actual row count is already in hand.
+    #: Feeds the join layer's cost decisions.
+    estimated_rows: Optional[float] = None
 
     def context_keys(self) -> List[List[str]]:
         """For each column, the row-dict keys it populates."""
@@ -250,6 +266,14 @@ class Executor:
             result = self._execute_truncate(statement)
         elif isinstance(statement, AlterTableRenameStatement):
             result = self._execute_alter(statement)
+        elif isinstance(statement, CreateIndexStatement):
+            result = self._execute_create_index(statement)
+        elif isinstance(statement, DropIndexStatement):
+            result = self._execute_drop_index(statement)
+        elif isinstance(statement, AnalyzeStatement):
+            result = self._execute_analyze(statement)
+        elif isinstance(statement, ExplainStatement):
+            result = self._execute_explain(statement, parameters)
         else:
             raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
         if result.stats is None:
@@ -276,8 +300,17 @@ class Executor:
             segment_rows = table.segment_view(segment)
             rows.extend(segment_rows)
             segment_ids.extend([segment] * len(segment_rows))
+        statistics = self.catalog.get_statistics(table.name)
+        estimated = (
+            float(statistics.row_count)
+            if statistics is not None and not statistics.is_stale(table)
+            else float(len(rows))
+        )
         if stats is not None:
             stats.rows_scanned_per_source.append(len(rows))
+            stats.scan_details.append(
+                ScanDetail(table.name, "seq", len(rows), estimated_rows=estimated)
+            )
         distribution_index = table._distribution_index
         distribution_type = (
             table.schema[distribution_index].sql_type.python_type
@@ -292,6 +325,7 @@ class Executor:
             source_table=table,
             distribution_index=distribution_index,
             distribution_type=distribution_type,
+            estimated_rows=estimated,
         )
 
     def _scan_subquery(
@@ -302,6 +336,7 @@ class Executor:
         rows = list(result.rows)
         if stats is not None:
             stats.rows_scanned_per_source.append(len(rows))
+            stats.scan_details.append(ScanDetail(source.alias, "subquery", len(rows)))
         return _Relation(columns, rows, [0] * len(rows), 1)
 
     def _scan_function(self, source: FunctionSource, parameters) -> _Relation:
@@ -336,6 +371,9 @@ class Executor:
             relation = self._scan_function(item, parameters)
             if stats is not None:
                 stats.rows_scanned_per_source.append(len(relation.rows))
+                stats.scan_details.append(
+                    ScanDetail(item.name, "function", len(relation.rows))
+                )
             return relation
         if isinstance(item, Join):
             return self._execute_join(item, parameters, stats)
@@ -375,6 +413,28 @@ class Executor:
             distribution_type=left.distribution_type,
         )
 
+    @staticmethod
+    def _join_estimates(left: _Relation, right: _Relation) -> JoinEstimates:
+        """Planner cardinalities for one join step (stats-backed when scans).
+
+        The output estimate is the crude FK-join heuristic ``max(left,
+        right)`` — good enough to rank strategies; EXPLAIN displays it as an
+        estimate, never as a measurement.
+        """
+        estimated_left = (
+            left.estimated_rows if left.estimated_rows is not None else float(len(left.rows))
+        )
+        estimated_right = (
+            right.estimated_rows
+            if right.estimated_rows is not None
+            else float(len(right.rows))
+        )
+        return JoinEstimates(
+            left_rows=estimated_left,
+            right_rows=estimated_right,
+            output_rows=max(estimated_left, estimated_right),
+        )
+
     def _execute_join(
         self, join: Join, parameters, stats: Optional[ExecutionStats] = None
     ) -> _Relation:
@@ -404,12 +464,16 @@ class Executor:
                 check_shippable=pool is not None,
             )
             if plan is not None:
+                estimates = self._join_estimates(left, right)
                 outcome = execute_hash_join(
                     plan, left, right, pool=pool, parameters=parameters
                 )
                 if stats is not None:
                     stats.record_join(
-                        outcome.strategy, len(outcome.rows), outcome.parallel_wall_seconds
+                        outcome.strategy,
+                        len(outcome.rows),
+                        outcome.parallel_wall_seconds,
+                        estimated_rows=estimates.output_rows,
                     )
                 return self._joined_relation(left, right, outcome)
 
@@ -568,12 +632,16 @@ class Executor:
             )
             if plan is None:
                 return None
+            estimates = self._join_estimates(current, right)
             outcome = execute_hash_join(
                 plan, current, right, pool=pool, parameters=parameters
             )
             if stats is not None:
                 stats.record_join(
-                    outcome.strategy, len(outcome.rows), outcome.parallel_wall_seconds
+                    outcome.strategy,
+                    len(outcome.rows),
+                    outcome.parallel_wall_seconds,
+                    estimated_rows=estimates.output_rows,
                 )
             current = self._joined_relation(current, right, outcome)
         return current, conjoin(residual)
@@ -640,13 +708,108 @@ class Executor:
                     calls.append(node)
         return calls
 
+    def _choose_single_table_path(self, statement: SelectStatement, parameters):
+        """``(ref, table, AccessPath)`` for a single-table WHERE, or ``None``.
+
+        The one place access-path selection happens: ``_execute_select`` runs
+        the chosen probe, and EXPLAIN calls this too so the displayed plan is
+        the executed plan by construction.
+        """
+        database = self.database
+        if not getattr(database, "use_indexes", True) or not getattr(
+            database, "compiled_execution", True
+        ):
+            return None
+        if len(statement.from_items) != 1 or not isinstance(
+            statement.from_items[0], TableRef
+        ):
+            return None
+        if statement.where is None:
+            return None
+        ref = statement.from_items[0]
+        if not self.catalog.has_table(ref.name):
+            return None  # the scan path raises the proper catalog error
+        table = self.catalog.get_table(ref.name)
+        if not any(index.usable for index in table.indexes):
+            return None
+        statistics = maybe_auto_analyze(database, table)
+        path = choose_access_path(
+            table,
+            ref.effective_alias,
+            statement.where,
+            self._function_registry(),
+            parameters,
+            frozenset(name.lower() for name in self.catalog.aggregate_names()),
+            statistics,
+        )
+        if path is None:
+            return None
+        return ref, table, path
+
+    def _execute_index_scan(self, chosen, stats: ExecutionStats):
+        """Materialize an index probe as a relation; ``(relation, residual)``.
+
+        Probe results are (segment, position) pairs in ascending order —
+        exactly the sequential scan's emission order restricted to matching
+        rows — so everything downstream behaves byte-identically to the
+        scan-then-filter plan.  Returns ``None`` when the probe declines
+        (degraded index), in which case the caller takes the scan path.
+        """
+        ref, table, path = chosen
+        entries = path.probe()
+        if entries is None:
+            return None
+        alias = ref.effective_alias
+        columns = [(alias, name) for name in table.schema.names]
+        rows: List[Tuple[Any, ...]] = []
+        segment_ids: List[int] = []
+        for segment, position in entries:
+            rows.append(table.segment_view(segment)[position])
+            segment_ids.append(segment)
+        stats.rows_scanned_per_source.append(len(rows))
+        stats.scan_details.append(
+            ScanDetail(
+                table.name,
+                "index",
+                len(rows),
+                estimated_rows=path.estimated_rows,
+                index_name=path.index.name,
+                index_condition=path.condition_sql,
+            )
+        )
+        distribution_index = table._distribution_index
+        distribution_type = (
+            table.schema[distribution_index].sql_type.python_type
+            if distribution_index is not None
+            else None
+        )
+        relation = _Relation(
+            columns,
+            rows,
+            segment_ids,
+            table.num_segments,
+            distribution_index=distribution_index,
+            distribution_type=distribution_type,
+            estimated_rows=path.estimated_rows,
+        )
+        return relation, path.residual
+
     def _execute_select(self, statement: SelectStatement, parameters) -> ResultSet:
         stats = ExecutionStats(statement_kind="select")
-        relation, residual_where = self._build_relation(
-            statement.from_items, parameters, statement.where, stats
-        )
-        # Per-source base rows, never the size of a join product; single-source
-        # statements keep the historical value (their base scan).
+        relation = None
+        residual_where = statement.where
+        chosen = self._choose_single_table_path(statement, parameters)
+        if chosen is not None:
+            indexed = self._execute_index_scan(chosen, stats)
+            if indexed is not None:
+                relation, residual_where = indexed
+        if relation is None:
+            relation, residual_where = self._build_relation(
+                statement.from_items, parameters, statement.where, stats
+            )
+        # Per-source base rows *touched*, never the size of a join product;
+        # single-source statements keep the historical value (their base
+        # scan), and an index scan counts only its probe results.
         stats.rows_scanned = (
             sum(stats.rows_scanned_per_source)
             if stats.rows_scanned_per_source
@@ -673,6 +836,9 @@ class Executor:
             )
             # The column layout is unchanged, so `env` stays valid.
             contexts = self._lazy_contexts(relation, parameters)
+        # Rows surviving the WHERE stage — distinct from rows *touched*
+        # (``rows_scanned``), which an index scan keeps small.
+        stats.rows_matched = len(relation.rows)
 
         select_items = self._expand_select_items(statement.select_items, relation)
         output_names = [self._output_name(item, i) for i, item in enumerate(select_items)]
@@ -1390,6 +1556,7 @@ class Executor:
         stats = ExecutionStats(
             statement_kind="update",
             rows_scanned=len(relation.rows),
+            rows_matched=updated,
             rows_scanned_per_source=[len(relation.rows)],
         )
         return ResultSet([], [], rowcount=updated, stats=stats)
@@ -1427,6 +1594,7 @@ class Executor:
         stats = ExecutionStats(
             statement_kind="delete",
             rows_scanned=rows_scanned,
+            rows_matched=count,
             rows_scanned_per_source=[rows_scanned],
         )
         return ResultSet([], [], rowcount=count, stats=stats)
@@ -1445,3 +1613,33 @@ class Executor:
     def _execute_alter(self, statement: AlterTableRenameStatement) -> ResultSet:
         self.catalog.rename_table(statement.old_name, statement.new_name)
         return ResultSet([], [], rowcount=0)
+
+    # ------------------------------------------------------------------ planner DDL
+
+    def _execute_create_index(self, statement: CreateIndexStatement) -> ResultSet:
+        self.catalog.create_index(
+            statement.name,
+            statement.table,
+            statement.column,
+            kind=statement.method,
+            if_not_exists=statement.if_not_exists,
+        )
+        return ResultSet([], [], rowcount=0)
+
+    def _execute_drop_index(self, statement: DropIndexStatement) -> ResultSet:
+        for name in statement.names:
+            self.catalog.drop_index(name, if_exists=statement.if_exists)
+        return ResultSet([], [], rowcount=0)
+
+    def _execute_analyze(self, statement: AnalyzeStatement) -> ResultSet:
+        names = [statement.table] if statement.table else self.catalog.table_names()
+        for name in names:
+            table = self.catalog.get_table(name)
+            self.catalog.set_statistics(collect_table_statistics(table))
+        return ResultSet([], [], rowcount=len(names))
+
+    def _execute_explain(self, statement: ExplainStatement, parameters) -> ResultSet:
+        lines = explain_statement(
+            self, statement.target, parameters, analyze=statement.analyze
+        )
+        return ResultSet(["QUERY PLAN"], [(line,) for line in lines])

@@ -73,6 +73,7 @@ from .types import hashable_key, is_null
 
 __all__ = [
     "HashJoinPlan",
+    "JoinEstimates",
     "JoinOutcome",
     "split_conjuncts",
     "conjoin",
@@ -82,6 +83,14 @@ __all__ = [
     "plan_key_join",
     "execute_hash_join",
 ]
+
+#: Build on the left (probe) side only when it is at least this many times
+#: smaller than the right side — hashing the smaller input and buffering
+#: matches costs a grouping pass, so small imbalances are not worth it.
+REVERSED_BUILD_RATIO = 4.0
+#: ... and only when the right side is big enough for the build cost to
+#: matter at all (also keeps small-table strategy labels stable).
+REVERSED_BUILD_MIN_ROWS = 256
 
 
 # ---------------------------------------------------------------------------
@@ -257,6 +266,24 @@ class JoinOutcome:
     strategy: str
     #: Coordinator-observed wall clock of the pool fan-out, when dispatched.
     parallel_wall_seconds: Optional[float] = None
+
+
+@dataclass
+class JoinEstimates:
+    """Planner-estimated input/output cardinalities for one join step.
+
+    Fed in by the executor (statistics-backed for base-table scans, actual
+    materialized counts otherwise) for EXPLAIN display and the recorded
+    :class:`~repro.engine.segments.JoinStep`.  Strategy *decisions* use the
+    exact post-prefilter counts instead — both sides are materialized by
+    execution time, so actual cardinalities strictly dominate estimates that
+    may be stale or pre-filter.  Neither changes *what* a join emits or in
+    which order — only which physically-equivalent strategy produces it.
+    """
+
+    left_rows: float
+    right_rows: float
+    output_rows: Optional[float] = None
 
 
 def _classify_side(indices: frozenset, left_width: int) -> str:
@@ -630,8 +657,13 @@ def execute_hash_join(
     Prefilters always run on the coordinator.  The build/probe phase runs on
     the worker ``pool`` when it is worthwhile (probe side at or above the
     pool's dispatch floor, expressions shippable, and either a co-located
-    key pair or a build side small enough to broadcast); otherwise — and on
-    any dispatch failure — it runs in-process with identical results.
+    key pair or a build side cheap enough to broadcast under the cost
+    model); otherwise — and on any dispatch failure — it runs in-process
+    with identical results.  In-process, the build side is cost-driven:
+    when the exact post-prefilter counts say the left side is much smaller,
+    the hash table is built on the left and the right side probes
+    (:func:`_reversed_hash_join`), emitting the exact same rows in the
+    exact same order.
     """
     probe_rows, probe_segments = apply_prefilter(
         plan.left_prefilter, left.rows, left.segment_ids
@@ -657,6 +689,21 @@ def execute_hash_join(
         if outcome is not None:
             return outcome
 
+    # The cost inputs here are the *exact* post-prefilter cardinalities — at
+    # execution time both sides are materialized, so actual counts strictly
+    # dominate the planner's pre-filter estimates (which can be stale or
+    # inflated); `estimates` is kept for EXPLAIN display and stats.
+    actual_left = float(len(probe_rows))
+    actual_right = float(len(build_rows))
+    if (
+        actual_right >= REVERSED_BUILD_MIN_ROWS
+        and actual_left * REVERSED_BUILD_RATIO <= actual_right
+    ):
+        rows, segments = _reversed_hash_join(
+            plan, probe_rows, probe_segments, build_rows, right_width
+        )
+        return JoinOutcome(rows, segments, "hash_reversed")
+
     buckets = build_hash_table(build_rows, plan.right_key_fns)
     rows, segments = probe_hash_table(
         probe_rows,
@@ -668,6 +715,85 @@ def execute_hash_join(
         right_width,
     )
     return JoinOutcome(rows, segments, "hash")
+
+
+def _reversed_hash_join(
+    plan: HashJoinPlan,
+    left_rows: Sequence[Tuple[Any, ...]],
+    left_segments: Sequence[int],
+    right_rows: Sequence[Tuple[Any, ...]],
+    right_width: int,
+) -> Tuple[List[Tuple[Any, ...]], List[int]]:
+    """Build on the (smaller) left side, probe with the right, emit in the
+    canonical (left scan order, right scan order) nested-loop order.
+
+    The hash table maps key → left row indices; probing right rows in scan
+    order appends each match to its left row's buffer, so every buffer is
+    right-ordered and a final ascending walk over left indices reproduces
+    the standard probe's emission order byte-for-byte.  Costs one buffering
+    pass over the matches — worth it when building the right side's hash
+    table would dominate.
+    """
+    buckets: Dict[Any, List[int]] = {}
+    for left_index, row in enumerate(left_rows):
+        components = tuple(fn(row) for fn in plan.left_key_fns)
+        if any(is_null(component) for component in components):
+            continue
+        key = tuple(hashable_key(component) for component in components)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [left_index]
+        else:
+            bucket.append(left_index)
+
+    matches: Dict[int, List[Tuple[Any, ...]]] = {}
+    residual_fn = plan.residual_fn
+    for right_row in right_rows:
+        components = tuple(fn(right_row) for fn in plan.right_key_fns)
+        if any(is_null(component) for component in components):
+            continue
+        key = tuple(hashable_key(component) for component in components)
+        for left_index in buckets.get(key, ()):
+            combined = left_rows[left_index] + right_row
+            if residual_fn is None or residual_fn(combined) is True:
+                buffer = matches.get(left_index)
+                if buffer is None:
+                    matches[left_index] = [combined]
+                else:
+                    buffer.append(combined)
+
+    out_rows: List[Tuple[Any, ...]] = []
+    out_segments: List[int] = []
+    if plan.kind == "left":
+        null_pad = (None,) * right_width
+        for left_index, row in enumerate(left_rows):
+            buffer = matches.get(left_index)
+            if buffer:
+                out_rows.extend(buffer)
+                out_segments.extend([left_segments[left_index]] * len(buffer))
+            else:
+                out_rows.append(row + null_pad)
+                out_segments.append(left_segments[left_index])
+    else:
+        for left_index in sorted(matches):
+            buffer = matches[left_index]
+            out_rows.extend(buffer)
+            out_segments.extend([left_segments[left_index]] * len(buffer))
+    return out_rows, out_segments
+
+
+def _broadcast_worthwhile(
+    estimated_probe: float, estimated_build: float, num_segments: int, max_build_rows: int
+) -> bool:
+    """Cost rule for replicating the build side to every worker.
+
+    Small build sides always qualify (the legacy fixed cap).  Beyond that,
+    broadcasting ships ``build × segments`` rows, so it pays off only when
+    that shipping cost stays under the probe work it parallelizes.
+    """
+    if estimated_build <= max_build_rows:
+        return True
+    return estimated_build * num_segments <= estimated_probe
 
 
 def _try_parallel_join(
@@ -710,7 +836,14 @@ def _try_parallel_join(
             build_chunks = [build_rows[start:end] for start, end in build_runs]
             strategy = "hash_colocated"
     if build_chunks is None:
-        if len(build_rows) > pool.BROADCAST_MAX_BUILD_ROWS:
+        # Exact post-prefilter counts, not planner estimates — see
+        # execute_hash_join.
+        if not _broadcast_worthwhile(
+            float(len(probe_rows)),
+            float(len(build_rows)),
+            probe_num_segments,
+            pool.BROADCAST_MAX_BUILD_ROWS,
+        ):
             return None
         strategy = "hash_broadcast"
 

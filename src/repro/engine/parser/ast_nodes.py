@@ -26,6 +26,10 @@ __all__ = [
     "DropTableStatement",
     "TruncateStatement",
     "AlterTableRenameStatement",
+    "CreateIndexStatement",
+    "DropIndexStatement",
+    "AnalyzeStatement",
+    "ExplainStatement",
 ]
 
 
@@ -168,3 +172,35 @@ class TruncateStatement(Statement):
 class AlterTableRenameStatement(Statement):
     old_name: str
     new_name: str
+
+
+@dataclass
+class CreateIndexStatement(Statement):
+    """``CREATE INDEX name ON table [USING hash|btree] (column)``."""
+
+    name: str
+    table: str
+    column: str
+    method: str = "sorted"  # sorted (btree analog) | hash
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropIndexStatement(Statement):
+    names: List[str]
+    if_exists: bool = False
+
+
+@dataclass
+class AnalyzeStatement(Statement):
+    """``ANALYZE [table]`` — collect planner statistics into the catalog."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class ExplainStatement(Statement):
+    """``EXPLAIN [ANALYZE] <statement>`` — show (and optionally run) the plan."""
+
+    target: Statement
+    analyze: bool = False

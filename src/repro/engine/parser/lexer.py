@@ -19,6 +19,7 @@ KEYWORDS = {
     "join", "inner", "left", "right", "full", "outer", "cross", "on", "using",
     "union", "all", "asc", "desc", "array", "over", "partition",
     "distributed", "randomly", "replace", "nulls", "first", "last",
+    "explain", "analyze", "index",
 }
 
 _TWO_CHAR_OPERATORS = {"<=", ">=", "!=", "<>", "||", "::"}

@@ -34,11 +34,15 @@ from ..expressions import (
 )
 from .ast_nodes import (
     AlterTableRenameStatement,
+    AnalyzeStatement,
     ColumnDefinition,
+    CreateIndexStatement,
     CreateTableAsStatement,
     CreateTableStatement,
     DeleteStatement,
+    DropIndexStatement,
     DropTableStatement,
+    ExplainStatement,
     FunctionSource,
     InsertStatement,
     Join,
@@ -148,6 +152,10 @@ class _Parser:
             return self.parse_truncate()
         if self.check_keyword("alter"):
             return self.parse_alter()
+        if self.check_keyword("explain"):
+            return self.parse_explain()
+        if self.check_keyword("analyze"):
+            return self.parse_analyze()
         raise SQLSyntaxError(
             f"unsupported statement starting with {self.current.value!r}",
             self.current.position,
@@ -309,6 +317,8 @@ class _Parser:
 
     def parse_create(self) -> Statement:
         self.expect_keyword("create")
+        if self.check_keyword("index"):
+            return self.parse_create_index()
         temporary = bool(self.accept_keyword("temp", "temporary"))
         self.expect_keyword("table")
         if_not_exists = False
@@ -377,6 +387,48 @@ class _Parser:
                 break
         return ColumnDefinition(name, type_name)
 
+    def parse_create_index(self) -> CreateIndexStatement:
+        self.expect_keyword("index")
+        if_not_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("not")
+            self.expect_keyword("exists")
+            if_not_exists = True
+        name = self.expect_name()
+        self.expect_keyword("on")
+        table = self.expect_name()
+        method = "sorted"
+        if self.accept_keyword("using"):
+            word = self.expect_name().lower()
+            if word == "hash":
+                method = "hash"
+            elif word in ("btree", "sorted"):
+                method = "sorted"
+            else:
+                raise SQLSyntaxError(
+                    f"unknown index method {word!r} (expected hash or btree)",
+                    self.tokens[self.position - 1].position,
+                )
+        self.expect("operator", "(")
+        column = self.expect_name()
+        self.expect("operator", ")")
+        return CreateIndexStatement(
+            name, table, column, method=method, if_not_exists=if_not_exists
+        )
+
+    def parse_explain(self) -> ExplainStatement:
+        self.expect_keyword("explain")
+        analyze = bool(self.accept_keyword("analyze"))
+        if self.check_keyword("explain"):
+            raise SQLSyntaxError("EXPLAIN cannot be nested", self.current.position)
+        return ExplainStatement(self.parse_statement(), analyze=analyze)
+
+    def parse_analyze(self) -> AnalyzeStatement:
+        self.expect_keyword("analyze")
+        if self.check("eof") or self.check("operator", ";"):
+            return AnalyzeStatement(None)
+        return AnalyzeStatement(self.expect_name())
+
     def parse_insert(self) -> InsertStatement:
         self.expect_keyword("insert")
         self.expect_keyword("into")
@@ -424,9 +476,11 @@ class _Parser:
         where = self.parse_expression() if self.accept_keyword("where") else None
         return DeleteStatement(table, where)
 
-    def parse_drop(self) -> DropTableStatement:
+    def parse_drop(self) -> Statement:
         self.expect_keyword("drop")
-        self.expect_keyword("table")
+        dropping_index = bool(self.accept_keyword("index"))
+        if not dropping_index:
+            self.expect_keyword("table")
         if_exists = False
         if self.accept_keyword("if"):
             self.expect_keyword("exists")
@@ -434,6 +488,8 @@ class _Parser:
         names = [self.expect_name()]
         while self.accept("operator", ","):
             names.append(self.expect_name())
+        if dropping_index:
+            return DropIndexStatement(names, if_exists)
         return DropTableStatement(names, if_exists)
 
     def parse_truncate(self) -> TruncateStatement:

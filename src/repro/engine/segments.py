@@ -48,7 +48,13 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 from .aggregates import AggregateDefinition, AggregateRunner
 from .vectorized import ColumnBatch, strict_filter_columns
 
-__all__ = ["AggregateTimings", "ExecutionStats", "SegmentedAggregator"]
+__all__ = [
+    "AggregateTimings",
+    "ExecutionStats",
+    "JoinStep",
+    "ScanDetail",
+    "SegmentedAggregator",
+]
 
 
 @dataclass
@@ -181,19 +187,57 @@ class AggregateTimings:
 
 
 @dataclass
+class ScanDetail:
+    """One base-relation scan as executed (backs EXPLAIN ANALYZE scan nodes)."""
+
+    source: str  #: table name (or function/subquery alias)
+    access: str  #: ``seq`` | ``index`` | ``subquery`` | ``function``
+    #: Rows actually touched: the full relation for a sequential scan, only
+    #: the probe results for an index scan.
+    rows_touched: int = 0
+    #: The planner's cardinality estimate for this scan, when one was made.
+    estimated_rows: Optional[float] = None
+    index_name: Optional[str] = None
+    index_condition: Optional[str] = None
+
+
+@dataclass
+class JoinStep:
+    """One executed join step (strategy + cardinalities) in execution order."""
+
+    strategy: str
+    rows_emitted: int = 0
+    estimated_rows: Optional[float] = None
+
+
+@dataclass
 class ExecutionStats:
     """Statistics attached to a :class:`~repro.engine.result.ResultSet`."""
 
     statement_kind: str = "select"
-    #: Base rows read from the statement's sources.  For multi-source FROM
+    #: Base rows *touched* by the statement's sources.  For multi-source FROM
     #: lists this is the *sum of per-source base-table rows* (see
     #: ``rows_scanned_per_source``), never the size of a join product — the
     #: old accounting counted post-product rows, which made a 100×100
-    #: Cartesian product look like a 10,000-row scan.
+    #: Cartesian product look like a 10,000-row scan.  An index scan counts
+    #: only the rows its probe returned, not the whole table; compare with
+    #: :attr:`rows_matched` for the WHERE-survivor count.
     rows_scanned: int = 0
+    #: Rows that survived the statement's WHERE stage (before grouping /
+    #: DISTINCT / LIMIT); for UPDATE and DELETE, the affected-row count.
+    #: ``None`` for statements with no row-matching stage.  Splitting this
+    #: from ``rows_scanned`` keeps EXPLAIN ANALYZE honest: an index scan
+    #: touches few rows (``rows_scanned``) while a sequential scan touches
+    #: all of them for the same ``rows_matched``.
+    rows_matched: Optional[int] = None
     #: One entry per FROM source in scan order: base-table rows for table
     #: scans, produced rows for subqueries and table functions.
     rows_scanned_per_source: List[int] = field(default_factory=list)
+    #: Per-scan access-path records in scan order (EXPLAIN ANALYZE's source
+    #: of truth for which plan actually ran).
+    scan_details: List[ScanDetail] = field(default_factory=list)
+    #: Per-join-step records in execution order.
+    join_steps: List[JoinStep] = field(default_factory=list)
     #: Comma-joined strategy labels, one per executed join step, in execution
     #: order: ``hash`` (in-process build/probe), ``hash_colocated`` /
     #: ``hash_broadcast`` (worker-pool dispatch), ``nested_loop`` (non-equi
@@ -210,13 +254,18 @@ class ExecutionStats:
     total_seconds: float = 0.0
 
     def record_join(
-        self, strategy: str, rows_emitted: int, parallel_wall_seconds: Optional[float] = None
+        self,
+        strategy: str,
+        rows_emitted: int,
+        parallel_wall_seconds: Optional[float] = None,
+        estimated_rows: Optional[float] = None,
     ) -> None:
         """Record one executed join step (strategy label + emitted rows)."""
         self.join_strategy = (
             strategy if self.join_strategy is None else f"{self.join_strategy},{strategy}"
         )
         self.join_rows_emitted += rows_emitted
+        self.join_steps.append(JoinStep(strategy, rows_emitted, estimated_rows))
         if parallel_wall_seconds is not None:
             self.join_parallel_wall_seconds = (
                 self.join_parallel_wall_seconds or 0.0

@@ -84,9 +84,16 @@ class Table:
         self._row_count = 0
         self._round_robin_cursor = 0
         # Monotonic mutation counter; the cached columnar views below are
-        # valid only for the version they were built at.
+        # valid only for the version they were built at, and ANALYZE
+        # statistics snapshots record it for staleness tracking.
         self._data_version = 0
         self._columnar_cache: dict = {}
+        #: Secondary indexes attached by the catalog
+        #: (:mod:`repro.engine.index`), maintained by the mutation hooks
+        #: below: inserts append entries, TRUNCATE clears, deletes remap one
+        #: segment's surviving positions, and bulk loads / full replaces /
+        #: redistribution rebuild.
+        self._indexes: List = []
 
     # -- basic protocol -----------------------------------------------------
 
@@ -124,20 +131,54 @@ class Table:
         self._round_robin_cursor += 1
         return segment
 
+    #: At or above this many incoming rows, ``insert_many`` on an indexed
+    #: table suspends incremental maintenance and rebuilds each index once at
+    #: the end — a sorted index pays O(n) list-insert per incremental add, so
+    #: bulk loads would otherwise degenerate to O(n²).
+    _BULK_REBUILD_ROWS = 256
+
     def insert(self, values: Sequence[Any]) -> None:
         """Insert a single row (values in schema order)."""
         row = self._coerce_row(values)
-        self._segments[self._segment_for(row)].append(row)
+        segment = self._segment_for(row)
+        self._segments[segment].append(row)
         self._row_count += 1
         self._data_version += 1
+        if self._indexes:
+            position = len(self._segments[segment]) - 1
+            for index in self._indexes:
+                index.add(row[index.column_index], segment, position)
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows inserted."""
+        if self._indexes:
+            rows = list(rows)
+            if len(rows) >= self._BULK_REBUILD_ROWS:
+                return self._with_index_rebuild(lambda: self._insert_all(rows))
+        return self._insert_all(rows)
+
+    def _insert_all(self, rows: Iterable[Sequence[Any]]) -> int:
         count = 0
         for values in rows:
             self.insert(values)
             count += 1
         return count
+
+    def _with_index_rebuild(self, mutate) -> int:
+        """Run a bulk mutation with index maintenance suspended, then rebuild.
+
+        The rebuild runs even when the mutation raises partway (e.g. a row
+        failing type coercion mid-load): rows inserted before the failure are
+        in the table, so skipping the rebuild would leave indexes silently
+        stale and index probes returning wrong results.
+        """
+        indexes, self._indexes = self._indexes, []
+        try:
+            return mutate()
+        finally:
+            self._indexes = indexes
+            for index in indexes:
+                index.rebuild(self._segments)
 
     def truncate(self) -> None:
         """Remove all rows but keep the schema and distribution policy."""
@@ -145,27 +186,23 @@ class Table:
         self._row_count = 0
         self._round_robin_cursor = 0
         self._data_version += 1
+        for index in self._indexes:
+            index.clear()
 
     def replace_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Replace the full contents (used by UPDATE and CREATE TABLE AS)."""
+        if self._indexes:
+            return self._with_index_rebuild(lambda: self._replace_all(rows))
+        return self._replace_all(rows)
+
+    def _replace_all(self, rows: Iterable[Sequence[Any]]) -> int:
         self.truncate()
         return self.insert_many(rows)
 
     def delete_where(self, predicate) -> int:
         """Delete rows for which ``predicate(row_dict)`` is true; returns count deleted."""
-        deleted = 0
         names = self.schema.names
-        for segment_index, segment in enumerate(self._segments):
-            kept: List[Row] = []
-            for row in segment:
-                if predicate(dict(zip(names, row))):
-                    deleted += 1
-                else:
-                    kept.append(row)
-            self._segments[segment_index] = kept
-        self._row_count -= deleted
-        self._data_version += 1
-        return deleted
+        return self._delete_segments(lambda row: predicate(dict(zip(names, row))))
 
     def delete_where_rows(self, predicate) -> int:
         """Delete rows for which ``predicate(row_tuple)`` is true; returns count.
@@ -175,17 +212,54 @@ class Table:
         against the schema's column layout, so no per-row dict is built.
         Rows stay on their segments — deletion never rehashes.
         """
+        return self._delete_segments(predicate)
+
+    def _delete_segments(self, predicate) -> int:
+        """Shared per-segment deletion; indexes remap surviving positions."""
         deleted = 0
         for segment_index, segment in enumerate(self._segments):
-            kept = [row for row in segment if not predicate(row)]
-            removed = len(segment) - len(kept)
-            if removed:
-                self._segments[segment_index] = kept
-                deleted += removed
+            if self._indexes:
+                kept: List[Row] = []
+                kept_positions: List[int] = []
+                for position, row in enumerate(segment):
+                    if not predicate(row):
+                        kept.append(row)
+                        kept_positions.append(position)
+                removed = len(segment) - len(kept)
+                if removed:
+                    self._segments[segment_index] = kept
+                    for index in self._indexes:
+                        index.remap_segment(segment_index, kept_positions)
+                    deleted += removed
+            else:
+                kept = [row for row in segment if not predicate(row)]
+                removed = len(segment) - len(kept)
+                if removed:
+                    self._segments[segment_index] = kept
+                    deleted += removed
         if deleted:
             self._row_count -= deleted
             self._data_version += 1
         return deleted
+
+    # -- secondary indexes ----------------------------------------------------
+
+    @property
+    def indexes(self) -> List:
+        """Secondary indexes attached to this table (catalog-owned objects)."""
+        return list(self._indexes)
+
+    def attach_index(self, index) -> None:
+        """Attach (and build) a secondary index; the catalog calls this."""
+        if any(existing.name.lower() == index.name.lower() for existing in self._indexes):
+            raise ExecutionError(f"index {index.name!r} is already attached to {self.name!r}")
+        index.rebuild(self._segments)
+        self._indexes.append(index)
+
+    def detach_index(self, name: str) -> None:
+        self._indexes = [
+            index for index in self._indexes if index.name.lower() != name.lower()
+        ]
 
     # -- access -------------------------------------------------------------
 
@@ -273,3 +347,7 @@ class Table:
         for row in rows:
             self._segments[self._segment_for(row)].append(row)
             self._row_count += 1
+        # Entries are (segment, position) pairs, so moving rows between
+        # segments invalidates every index: rebuild.
+        for index in self._indexes:
+            index.rebuild(self._segments)
