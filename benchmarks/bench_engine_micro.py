@@ -99,10 +99,12 @@ def _baseline_metric(name: str) -> bool:
     """Whether a metric belongs in the committed regression baseline.
 
     Parallel metrics (machine/worker dependent) and the opt-in ``--joins`` /
-    ``--indexes`` metrics (absent from default runs, so the gate would flag
-    them MISSING) stay out.
+    ``--indexes`` / ``--columnar`` metrics (absent from default runs, so the
+    gate would flag them MISSING) stay out.
     """
-    return name not in PARALLEL_ONLY_METRICS and not name.startswith(("join_", "index_"))
+    return name not in PARALLEL_ONLY_METRICS and not name.startswith(
+        ("join_", "index_", "columnar_")
+    )
 
 
 def _make_groupby_database(rows: int, *, workers: int = 0, segments: int = 4) -> Database:
@@ -349,6 +351,104 @@ def _run_index_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -> N
             assert access == "index", (fraction, access)
 
 
+def _make_columnar_database(rows: int, *, columnar: bool) -> Database:
+    """The ``--columnar`` fixture: a numeric table whose WHERE clauses sit
+    squarely in the vector-compilable subset (``u`` is uniform on [0, 1), so
+    ``u < 0.1`` is the 10%-selectivity acceptance shape)."""
+    database = Database(num_segments=4, columnar_storage=columnar)
+    database.create_table(
+        "cs",
+        [
+            ("id", "integer"),
+            ("k", "integer"),
+            ("u", "double precision"),
+            ("v", "double precision"),
+        ],
+        distributed_by="id",
+    )
+    rng = np.random.default_rng(17)
+    u = rng.random(rows)
+    v = rng.normal(size=rows)
+    database.load_rows(
+        "cs", [(i, i % 97, float(x), float(y)) for i, (x, y) in enumerate(zip(u, v))]
+    )
+    return database
+
+
+def _run_columnar_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -> None:
+    """The ``--columnar`` pattern: bitmap-vectorized WHERE over packed
+    columns vs the row-tuple storage running the same statements.
+
+    The acceptance shape is the 10%-selectivity filtered aggregate scan
+    (``count(*) + sum`` over ``u < 0.1``), where the bitmap path must beat
+    the row-tuple path by at least 3×.  Filtered projection exercises late
+    materialization; the DML pair reports bitmap DELETE (complement-keep,
+    no row tuples) and vectorized-WHERE UPDATE (mask computation is
+    vectorized; the rewrite itself is storage-bound, so expect ~parity).
+    """
+    columnar = _make_columnar_database(rows, columnar=True)
+    rowstore = _make_columnar_database(rows, columnar=False)
+
+    query = "SELECT count(*), sum(v) FROM cs WHERE u < 0.1"
+    metrics["columnar_filtered_agg_rows_per_sec"], fast = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: columnar.execute(query).rows
+    )
+    stats = columnar.last_stats
+    assert stats.where_vectorized, "bitmap WHERE did not engage"
+    assert stats.rows_scanned == rows, "rows_scanned must be the bitmap width"
+    assert stats.bitmap_selectivity is not None and 0.05 < stats.bitmap_selectivity < 0.15
+    metrics["columnar_filtered_agg_rowstore_rows_per_sec"], slow = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: rowstore.execute(query).rows
+    )
+    assert not rowstore.last_stats.where_vectorized
+    assert fast[0][0] == slow[0][0] and fast[0][1] == slow[0][1]
+    speedup = (
+        metrics["columnar_filtered_agg_rows_per_sec"]
+        / metrics["columnar_filtered_agg_rowstore_rows_per_sec"]
+    )
+    metrics["columnar_filtered_agg_speedup"] = speedup
+    if rows >= MICRO_ROWS:
+        # The acceptance criterion (smoke runs are too small to be meaningful).
+        assert speedup >= 3.0, f"filtered aggregate speedup {speedup:.2f}x < 3x"
+
+    select = "SELECT id, v FROM cs WHERE u < 0.1"
+    metrics["columnar_filtered_select_rows_per_sec"], picked = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: columnar.execute(select).rows
+    )
+    assert columnar.last_stats.where_vectorized
+    metrics["columnar_filtered_select_rowstore_rows_per_sec"], picked_slow = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: rowstore.execute(select).rows
+    )
+    assert list(picked) == list(picked_slow)
+    metrics["columnar_filtered_select_speedup"] = (
+        metrics["columnar_filtered_select_rows_per_sec"]
+        / metrics["columnar_filtered_select_rowstore_rows_per_sec"]
+    )
+
+    # UPDATE: the matched set is stable across repeats (the predicate column
+    # is untouched), so repeated timing measures a steady state.
+    update = "UPDATE cs SET v = v + 0.0 WHERE u < 0.1"
+    metrics["columnar_update_rows_per_sec"], update_result = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: columnar.execute(update)
+    )
+    assert update_result.stats.where_vectorized
+    metrics["columnar_update_rowstore_rows_per_sec"], update_slow = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: rowstore.execute(update)
+    )
+    assert update_result.rowcount == update_slow.rowcount
+
+    # DELETE mutates, so time a single shot per storage on the same slice.
+    delete = "DELETE FROM cs WHERE u >= 0.9"
+    metrics["columnar_delete_rows_per_sec"], delete_result = _time_rows_per_sec(
+        rows, repeats=1, func=lambda: columnar.execute(delete)
+    )
+    assert delete_result.stats.where_vectorized
+    metrics["columnar_delete_rowstore_rows_per_sec"], delete_slow = _time_rows_per_sec(
+        rows, repeats=1, func=lambda: rowstore.execute(delete)
+    )
+    assert delete_result.rowcount == delete_slow.rowcount
+
+
 def run_micro_suite(
     rows: int = MICRO_ROWS,
     *,
@@ -357,6 +457,7 @@ def run_micro_suite(
     groupby: bool = False,
     joins: bool = False,
     indexes: bool = False,
+    columnar: bool = False,
 ) -> Dict[str, float]:
     """All microbenchmark metrics, each in rows/second (higher is better).
 
@@ -368,7 +469,9 @@ def run_micro_suite(
     simulated.  ``groupby`` adds the grouped-aggregation pattern at low and
     high group cardinality (and, with workers, the measured grouped-dispatch
     speedup).  ``joins`` adds the hash-vs-nested-loop join pattern (a 2-way
-    equi-join and the Viterbi-shaped 3-way join).
+    equi-join and the Viterbi-shaped 3-way join).  ``columnar`` adds the
+    bitmap-vectorized WHERE pattern: filtered aggregate / projection / DML
+    throughput on columnar vs row-tuple storage.
     """
     database = _make_database(True, rows)
     where, executor, relation = _expression_fixture(database)
@@ -444,6 +547,8 @@ def run_micro_suite(
         # their reduced row count.
         index_rows = max(rows, 100_000) if rows >= MICRO_ROWS else rows
         _run_index_suite(metrics, index_rows, repeats=repeats)
+    if columnar:
+        _run_columnar_suite(metrics, rows, repeats=repeats)
     return metrics
 
 
@@ -552,6 +657,15 @@ def main(argv=None) -> int:
         "the committed baseline, like the join metrics)",
     )
     parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="also measure the columnar-storage pattern: bitmap-vectorized "
+        "WHERE vs the row-tuple path on filtered aggregate scans, filtered "
+        "projection, and DML (excluded from the committed baseline; the "
+        "10%%-selectivity filtered aggregate asserts a >=3x speedup at "
+        "full scale)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI mode: reduced row count, one timing repeat — checks the "
@@ -572,6 +686,7 @@ def main(argv=None) -> int:
         groupby=args.groupby,
         joins=args.joins,
         indexes=args.indexes,
+        columnar=args.columnar,
     )
     write_report(output, metrics, rows=rows)
     print(f"wrote {output}" + (" (smoke mode)" if args.smoke else ""))

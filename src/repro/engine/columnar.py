@@ -1,0 +1,346 @@
+"""Typed packed column storage — the segment-native representation.
+
+Greenplum stores a table's rows on its segments; this engine's fast paths
+(batch aggregate kernels, packed worker pickling, hash-join builds, index
+maintenance) all want *columns*, and until this module existed they derived
+them from row tuples on every table version change.  A
+:class:`ColumnStore` inverts that: each segment owns one typed packed
+column per schema column — ``array('d')`` for ``double precision``,
+``array('q')`` for ``integer``/``bigint``, a plain Python list for
+everything else — plus a null bitmap, and row tuples become the *derived*
+(cached) view used by code that still thinks in rows.
+
+Representation invariants
+-------------------------
+* A ``double precision`` column stores SQL NULL as a NaN placeholder **and**
+  a set bit in the null bitmap.  A genuine NaN value (which
+  :func:`~repro.engine.types.is_null` also treats as NULL) stores as NaN with
+  a *clear* bitmap bit, so ``None`` and ``float('nan')`` round-trip
+  distinctly — ``format_value`` renders them differently.
+* An ``integer``/``bigint`` column stores SQL NULL as a ``0`` placeholder
+  plus a set bitmap bit.  A Python int that does not fit in a C int64
+  *demotes* the whole column to a plain object list (append-time
+  ``OverflowError``); demoted columns simply lose the packed fast paths,
+  never correctness — ``numeric_view`` returns ``None`` and every consumer
+  falls back to the row representation.
+* NumPy views of packed buffers are **copies** (``np.array``), cached per
+  column mutation: a true ``np.frombuffer`` view would pin the ``array``
+  buffer and make subsequent appends raise ``BufferError``.  The copy is one
+  C memcpy, amortized across queries by the cache.
+
+The row-tuple view (:meth:`ColumnStore.rows_view`) is materialized lazily
+and cached until the next mutation of *this segment* — per-segment
+invalidation, so DML touching one segment never recomputes another
+segment's view.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import Schema
+from .types import BIGINT, DOUBLE, INTEGER
+
+__all__ = ["ColumnStore", "TypedColumn", "SelectedRows", "gather_positions"]
+
+_NAN = float("nan")
+
+
+class TypedColumn(Sequence):
+    """One packed numeric column: typed ``array`` + null bitmap.
+
+    Reads present Python values (``None`` for SQL NULL), so the column is a
+    drop-in ``Sequence`` replacement for the ``list`` columns the engine used
+    to cache.  Writers go through :meth:`append`, which may raise
+    ``OverflowError`` for out-of-range ints — the owning :class:`ColumnStore`
+    then demotes the column to an object list.
+    """
+
+    __slots__ = ("typecode", "data", "nulls", "null_count", "_values_cache", "_mask_cache")
+
+    def __init__(self, typecode: str) -> None:
+        if typecode not in ("d", "q"):
+            raise ValueError(f"unsupported typecode {typecode!r}")
+        self.typecode = typecode
+        self.data = array(typecode)
+        self.nulls = bytearray()
+        self.null_count = 0
+        self._values_cache: Optional[np.ndarray] = None
+        self._mask_cache: Optional[np.ndarray] = None
+
+    # -- writes -------------------------------------------------------------
+
+    def append(self, value: Any) -> None:
+        self._values_cache = None
+        self._mask_cache = None
+        if value is None:
+            self.data.append(_NAN if self.typecode == "d" else 0)
+            self.nulls.append(1)
+            self.null_count += 1
+        else:
+            # May raise OverflowError/TypeError *before* mutating, so a
+            # failed append leaves the column consistent for demotion.
+            self.data.append(value)
+            self.nulls.append(0)
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self.data)))]
+        if self.nulls[index]:
+            return None
+        return self.data[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        if not self.null_count:
+            return iter(self.data)
+        return (None if null else value for value, null in zip(self.data, self.nulls))
+
+    def __array__(self, dtype=None, copy=None):
+        # Lets NumPy-based batch kernels (variance, vector_sum) consume the
+        # packed buffer directly.  With NULLs present the placeholders would
+        # corrupt the result, so refuse — the kernel's caller falls back to
+        # the row-at-a-time fold, exactly as a None in a list column would
+        # have made np.asarray produce an object array and the kernel raise.
+        if self.null_count:
+            raise ValueError("column contains NULLs; no packed array view")
+        values = self.values_array()
+        if dtype is not None and values.dtype != dtype:
+            return values.astype(dtype)
+        return values
+
+    # -- packed views ---------------------------------------------------------
+
+    def values_array(self) -> np.ndarray:
+        """Packed values as an ndarray (NULL placeholders included).
+
+        A cached *copy* of the buffer — see the module docstring for why a
+        zero-copy ``frombuffer`` view is unsafe here.
+        """
+        if self._values_cache is None:
+            self._values_cache = np.array(
+                self.data, dtype=np.float64 if self.typecode == "d" else np.int64
+            )
+        return self._values_cache
+
+    def null_mask(self) -> Optional[np.ndarray]:
+        """Boolean SQL-NULL mask (True where NULL), or ``None`` when clean.
+
+        For float columns this covers genuine NaN values too (``is_null``
+        treats NaN as NULL), not just stored ``None``.
+        """
+        if self.typecode == "d":
+            if self._mask_cache is None:
+                mask = np.isnan(self.values_array())
+                self._mask_cache = mask if mask.any() else None
+                if self._mask_cache is None:
+                    return None
+            return self._mask_cache
+        if not self.null_count:
+            return None
+        if self._mask_cache is None:
+            self._mask_cache = np.array(np.frombuffer(self.nulls, dtype=np.bool_))
+        return self._mask_cache
+
+    def null_positions(self) -> Optional[set]:
+        """Strict-filter contract of ``vectorized._null_positions``: indices of
+        SQL-NULL entries (None or NaN) as a set, or ``None`` when clean."""
+        mask = self.null_mask()
+        if mask is None:
+            return None
+        positions = set(np.flatnonzero(mask).tolist())
+        return positions or None
+
+    def take(self, positions: np.ndarray) -> "TypedColumn":
+        """New column with the rows at ``positions`` (ascending), packed."""
+        clone = TypedColumn(self.typecode)
+        values = self.values_array()[positions]
+        clone.data.frombytes(values.tobytes())
+        kept_nulls = np.frombuffer(self.nulls, dtype=np.uint8)[positions]
+        clone.nulls.extend(kept_nulls.tobytes())
+        clone.null_count = int(kept_nulls.sum())
+        return clone
+
+    def packed_wire(self) -> Optional[Tuple[str, array]]:
+        """Wire format for worker shipping, or ``None`` (→ generic packing).
+
+        A clean column ships its ``array`` buffer as-is — pickling an
+        ``array`` is one memcpy, so a segment batch crosses the process
+        boundary near-zero-copy.  Columns with stored NULLs use the generic
+        path (placeholders must not leak as values).
+        """
+        if self.null_count or not len(self.data):
+            return None
+        return ("f64" if self.typecode == "d" else "i64", self.data)
+
+
+class ColumnStore(Sequence):
+    """One segment's rows, stored as typed packed columns.
+
+    Exposes the sequence-of-row-tuples protocol (``len``, indexing,
+    iteration, ``append``) so every row-oriented consumer — index rebuilds,
+    sequential scans, the parallel grouped dispatch — works unchanged, while
+    column-oriented consumers read the packed columns directly.
+    """
+
+    __slots__ = ("schema", "_columns", "_length", "_rows_cache")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._columns: List[Any] = [self._new_column(column.sql_type) for column in schema]
+        self._length = 0
+        self._rows_cache: Optional[List[Tuple[Any, ...]]] = None
+
+    @staticmethod
+    def _new_column(sql_type) -> Any:
+        if sql_type is DOUBLE:
+            return TypedColumn("d")
+        if sql_type is INTEGER or sql_type is BIGINT:
+            return TypedColumn("q")
+        return []
+
+    # -- writes -------------------------------------------------------------
+
+    def append(self, row: Tuple[Any, ...]) -> None:
+        self._rows_cache = None
+        for i, value in enumerate(row):
+            column = self._columns[i]
+            if isinstance(column, TypedColumn):
+                try:
+                    column.append(value)
+                except (OverflowError, TypeError):
+                    # Demote: a value the packed representation cannot hold
+                    # (e.g. an int beyond int64) turns the column into a
+                    # plain object list.  Fast paths decline; results do not
+                    # change.
+                    demoted = list(column)
+                    demoted.append(value)
+                    self._columns[i] = demoted
+            else:
+                column.append(value)
+        self._length += 1
+
+    def clear(self) -> None:
+        self._columns = [self._new_column(column.sql_type) for column in self.schema]
+        self._length = 0
+        self._rows_cache = None
+
+    def keep_positions(self, positions: Sequence[int]) -> None:
+        """Retain only the rows at ``positions`` (ascending) — segment DELETE."""
+        index = np.asarray(positions, dtype=np.int64)
+        new_columns: List[Any] = []
+        for column in self._columns:
+            if isinstance(column, TypedColumn):
+                new_columns.append(column.take(index))
+            else:
+                new_columns.append([column[p] for p in index])
+        self._columns = new_columns
+        self._length = len(index)
+        self._rows_cache = None
+
+    # -- row-tuple view -------------------------------------------------------
+
+    def rows_view(self) -> List[Tuple[Any, ...]]:
+        """Materialized row tuples, cached until this segment next mutates.
+
+        Callers treat the result as immutable (the same contract
+        ``Table.segment_view`` always had); a mutation builds a fresh list,
+        so snapshots held across DML stay self-consistent.
+        """
+        if self._rows_cache is None:
+            if self._length:
+                self._rows_cache = list(zip(*self._columns))
+            else:
+                self._rows_cache = []
+        return self._rows_cache
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        return self.rows_view()[index]
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows_view())
+
+    # -- column access --------------------------------------------------------
+
+    def column(self, index: int) -> Sequence[Any]:
+        """One column as a value sequence (packed column or object list)."""
+        return self._columns[index]
+
+    def columns_view(self) -> Tuple[Sequence[Any], ...]:
+        """All columns — the drop-in replacement for the derived columnar
+        cache row-mode tables maintain."""
+        return tuple(self._columns)
+
+    def iter_column(self, index: int) -> Iterator[Any]:
+        """Iterate one column's Python values (index-rebuild fast path)."""
+        return iter(self._columns[index])
+
+    def numeric_view(self, index: int) -> Optional[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        """``(values, null_mask)`` ndarrays for a packed numeric column.
+
+        ``None`` for object-list columns (non-numeric types or demoted
+        numeric columns) — vectorized consumers must then fall back.
+        """
+        column = self._columns[index]
+        if not isinstance(column, TypedColumn):
+            return None
+        return column.values_array(), column.null_mask()
+
+
+def gather_positions(column: Sequence[Any], positions: np.ndarray) -> List[Any]:
+    """Late materialization: the values of ``column`` at ``positions``.
+
+    Packed NULL-free columns gather with one NumPy fancy-index (+``tolist``,
+    which restores genuine Python floats/ints); anything else gathers
+    per-position, preserving ``None``.
+    """
+    if isinstance(column, TypedColumn) and not column.null_count:
+        return column.values_array()[positions].tolist()
+    return [column[int(p)] for p in positions]
+
+
+class SelectedRows(Sequence):
+    """Lazy row view of a bitmap-selected scan (late row materialization).
+
+    Holds per-segment ``(store, selected positions)`` pairs; ``len`` is known
+    up front, but row tuples are only built on first row access.  Aggregate
+    queries that stay on the columnar stream path therefore never materialize
+    a single row tuple for the rows the WHERE clause selected.
+    """
+
+    __slots__ = ("_parts", "_length", "_rows")
+
+    def __init__(self, parts: List[Tuple[ColumnStore, np.ndarray]]) -> None:
+        self._parts = parts
+        self._length = sum(len(positions) for _, positions in parts)
+        self._rows: Optional[List[Tuple[Any, ...]]] = None
+
+    def _materialize(self) -> List[Tuple[Any, ...]]:
+        if self._rows is None:
+            rows: List[Tuple[Any, ...]] = []
+            for store, positions in self._parts:
+                if not len(positions):
+                    continue
+                view = store.rows_view()
+                rows.extend(view[p] for p in positions)
+            self._rows = rows
+        return self._rows
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._materialize())

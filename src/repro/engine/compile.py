@@ -23,6 +23,8 @@ call the *same* operator functions (``_BINARY_OPS``, :func:`is_null`,
 
 from __future__ import annotations
 
+import math
+import operator
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,9 +50,24 @@ from .expressions import (
     like_match,
     like_regex,
 )
-from .types import coerce_value, is_null, type_from_name, values_equal
+from .types import (
+    BIGINT,
+    DOUBLE,
+    INTEGER,
+    SQLType,
+    coerce_value,
+    is_null,
+    type_from_name,
+    values_equal,
+)
 
-__all__ = ["ColumnLayout", "compile_expression", "keys_for_columns"]
+__all__ = [
+    "ColumnLayout",
+    "VectorPredicate",
+    "compile_expression",
+    "compile_predicate_vector",
+    "keys_for_columns",
+]
 
 #: Compiled row function: takes one positional row tuple, returns a value.
 RowFunction = Callable[[Tuple[Any, ...]], Any]
@@ -340,5 +357,375 @@ def _compile(
             return (not result) if negated else result
 
         return between
+
+    raise _Uncompilable(type(node).__name__)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized predicate compilation (columnar storage)
+#
+# A second, column-level compiler: instead of a closure called once per row,
+# a supported WHERE clause compiles to a program that reads a segment's
+# packed columns (:class:`~repro.engine.columnar.ColumnStore`) and evaluates
+# the whole predicate with NumPy — one selection bitmap per segment, no
+# per-row Python at all.
+#
+# The contract is the same as ``compile_expression``'s: byte-identical
+# results or no compilation.  Anything whose NumPy semantics could diverge
+# from the row operators declines, either at compile time
+# (``compile_predicate_vector`` returns None) or at runtime
+# (``VectorPredicate.mask`` returns None — e.g. a column demoted to an
+# object list).  The executor then re-runs the query on the row path.
+#
+# Divergence hazards this subset is engineered around:
+#
+# * **int64 vs float comparisons.**  NumPy promotes int64 to float64, which
+#   is inexact beyond 2**53; Python compares int-to-float exactly.  Whenever
+#   an int column meets a float operand the mask aborts if any stored value
+#   exceeds 2**53 in magnitude.  Int *literals* beyond 2**53 decline at
+#   compile time for the same reason.
+# * **int64 arithmetic.**  NumPy int64 arithmetic wraps silently where
+#   Python promotes to arbitrary precision, so ``+ - *`` vectorize only when
+#   every column operand is ``double precision``; int columns may still be
+#   *compared*, where int64 is exact.
+# * **NaN from float arithmetic.**  ``inf - inf`` is NaN, which SQL-side is
+#   NULL (``is_null``); arithmetic results fold ``isnan`` into the null mask
+#   so ``NOT (a - b > 0)`` agrees with the row path's three-valued logic.
+# * **Three-valued logic.**  Boolean nodes carry ``(true_mask, null_mask)``;
+#   AND/OR/NOT combine them with Kleene rules, mirroring ``_logical_and`` /
+#   ``_logical_or`` exactly (False dominates AND, True dominates OR).
+# ---------------------------------------------------------------------------
+
+#: Largest int magnitude that float64 represents exactly — the admission
+#: bound for int literals and the runtime guard for int columns meeting
+#: float operands.
+_SAFE_INT = 2 ** 53
+
+_VECTOR_COMPARE_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_VECTOR_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
+
+
+class _VectorAbort(Exception):
+    """Raised at mask time when a runtime precondition fails (→ row path)."""
+
+
+class VectorPredicate:
+    """A compiled segment-at-a-time WHERE program.
+
+    :meth:`mask` evaluates the predicate over one segment's packed columns
+    and returns the selection bitmap (True where the WHERE is satisfied), or
+    ``None`` when a runtime precondition fails — the caller must then fall
+    back to row-at-a-time evaluation for the whole statement.
+    """
+
+    __slots__ = ("_program",)
+
+    def __init__(self, program) -> None:
+        self._program = program
+
+    def mask(self, store) -> Optional[np.ndarray]:
+        length = len(store)
+        try:
+            true_mask, _nulls = self._program(store, length)
+        except _VectorAbort:
+            return None
+        return true_mask
+
+
+def compile_predicate_vector(
+    expression: Expression,
+    layout: ColumnLayout,
+    column_types: Sequence[SQLType],
+    parameters: Optional[Dict[str, Any]] = None,
+) -> Optional[VectorPredicate]:
+    """Compile a WHERE clause to a bitmap program, or ``None``.
+
+    ``column_types`` gives the stored SQL type at each tuple position
+    (``layout`` must resolve names to those same positions — i.e. the
+    relation is a base-table scan in schema order).
+    """
+    try:
+        program = _vector_bool(expression, layout, column_types, parameters or {})
+    except _Uncompilable:
+        return None
+    return VectorPredicate(program)
+
+
+def _mask_or(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _check_int_exact(values: np.ndarray) -> None:
+    """Abort when an int64 column holds values float64 cannot represent
+    exactly (the comparison would be rounded; Python's would not)."""
+    if len(values) and (values.max() > _SAFE_INT or values.min() < -_SAFE_INT):
+        raise _VectorAbort
+
+
+def _resolve_operand(spec, store, length):
+    kind, payload = spec
+    if kind == "scalar":
+        return payload, None
+    return payload(store, length)
+
+
+def _vector_num(
+    node: Expression,
+    layout: ColumnLayout,
+    column_types: Sequence[SQLType],
+    parameters: Dict[str, Any],
+):
+    """Compile a numeric subtree to ``(kind, payload)``.
+
+    ``kind`` is ``"scalar"`` (payload: the constant Python value),
+    ``"f64"`` or ``"i64"`` (payload: ``fn(store, length) -> (values,
+    null_mask)``).  Raises ``_Uncompilable`` outside the subset.
+    """
+    recurse = lambda child: _vector_num(child, layout, column_types, parameters)
+
+    if isinstance(node, (Literal, Parameter)):
+        if isinstance(node, Parameter):
+            if node.name not in parameters:
+                raise _Uncompilable(node.name)
+            value = parameters[node.name]
+        else:
+            value = node.value
+        if isinstance(value, bool):
+            return ("scalar", value)
+        if isinstance(value, int):
+            if not -_SAFE_INT <= value <= _SAFE_INT:
+                raise _Uncompilable("int literal beyond exact float64 range")
+            return ("scalar", value)
+        if isinstance(value, float):
+            if math.isnan(value):
+                # A NULL constant: let the row path run its NULL semantics.
+                raise _Uncompilable("NaN literal")
+            return ("scalar", value)
+        raise _Uncompilable(type(value).__name__)
+
+    if isinstance(node, ColumnRef):
+        index = layout.resolve(node.name, node.qualifier)
+        if index is None or index >= len(column_types):
+            raise _Uncompilable(node.qualified_name)
+        sql_type = column_types[index]
+        if sql_type is DOUBLE:
+            kind = "f64"
+        elif sql_type is INTEGER or sql_type is BIGINT:
+            kind = "i64"
+        else:
+            raise _Uncompilable(str(sql_type))
+
+        def load(store, length, _index=index):
+            view = store.numeric_view(_index)
+            if view is None:
+                # Demoted column (e.g. int beyond int64) — no packed buffer.
+                raise _VectorAbort
+            return view
+
+        return (kind, load)
+
+    if isinstance(node, UnaryOp):
+        op = node.op.lower()
+        if op == "+":
+            return recurse(node.operand)
+        if op == "-":
+            kind, payload = recurse(node.operand)
+            if kind == "scalar":
+                return ("scalar", -payload)
+            if kind != "f64":
+                # Negating int64 can wrap at the boundary; Python cannot.
+                raise _Uncompilable("negated int column")
+
+            def negate(store, length, _inner=payload):
+                values, nulls = _inner(store, length)
+                return -values, nulls
+
+            return ("f64", negate)
+        raise _Uncompilable(node.op)
+
+    if isinstance(node, BinaryOp):
+        op = _VECTOR_ARITH_OPS.get(node.op.lower())
+        if op is None:
+            raise _Uncompilable(node.op)
+        left = recurse(node.left)
+        right = recurse(node.right)
+        if left[0] == "scalar" and right[0] == "scalar":
+            folded = op(left[1], right[1])
+            if isinstance(folded, int) and not -_SAFE_INT <= folded <= _SAFE_INT:
+                raise _Uncompilable("folded constant beyond exact float64 range")
+            if isinstance(folded, float) and math.isnan(folded):
+                raise _Uncompilable("folded NaN constant")
+            return ("scalar", folded)
+        if left[0] == "i64" or right[0] == "i64":
+            # NumPy int64 arithmetic wraps; Python ints do not.  Comparisons
+            # on int columns stay vectorized — arithmetic does not.
+            raise _Uncompilable("int column arithmetic")
+
+        def arith(store, length, _l=left, _r=right, _op=op):
+            lv, ln = _resolve_operand(_l, store, length)
+            rv, rn = _resolve_operand(_r, store, length)
+            with np.errstate(all="ignore"):
+                values = _op(lv, rv)
+            nulls = _mask_or(ln, rn)
+            # Float arithmetic can *produce* NaN (inf - inf) which SQL-side
+            # is NULL; stored-NULL placeholders are NaN and propagate here,
+            # so isnan covers both.
+            nan_mask = np.isnan(values)
+            if nan_mask.any():
+                nulls = _mask_or(nulls, nan_mask)
+            return values, nulls
+
+        return ("f64", arith)
+
+    raise _Uncompilable(type(node).__name__)
+
+
+def _vector_compare(op, left, right):
+    """Comparison program over two numeric operand specs → bool program."""
+    if left[0] == "scalar" and right[0] == "scalar":
+        # Constant predicate: no bitmap width driver, row path handles it.
+        raise _Uncompilable("constant comparison")
+
+    # An int64 operand meeting any float operand is promoted to float64 by
+    # NumPy (inexact beyond 2**53) where Python compares exactly — guard the
+    # int side's magnitude at mask time.  Scalar ints are admitted only
+    # within the exact range, so int-vs-int never needs the guard.
+    def _is_floatish(spec):
+        return spec[0] == "f64" or (
+            spec[0] == "scalar" and isinstance(spec[1], float)
+        )
+
+    guard_left = left[0] == "i64" and _is_floatish(right)
+    guard_right = right[0] == "i64" and _is_floatish(left)
+
+    def compare(store, length, _l=left, _r=right, _op=op):
+        lv, ln = _resolve_operand(_l, store, length)
+        rv, rn = _resolve_operand(_r, store, length)
+        if guard_left:
+            _check_int_exact(lv)
+        if guard_right:
+            _check_int_exact(rv)
+        with np.errstate(invalid="ignore"):
+            result = _op(lv, rv)
+        nulls = _mask_or(ln, rn)
+        if nulls is not None:
+            result = result & ~nulls
+        return result, nulls
+
+    return compare
+
+
+def _vector_bool(
+    node: Expression,
+    layout: ColumnLayout,
+    column_types: Sequence[SQLType],
+    parameters: Dict[str, Any],
+):
+    """Compile a boolean subtree to ``fn(store, length) -> (true, nulls)``.
+
+    ``true`` is the satisfied-row bitmap; ``nulls`` marks rows where the
+    predicate evaluates to SQL NULL (``None`` when provably none do).  False
+    rows are the remainder — exactly Kleene three-valued logic.
+    """
+    recurse = lambda child: _vector_bool(child, layout, column_types, parameters)
+    recurse_num = lambda child: _vector_num(child, layout, column_types, parameters)
+
+    if isinstance(node, BinaryOp):
+        op_name = node.op.lower()
+        compare_op = _VECTOR_COMPARE_OPS.get(op_name)
+        if compare_op is not None:
+            return _vector_compare(compare_op, recurse_num(node.left), recurse_num(node.right))
+        if op_name == "and":
+            left, right = recurse(node.left), recurse(node.right)
+
+            def kleene_and(store, length, _l=left, _r=right):
+                t1, n1 = _l(store, length)
+                t2, n2 = _r(store, length)
+                t = t1 & t2
+                if n1 is None and n2 is None:
+                    return t, None
+                f1 = ~t1 if n1 is None else ~(t1 | n1)
+                f2 = ~t2 if n2 is None else ~(t2 | n2)
+                n = ~(t | f1 | f2)
+                return t, (n if n.any() else None)
+
+            return kleene_and
+        if op_name == "or":
+            left, right = recurse(node.left), recurse(node.right)
+
+            def kleene_or(store, length, _l=left, _r=right):
+                t1, n1 = _l(store, length)
+                t2, n2 = _r(store, length)
+                t = t1 | t2
+                if n1 is None and n2 is None:
+                    return t, None
+                f1 = ~t1 if n1 is None else ~(t1 | n1)
+                f2 = ~t2 if n2 is None else ~(t2 | n2)
+                n = ~(t | (f1 & f2))
+                return t, (n if n.any() else None)
+
+            return kleene_or
+        raise _Uncompilable(node.op)
+
+    if isinstance(node, UnaryOp):
+        if node.op.lower() != "not":
+            raise _Uncompilable(node.op)
+        inner = recurse(node.operand)
+
+        def kleene_not(store, length, _inner=inner):
+            t, n = _inner(store, length)
+            return (~t if n is None else ~(t | n)), n
+
+        return kleene_not
+
+    if isinstance(node, IsNull):
+        spec = recurse_num(node.operand)
+        if spec[0] == "scalar":
+            raise _Uncompilable("IS NULL on constant")
+        negated = node.negated
+
+        def is_null_mask(store, length, _spec=spec):
+            _, nulls = _resolve_operand(_spec, store, length)
+            if negated:
+                return (np.ones(length, dtype=bool) if nulls is None else ~nulls), None
+            return (np.zeros(length, dtype=bool) if nulls is None else nulls), None
+
+        return is_null_mask
+
+    if isinstance(node, Between):
+        # BETWEEN is the conjunction of two comparisons; the operands' null
+        # masks are shared, so Kleene AND reproduces the row semantics ("any
+        # NULL → NULL") exactly.  NOT BETWEEN is Kleene NOT of the range.
+        inrange = BinaryOp(
+            "and",
+            BinaryOp("<=", node.low, node.operand),
+            BinaryOp("<=", node.operand, node.high),
+        )
+        program = recurse(inrange)
+        if not node.negated:
+            return program
+
+        def negate(store, length, _inner=program):
+            t, n = _inner(store, length)
+            return (~t if n is None else ~(t | n)), n
+
+        return negate
 
     raise _Uncompilable(type(node).__name__)

@@ -88,6 +88,15 @@ class Database:
         snapshot (autovacuum-style damping).  Off by default: statistics are
         collected only by explicit ``ANALYZE`` (or :meth:`analyze`), the
         paper's interrogate-the-catalog workflow.
+    columnar_storage:
+        When true (default), new tables store each segment as typed packed
+        columns (:mod:`repro.engine.columnar`) and single-table WHERE
+        clauses may evaluate as segment-at-a-time selection bitmaps with
+        late row materialization; when false tables store row-tuple lists
+        and every WHERE runs per row.  Results are byte-identical either
+        way — the flag exists so the columnar parity suite and the
+        ``--columnar`` microbenchmark can compare the storage layouts.
+        Bitmap WHERE evaluation also requires ``compiled_execution``.
     """
 
     def __init__(
@@ -100,6 +109,7 @@ class Database:
         hash_joins: bool = True,
         use_indexes: bool = True,
         auto_analyze: bool = False,
+        columnar_storage: bool = True,
     ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
@@ -113,6 +123,7 @@ class Database:
         self.hash_joins = hash_joins
         self.use_indexes = use_indexes
         self.auto_analyze = auto_analyze
+        self.columnar_storage = bool(columnar_storage)
         self.parallel = int(parallel)
         self._worker_pool: Optional[SegmentWorkerPool] = (
             SegmentWorkerPool(self.parallel) if self.parallel else None
@@ -218,6 +229,7 @@ class Database:
             num_segments=self.num_segments,
             distributed_by=distributed_by,
             temporary=temporary,
+            columnar_storage=self.columnar_storage,
         )
         return self.catalog.create_table(table)
 

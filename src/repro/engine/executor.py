@@ -45,9 +45,17 @@ from dataclasses import dataclass, field
 from functools import cmp_to_key
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import CatalogError, ExecutionError, SQLSyntaxError
 from .aggregates import AggregateDefinition
-from .compile import ColumnLayout, compile_expression, keys_for_columns
+from .columnar import SelectedRows
+from .compile import (
+    ColumnLayout,
+    compile_expression,
+    compile_predicate_vector,
+    keys_for_columns,
+)
 from .join import (
     JoinEstimates,
     apply_prefilter,
@@ -115,10 +123,17 @@ class _Relation:
     rows: List[Tuple[Any, ...]]
     segment_ids: List[int]
     num_segments: int = 1
-    #: Set only for an unfiltered single-table scan; lets the aggregate path
-    #: slice per-segment argument columns straight from the table's cached
-    #: columnar view.  Any derivation (WHERE, joins, projection) drops it.
+    #: Set only for a single-table scan whose rows map 1:1 onto stored
+    #: positions (unfiltered, or bitmap-filtered with ``segment_selections``
+    #: recording which); lets the aggregate path slice per-segment argument
+    #: columns straight from the table's packed columns.  Any other
+    #: derivation (row-path WHERE, joins, projection) drops it.
     source_table: Optional[Table] = None
+    #: When the WHERE ran vectorized: one ascending position array per
+    #: segment — the selection bitmap's set bits.  ``rows`` then holds only
+    #: the selected rows (late-materialized), and the aggregate fast path
+    #: gathers argument columns at these positions instead of building rows.
+    segment_selections: Optional[List[Any]] = None
     #: Column index whose hashed value determines each row's segment, and the
     #: stored python type of that column — the join planner's co-location
     #: evidence.  Filtering preserves both (rows never move segments); a join
@@ -794,6 +809,84 @@ class Executor:
         )
         return relation, path.residual
 
+    def _vectorized_single_table(
+        self, statement: SelectStatement, parameters, stats: ExecutionStats
+    ) -> Optional[_Relation]:
+        """Bitmap-vectorized WHERE over one columnar base table, or ``None``.
+
+        When the FROM clause is a single columnar-stored table and the WHERE
+        clause is in the vector-compilable subset, evaluate the predicate
+        segment-at-a-time over the packed columns into selection bitmaps —
+        no per-row Python at all — and return a relation whose rows are the
+        selected positions, materialized lazily (:class:`SelectedRows`).
+        ``None`` (compile decline or runtime abort on any segment) sends the
+        caller to the row path; both paths are byte-identical by contract.
+        """
+        if statement.where is None:
+            return None
+        if not getattr(self.database, "compiled_execution", True):
+            return None
+        if len(statement.from_items) != 1 or not isinstance(
+            statement.from_items[0], TableRef
+        ):
+            return None
+        ref = statement.from_items[0]
+        if not self.catalog.has_table(ref.name):
+            return None  # the scan path raises the proper catalog error
+        table = self.catalog.get_table(ref.name)
+        if not table.columnar:
+            return None
+        alias = ref.effective_alias
+        columns = [(alias, name) for name in table.schema.names]
+        predicate = compile_predicate_vector(
+            statement.where,
+            ColumnLayout(keys_for_columns(columns)),
+            [column.sql_type for column in table.schema],
+            parameters,
+        )
+        if predicate is None:
+            return None
+        parts: List[Tuple[Any, Any]] = []
+        selections: List[Any] = []
+        segment_ids: List[int] = []
+        width = 0
+        matched = 0
+        for segment in range(table.num_segments):
+            store = table.column_store(segment)
+            mask = predicate.mask(store)
+            if mask is None:
+                return None  # runtime abort (e.g. demoted column) → row path
+            positions = np.flatnonzero(mask)
+            width += len(store)
+            matched += len(positions)
+            parts.append((store, positions))
+            selections.append(positions)
+            segment_ids.extend([segment] * len(positions))
+        statistics = self.catalog.get_statistics(table.name)
+        estimated = (
+            float(statistics.row_count)
+            if statistics is not None and not statistics.is_stale(table)
+            else float(width)
+        )
+        # Rows *touched* is the bitmap width (every stored row was examined),
+        # not the popcount — rows_matched reports the survivors.
+        stats.rows_scanned_per_source.append(width)
+        stats.scan_details.append(
+            ScanDetail(
+                table.name, "seq", width, estimated_rows=estimated, vectorized=True
+            )
+        )
+        stats.where_vectorized = True
+        stats.bitmap_selectivity = (matched / width) if width else 0.0
+        return _Relation(
+            columns,
+            SelectedRows(parts),
+            segment_ids,
+            table.num_segments,
+            source_table=table,
+            segment_selections=selections,
+        )
+
     def _execute_select(self, statement: SelectStatement, parameters) -> ResultSet:
         stats = ExecutionStats(statement_kind="select")
         relation = None
@@ -803,6 +896,11 @@ class Executor:
             indexed = self._execute_index_scan(chosen, stats)
             if indexed is not None:
                 relation, residual_where = indexed
+        if relation is None:
+            vectorized = self._vectorized_single_table(statement, parameters, stats)
+            if vectorized is not None:
+                relation = vectorized
+                residual_where = None
         if relation is None:
             relation, residual_where = self._build_relation(
                 statement.from_items, parameters, statement.where, stats
@@ -1333,8 +1431,9 @@ class Executor:
     ) -> Optional[List[ColumnBatch]]:
         """Per-segment argument columns sliced from the table's columnar view.
 
-        Applies only when the aggregated input is an unfiltered base-table
-        scan covering every row and each argument is a plain column
+        Applies only when the aggregated input is a base-table scan covering
+        every relation row — unfiltered, or bitmap-filtered with recorded
+        ``segment_selections`` — and each argument is a plain column
         reference (or ``count(*)``); returns ``None`` otherwise.
         """
         table = relation.source_table
@@ -1357,14 +1456,26 @@ class Executor:
                 if index is None:
                     return None
                 argument_indices.append(index)
+        selections = relation.segment_selections
         streams: List[ColumnBatch] = []
         for segment in range(table.num_segments):
+            selection = selections[segment] if selections is not None else None
             if call.star:
-                segment_columns = table.segment_columns(segment)
-                length = len(segment_columns[0]) if segment_columns else 0
+                if selection is not None:
+                    length = len(selection)
+                else:
+                    segment_columns = table.segment_columns(segment)
+                    length = len(segment_columns[0]) if segment_columns else 0
                 # Constant argument, known NULL-free: O(1) space, no null scan.
                 streams.append(
                     ColumnBatch((ConstantColumn(1, length),), prefiltered=True)
+                )
+            elif selection is not None:
+                # Bitmap-filtered scan: gather only the selected positions per
+                # argument column — the aggregate consumes the filter's output
+                # without any row tuple ever being built.
+                streams.append(
+                    table.segment_batch(segment, argument_indices, positions=selection)
                 )
             else:
                 streams.append(table.segment_batch(segment, argument_indices))
@@ -1455,6 +1566,7 @@ class Executor:
             num_segments=self.database.num_segments,
             distributed_by=statement.distributed_by,
             temporary=statement.temporary,
+            columnar_storage=getattr(self.database, "columnar_storage", True),
         )
         self.catalog.create_table(table)
         return ResultSet([], [], rowcount=0)
@@ -1482,6 +1594,7 @@ class Executor:
             num_segments=self.database.num_segments,
             distributed_by=statement.distributed_by,
             temporary=statement.temporary,
+            columnar_storage=getattr(self.database, "columnar_storage", True),
         )
         table.insert_many(result.rows)
         self.catalog.create_table(table)
@@ -1529,6 +1642,35 @@ class Executor:
         env = self._compiler_env(relation, parameters)
         contexts = self._lazy_contexts(relation, parameters)
         predicate = self._compile(statement.where, env)
+        # Vectorized WHERE: evaluate the predicate over the packed columns
+        # into one concatenated match bitmap (scan order is segment order,
+        # matching ``_scan_table``'s row order), skipping the per-row
+        # predicate call.  The rewrite itself stays row-at-a-time so the
+        # assignment expressions see exactly the rows the row path would.
+        matched_flags = None
+        if (
+            statement.where is not None
+            and table.columnar
+            and getattr(self.database, "compiled_execution", True)
+        ):
+            vector = compile_predicate_vector(
+                statement.where,
+                ColumnLayout(relation.context_keys()),
+                [column.sql_type for column in table.schema],
+                parameters,
+            )
+            if vector is not None:
+                masks = []
+                for segment in range(table.num_segments):
+                    mask = vector.mask(table.column_store(segment))
+                    if mask is None:
+                        masks = None
+                        break
+                    masks.append(mask)
+                if masks is not None:
+                    matched_flags = (
+                        np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+                    )
         assignments = [
             (table.schema.index_of(name), expression, self._compile(expression, env))
             for name, expression in statement.assignments
@@ -1538,6 +1680,8 @@ class Executor:
         for index, row in enumerate(relation.rows):
             if statement.where is None:
                 matched = True
+            elif matched_flags is not None:
+                matched = bool(matched_flags[index])
             elif predicate is not None:
                 matched = predicate(row) is True
             else:
@@ -1559,6 +1703,11 @@ class Executor:
             rows_matched=updated,
             rows_scanned_per_source=[len(relation.rows)],
         )
+        if matched_flags is not None:
+            stats.where_vectorized = True
+            stats.bitmap_selectivity = (
+                updated / len(relation.rows) if len(relation.rows) else 0.0
+            )
         return ResultSet([], [], rowcount=updated, stats=stats)
 
     def _execute_delete(self, statement: DeleteStatement, parameters) -> ResultSet:
@@ -1569,13 +1718,46 @@ class Executor:
             return ResultSet([], [], rowcount=count)
         rows_scanned = len(table)
 
-        # Compiled path: the predicate runs over positional row tuples with
-        # bare column names only — mirroring the interpreted row-dict below,
-        # which never exposes qualified names — so both tiers resolve (and
-        # fail to resolve) identically.
+        # Compiled paths run over bare column names only — mirroring the
+        # interpreted row-dict below, which never exposes qualified names —
+        # so all tiers resolve (and fail to resolve) identically.
+        layout = ColumnLayout([[name.lower()] for name in table.schema.names])
+
+        # Bitmap DELETE: evaluate the WHERE over the packed columns per
+        # segment and hand the table the *complement* positions to keep — no
+        # row tuples, no per-row predicate calls, one index remap per
+        # segment.  Any decline/abort falls through to the row paths below.
+        if table.columnar and getattr(self.database, "compiled_execution", True):
+            vector = compile_predicate_vector(
+                statement.where,
+                layout,
+                [column.sql_type for column in table.schema],
+                parameters,
+            )
+            if vector is not None:
+                kept_per_segment = []
+                for segment in range(table.num_segments):
+                    mask = vector.mask(table.column_store(segment))
+                    if mask is None:
+                        kept_per_segment = None
+                        break
+                    kept_per_segment.append(np.flatnonzero(~mask).tolist())
+                if kept_per_segment is not None:
+                    count = table.keep_segment_positions(kept_per_segment)
+                    stats = ExecutionStats(
+                        statement_kind="delete",
+                        rows_scanned=rows_scanned,
+                        rows_matched=count,
+                        rows_scanned_per_source=[rows_scanned],
+                        where_vectorized=True,
+                        bitmap_selectivity=(
+                            count / rows_scanned if rows_scanned else 0.0
+                        ),
+                    )
+                    return ResultSet([], [], rowcount=count, stats=stats)
+
         compiled = None
         if getattr(self.database, "compiled_execution", True):
-            layout = ColumnLayout([[name.lower()] for name in table.schema.names])
             compiled = compile_expression(
                 statement.where, layout, self._function_registry(), parameters
             )

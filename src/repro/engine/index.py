@@ -67,6 +67,19 @@ def _comparison_kind(value: Any) -> Optional[str]:
     return None
 
 
+def _column_values(rows, column: int):
+    """One segment's values for the indexed column, in position order.
+
+    Columnar segments (:class:`~repro.engine.columnar.ColumnStore`) expose
+    ``iter_column`` — the rebuild then walks the packed column directly and
+    never materializes row tuples; row-list segments index each tuple.
+    """
+    iter_column = getattr(rows, "iter_column", None)
+    if iter_column is not None:
+        return iter_column(column)
+    return (row[column] for row in rows)
+
+
 class BaseIndex:
     """Common shape of a secondary index on one column of one table."""
 
@@ -104,8 +117,8 @@ class BaseIndex:
         self.clear()
         column = self.column_index
         for segment, rows in enumerate(segments):
-            for position, row in enumerate(rows):
-                self.add(row[column], segment, position)
+            for position, value in enumerate(_column_values(rows, column)):
+                self.add(value, segment, position)
                 if not self.usable:
                     return
 
@@ -276,8 +289,7 @@ class SortedIndex(BaseIndex):
         column = self.column_index
         pairs: List[Tuple[Any, Entry]] = []
         for segment, rows in enumerate(segments):
-            for position, row in enumerate(rows):
-                value = row[column]
+            for position, value in enumerate(_column_values(rows, column)):
                 if is_null(value):
                     continue
                 if not self._admit(value):

@@ -1016,6 +1016,12 @@ def explain_statement(executor, target, parameters, *, analyze: bool = False) ->
                         node.detail = f"using {detail.index_name} {node.detail}"
                 elif detail.access == "seq" and node.label == "Index Scan":
                     node.label = "Seq Scan"
+                if detail.access == "seq" and node.label == "Seq Scan":
+                    # Whether the WHERE ran as a bitmap over packed columns
+                    # (columnar vectorized path) or as a per-row predicate.
+                    node.lines.append(
+                        "Vectorized: yes" if detail.vectorized else "Vectorized: no"
+                    )
             for node, step in zip(builder.join_nodes, stats.join_steps):
                 node.actual_rows = step.rows_emitted
                 label = _JOIN_STRATEGY_LABELS.get(step.strategy)

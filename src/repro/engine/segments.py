@@ -199,6 +199,9 @@ class ScanDetail:
     estimated_rows: Optional[float] = None
     index_name: Optional[str] = None
     index_condition: Optional[str] = None
+    #: True when the scan's WHERE ran as a bitmap over packed columns
+    #: (columnar vectorized path) rather than a per-row predicate.
+    vectorized: bool = False
 
 
 @dataclass
@@ -252,6 +255,14 @@ class ExecutionStats:
     aggregate_timings: List[AggregateTimings] = field(default_factory=list)
     planning_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: True when the statement's WHERE clause was evaluated segment-at-a-time
+    #: as selection bitmaps over packed columns (columnar vectorized path)
+    #: instead of a per-row predicate — SELECT scans, bitmap DELETE, and
+    #: bitmap UPDATE all set it.
+    where_vectorized: bool = False
+    #: Fraction of bitmap-scanned rows the WHERE selected (popcount / bitmap
+    #: width); ``None`` when the WHERE did not run vectorized.
+    bitmap_selectivity: Optional[float] = None
 
     def record_join(
         self,

@@ -5,9 +5,22 @@ hash-distributed across *segments* (one query process per core).  Aggregation
 then runs the user-defined aggregate's transition function independently per
 segment and combines the partial states with the merge function
 (Section 3.1.1).  This module reproduces that storage model: a
-:class:`Table` is a list of row tuples plus a partitioning of row indices
+:class:`Table` is a set of per-segment stores plus a partitioning of rows
 into segments, so the executor can run per-segment scans and the benchmark
 harness can measure per-segment work.
+
+Storage comes in two modes:
+
+* **Columnar** (the default): each segment is a
+  :class:`~repro.engine.columnar.ColumnStore` of typed packed columns —
+  ``array('d')``/``array('q')`` plus a null bitmap for numeric columns,
+  object lists otherwise.  Row tuples are a derived, per-segment-cached
+  view; the vectorized WHERE path, batch aggregate kernels and worker
+  shipping read the packed columns directly.
+* **Row tuples** (``Database(columnar_storage=False)``): each segment is a
+  plain list of row tuples and the columnar view is derived and cached, as
+  in the original engine.  Both modes are observationally identical —
+  ``tests/engine/test_columnar.py`` holds them to byte-identical results.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError, TypeMismatchError
+from .columnar import ColumnStore, gather_positions
 from .schema import Schema
 from .types import coerce_value, hashable_key
 
@@ -39,7 +53,7 @@ def _distribution_hash(value: Any) -> int:
 
 
 class Table:
-    """A named, typed, row-oriented table distributed across segments.
+    """A named, typed table distributed across shared-nothing segments.
 
     Parameters
     ----------
@@ -57,6 +71,10 @@ class Table:
     temporary:
         Whether the table is a session temp table (the inter-iteration state
         tables created by driver functions are temporary).
+    columnar_storage:
+        When true (default), segments store typed packed columns
+        (:class:`~repro.engine.columnar.ColumnStore`); when false, lists of
+        row tuples.  See the module docstring.
     """
 
     def __init__(
@@ -67,6 +85,7 @@ class Table:
         num_segments: int = 1,
         distributed_by: Optional[str] = None,
         temporary: bool = False,
+        columnar_storage: bool = True,
     ) -> None:
         if num_segments < 1:
             raise ExecutionError("a table needs at least one segment")
@@ -75,18 +94,21 @@ class Table:
         self.temporary = temporary
         self.num_segments = num_segments
         self.distributed_by = distributed_by
+        self.columnar_storage = bool(columnar_storage)
         if distributed_by is not None:
             # Validates the column exists.
             self._distribution_index: Optional[int] = schema.index_of(distributed_by)
         else:
             self._distribution_index = None
-        self._segments: List[List[Row]] = [[] for _ in range(num_segments)]
+        self._segments: List[Any] = [self._new_segment() for _ in range(num_segments)]
         self._row_count = 0
         self._round_robin_cursor = 0
-        # Monotonic mutation counter; the cached columnar views below are
-        # valid only for the version they were built at, and ANALYZE
-        # statistics snapshots record it for staleness tracking.
+        # Monotonic mutation counters: ``_data_version`` for the whole table
+        # (ANALYZE statistics snapshots record it for staleness tracking) and
+        # one counter per segment, so derived per-segment views invalidate
+        # only for the segments a mutation actually touched.
         self._data_version = 0
+        self._segment_versions: List[int] = [0] * num_segments
         self._columnar_cache: dict = {}
         #: Secondary indexes attached by the catalog
         #: (:mod:`repro.engine.index`), maintained by the mutation hooks
@@ -94,6 +116,17 @@ class Table:
         #: segment's surviving positions, and bulk loads / full replaces /
         #: redistribution rebuild.
         self._indexes: List = []
+
+    def _new_segment(self):
+        if self.columnar_storage:
+            return ColumnStore(self.schema)
+        return []
+
+    def _touch(self, segment: int) -> None:
+        """Record a mutation of one segment (version counters + caches)."""
+        self._data_version += 1
+        self._segment_versions[segment] += 1
+        self._columnar_cache.pop(segment, None)
 
     # -- basic protocol -----------------------------------------------------
 
@@ -109,6 +142,17 @@ class Table:
     @property
     def column_names(self) -> List[str]:
         return self.schema.names
+
+    @property
+    def columnar(self) -> bool:
+        """Whether segments store typed packed columns (vectorizable)."""
+        return self.columnar_storage
+
+    def column_store(self, segment: int) -> Optional[ColumnStore]:
+        """One segment's :class:`ColumnStore`, or ``None`` in row mode."""
+        if not self.columnar_storage:
+            return None
+        return self._segments[segment]
 
     # -- mutation -----------------------------------------------------------
 
@@ -143,7 +187,7 @@ class Table:
         segment = self._segment_for(row)
         self._segments[segment].append(row)
         self._row_count += 1
-        self._data_version += 1
+        self._touch(segment)
         if self._indexes:
             position = len(self._segments[segment]) - 1
             for index in self._indexes:
@@ -182,10 +226,12 @@ class Table:
 
     def truncate(self) -> None:
         """Remove all rows but keep the schema and distribution policy."""
-        self._segments = [[] for _ in range(self.num_segments)]
+        self._segments = [self._new_segment() for _ in range(self.num_segments)]
         self._row_count = 0
         self._round_robin_cursor = 0
         self._data_version += 1
+        self._segment_versions = [v + 1 for v in self._segment_versions]
+        self._columnar_cache.clear()
         for index in self._indexes:
             index.clear()
 
@@ -217,30 +263,47 @@ class Table:
     def _delete_segments(self, predicate) -> int:
         """Shared per-segment deletion; indexes remap surviving positions."""
         deleted = 0
-        for segment_index, segment in enumerate(self._segments):
-            if self._indexes:
-                kept: List[Row] = []
-                kept_positions: List[int] = []
-                for position, row in enumerate(segment):
-                    if not predicate(row):
-                        kept.append(row)
-                        kept_positions.append(position)
-                removed = len(segment) - len(kept)
-                if removed:
-                    self._segments[segment_index] = kept
-                    for index in self._indexes:
-                        index.remap_segment(segment_index, kept_positions)
-                    deleted += removed
-            else:
-                kept = [row for row in segment if not predicate(row)]
-                removed = len(segment) - len(kept)
-                if removed:
-                    self._segments[segment_index] = kept
-                    deleted += removed
+        for segment_index in range(self.num_segments):
+            rows = self.segment_view(segment_index)
+            kept_positions = [
+                position for position, row in enumerate(rows) if not predicate(row)
+            ]
+            deleted += self._apply_keep(segment_index, kept_positions, rows)
         if deleted:
             self._row_count -= deleted
-            self._data_version += 1
         return deleted
+
+    def keep_segment_positions(self, kept_per_segment: Sequence[Sequence[int]]) -> int:
+        """Bitmap DELETE: retain only the given positions on each segment.
+
+        ``kept_per_segment`` holds one ascending position sequence per
+        segment (the complement of a vectorized WHERE's selection bitmap).
+        Returns the number of rows deleted.  Index entries are remapped per
+        segment, exactly as the predicate-based delete does.
+        """
+        deleted = 0
+        for segment_index, kept_positions in enumerate(kept_per_segment):
+            deleted += self._apply_keep(segment_index, kept_positions, None)
+        if deleted:
+            self._row_count -= deleted
+        return deleted
+
+    def _apply_keep(self, segment_index: int, kept_positions, rows) -> int:
+        """Keep only ``kept_positions`` on one segment; returns rows removed."""
+        segment = self._segments[segment_index]
+        removed = len(segment) - len(kept_positions)
+        if not removed:
+            return 0
+        if self.columnar_storage:
+            segment.keep_positions(kept_positions)
+        else:
+            if rows is None:
+                rows = segment
+            self._segments[segment_index] = [rows[p] for p in kept_positions]
+        self._touch(segment_index)
+        for index in self._indexes:
+            index.remap_segment(segment_index, list(kept_positions))
+        return removed
 
     # -- secondary indexes ----------------------------------------------------
 
@@ -265,49 +328,83 @@ class Table:
 
     def rows(self) -> Iterator[Row]:
         """Iterate over all rows (segment order, then insertion order)."""
-        for segment in self._segments:
-            yield from segment
+        for segment in range(self.num_segments):
+            yield from self.segment_view(segment)
 
     def segment_rows(self, segment: int) -> List[Row]:
         """Rows stored on one segment."""
-        return list(self._segments[segment])
+        return list(self.segment_view(segment))
 
     def segment_view(self, segment: int) -> Sequence[Row]:
-        """Read-only view of one segment's rows (no copy — do not mutate)."""
-        return self._segments[segment]
+        """Read-only view of one segment's rows (no copy — do not mutate).
 
-    def segment_columns(self, segment: int) -> Tuple[List[Any], ...]:
-        """Columnar view of one segment, cached until the next mutation.
-
-        The executor's vectorized aggregate path slices these directly into
-        per-segment :class:`~repro.engine.vectorized.ColumnBatch` streams, so
-        the columns are materialized at most once per table version however
-        many aggregates a query (or a benchmark sweep) runs.
+        In columnar mode this is the segment's cached row-tuple
+        materialization (built lazily, invalidated per segment on mutation);
+        in row mode it is the backing list itself.
         """
+        store = self._segments[segment]
+        if self.columnar_storage:
+            return store.rows_view()
+        return store
+
+    def segment_columns(self, segment: int) -> Tuple[Sequence[Any], ...]:
+        """Columnar view of one segment.
+
+        In columnar mode these are the live packed columns — the source of
+        truth, no materialization at all.  In row mode the transposed view is
+        cached per segment until *that segment* next mutates (DML touching
+        one segment never recomputes another's view).
+        """
+        if self.columnar_storage:
+            return self._segments[segment].columns_view()
         entry = self._columnar_cache.get(segment)
-        if entry is not None and entry[0] == self._data_version:
+        version = self._segment_versions[segment]
+        if entry is not None and entry[0] == version:
             return entry[1]
         rows = self._segments[segment]
         if rows:
             columns = tuple(list(column) for column in zip(*rows))
         else:
             columns = tuple([] for _ in self.schema)
-        self._columnar_cache[segment] = (self._data_version, columns)
+        self._columnar_cache[segment] = (version, columns)
         return columns
 
-    def segment_batch(self, segment: int, column_indices: Sequence[int]) -> "ColumnBatch":
+    def segment_batch(
+        self,
+        segment: int,
+        column_indices: Sequence[int],
+        *,
+        positions=None,
+    ) -> "ColumnBatch":
         """One segment's values for the given columns, as a ``ColumnBatch``.
 
         Zero-copy-ish export for the aggregate fast path and the parallel
-        worker pool: the batch holds references into the cached columnar view
-        (no per-row materialization; the columns are built at most once per
-        table version), and ``ColumnBatch`` itself pickles float columns as
-        packed double buffers when a batch is shipped to a worker process.
+        worker pool: the batch holds references to the stored columns (packed
+        columns in columnar mode, the cached transposed view in row mode),
+        and ``ColumnBatch`` pickles packed columns as typed buffers when a
+        batch is shipped to a worker process.
+
+        ``positions`` (ascending row positions within the segment, e.g. a
+        vectorized WHERE's selection) gathers just those rows per column —
+        late materialization for filtered aggregates, no row tuples built.
         """
         from .vectorized import ColumnBatch
 
         columns = self.segment_columns(segment)
-        return ColumnBatch(tuple(columns[i] for i in column_indices))
+        if positions is None:
+            exported = tuple(columns[i] for i in column_indices)
+            for column in exported:
+                # Build packed-column ndarray views now (they are cached), so
+                # the timed per-segment folds measure the fold itself — the
+                # same place the row-mode transpose cost is paid.
+                warm = getattr(column, "values_array", None)
+                if warm is not None:
+                    warm()
+                    column.null_mask()
+            return ColumnBatch(exported)
+        return ColumnBatch(
+            tuple(gather_positions(columns[i], positions) for i in column_indices)
+        )
 
     def segment_sizes(self) -> List[int]:
         """Number of rows per segment (used to report distribution skew)."""
@@ -339,10 +436,11 @@ class Table:
         self._distribution_index = (
             self.schema.index_of(self.distributed_by) if self.distributed_by else None
         )
-        self._segments = [[] for _ in range(num_segments)]
+        self._segments = [self._new_segment() for _ in range(num_segments)]
         self._row_count = 0
         self._round_robin_cursor = 0
         self._data_version += 1
+        self._segment_versions = [0] * num_segments
         self._columnar_cache.clear()
         for row in rows:
             self._segments[self._segment_for(row)].append(row)

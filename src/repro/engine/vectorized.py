@@ -113,9 +113,17 @@ class ColumnBatch:
 
 
 def _pack_column(column: Sequence[Any]) -> Tuple[str, Any]:
-    """Wire format for one column: ('f64', packed doubles) or ('raw', values)."""
+    """Wire format for one column: packed typed buffer or ('raw', values)."""
     if isinstance(column, ConstantColumn):
         return ("const", column)
+    # Columnar-native storage: a clean packed column ships its typed buffer
+    # as-is — near-zero-copy (pickling an ``array`` is one memcpy), no
+    # per-value scan at all.
+    wire = getattr(column, "packed_wire", None)
+    if wire is not None:
+        packed = wire()
+        if packed is not None:
+            return packed
     # `type(v) is float` (not isinstance) keeps bools/ints/np.float64 on the
     # raw path so the round-trip preserves value types exactly.  len() (not
     # truthiness) so array-likes without a scalar bool (ndarray) stay raw.
@@ -125,8 +133,10 @@ def _pack_column(column: Sequence[Any]) -> Tuple[str, Any]:
 
 
 def _unpack_column(packed: Tuple[str, Any]) -> Sequence[Any]:
+    # 'f64'/'i64' buffers restore via ``tolist`` — bit-identical Python
+    # floats / exact ints, so shipping never changes results.
     tag, payload = packed
-    if tag == "f64":
+    if tag in ("f64", "i64"):
         return payload.tolist()
     return payload
 
@@ -144,6 +154,11 @@ def _null_positions(column: Sequence[Any]) -> Optional[set]:
     so float subclasses like ``np.float64`` are filtered identically on both
     execution tiers.
     """
+    # Packed columns (columnar storage) answer from their cached null mask —
+    # one vectorized isnan / bitmap read instead of a per-value Python scan.
+    finder = getattr(column, "null_positions", None)
+    if finder is not None:
+        return finder()
     positions = {
         i
         for i, value in enumerate(column)
