@@ -1,0 +1,167 @@
+"""Serving-layer benchmark: plan-cached EXECUTE vs uncached QUERY over TCP.
+
+Measures end-to-end wire-protocol throughput for an indexed point lookup in
+three modes against the same data:
+
+* ``uncached``  — ``query`` ops against a server with the plan cache off:
+  every statement is re-normalized, re-parsed and re-planned.
+* ``cached``    — ``query`` ops with the plan cache on: the normalized
+  fingerprint hits the shared cache, skipping parse + plan.
+* ``prepared``  — ``prepare`` once, then ``execute`` by handle: the hot
+  path skips normalization too.
+
+Clients pipeline requests (write a batch, then read the batch) so the
+numbers measure server-side statement cost rather than per-request RTT.
+The acceptance gate: prepared EXECUTE throughput >= 3x uncached QUERY.
+
+Entry points:
+
+* ``python benchmarks/bench_serving.py`` — full run (1/2/4/8-client sweep),
+  writes ``BENCH_serving.json``.
+* ``python benchmarks/bench_serving.py --smoke`` — 2 clients, small counts;
+  the CI configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Database
+from repro.engine.serving import ServerThread, ServingClient
+
+ROWS = 10_000
+BATCH = 64
+
+
+def _make_database(plan_cache: int) -> Database:
+    db = Database(num_segments=2, plan_cache=plan_cache)
+    db.execute("CREATE TABLE bench (id INTEGER, grp TEXT, v DOUBLE PRECISION)")
+    db.load_rows(
+        "bench", [(i, "abcd"[i % 4], i * 0.25) for i in range(ROWS)]
+    )
+    db.execute("CREATE INDEX bench_id ON bench (id)")
+    db.execute("ANALYZE bench")
+    return db
+
+
+def _client_worker(
+    host: str, port: int, mode: str, statements: int, counter: List[int]
+) -> None:
+    sql = "SELECT id, grp, v FROM bench WHERE id = %(id)s"
+    with ServingClient(host, port) as client:
+        handle = client.prepare(sql) if mode == "prepared" else None
+        done = 0
+        while done < statements:
+            batch = min(BATCH, statements - done)
+            if mode == "prepared":
+                requests = [
+                    {"op": "execute", "handle": handle, "params": {"id": (done + i) % ROWS}}
+                    for i in range(batch)
+                ]
+            else:
+                requests = [
+                    {"op": "query", "sql": sql, "params": {"id": (done + i) % ROWS}}
+                    for i in range(batch)
+                ]
+            replies = client.pipeline(requests)
+            for reply in replies:
+                if not reply.get("ok"):
+                    raise RuntimeError(f"statement failed: {reply}")
+                if reply["rowcount"] != 1:
+                    raise RuntimeError(f"wrong rowcount: {reply}")
+            done += batch
+        counter.append(done)
+
+
+def _run_mode(mode: str, clients: int, statements_per_client: int) -> Dict[str, float]:
+    plan_cache = 0 if mode == "uncached" else 256
+    db = _make_database(plan_cache)
+    with ServerThread(
+        db, max_concurrent=max(clients, 2), max_queue=64, plan_cache=plan_cache
+    ) as server:
+        counter: List[int] = []
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(server.host, server.port, mode, statements_per_client, counter),
+            )
+            for _ in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        total = sum(counter)
+        if total != clients * statements_per_client:
+            raise RuntimeError(f"lost statements: {total}")
+        hit_ratio = None
+        if db.plan_cache is not None:
+            stats = db.plan_cache.stats()
+            lookups = stats["hits"] + stats["misses"]
+            hit_ratio = stats["hits"] / lookups if lookups else 0.0
+    return {
+        "mode": mode,
+        "clients": clients,
+        "statements": total,
+        "seconds": round(elapsed, 4),
+        "statements_per_second": round(total / elapsed, 1),
+        "plan_cache_hit_ratio": None if hit_ratio is None else round(hit_ratio, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 2 clients, small statement counts")
+    parser.add_argument("--statements", type=int, default=None, metavar="N",
+                        help="statements per client (default 2000; smoke 300)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write results JSON here (default BENCH_serving.json)")
+    args = parser.parse_args(argv)
+
+    per_client = args.statements or (300 if args.smoke else 2000)
+    client_counts = [2] if args.smoke else [1, 2, 4, 8]
+
+    results: List[Dict[str, float]] = []
+    for clients in client_counts:
+        for mode in ("uncached", "cached", "prepared"):
+            row = _run_mode(mode, clients, per_client)
+            results.append(row)
+            ratio = ("" if row["plan_cache_hit_ratio"] is None
+                     else f"  hit_ratio={row['plan_cache_hit_ratio']:.3f}")
+            print(f"{mode:9s} clients={clients}  "
+                  f"{row['statements_per_second']:>10.1f} stmt/s{ratio}", flush=True)
+
+    # The acceptance gate, per client count: prepared EXECUTE >= 3x uncached QUERY.
+    ok = True
+    for clients in client_counts:
+        by_mode = {r["mode"]: r for r in results if r["clients"] == clients}
+        speedup = (by_mode["prepared"]["statements_per_second"]
+                   / by_mode["uncached"]["statements_per_second"])
+        cached_speedup = (by_mode["cached"]["statements_per_second"]
+                          / by_mode["uncached"]["statements_per_second"])
+        print(f"clients={clients}: prepared/uncached = {speedup:.2f}x, "
+              f"cached/uncached = {cached_speedup:.2f}x", flush=True)
+        if speedup < 3.0:
+            ok = False
+            print(f"FAIL: prepared speedup {speedup:.2f}x < 3.0x", flush=True)
+
+    output = Path(args.output) if args.output else Path(__file__).parent / "BENCH_serving.json"
+    output.write_text(json.dumps({"rows": ROWS, "results": results}, indent=2) + "\n")
+    print(f"wrote {output}", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

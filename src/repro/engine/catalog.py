@@ -34,6 +34,20 @@ class Catalog:
         #: Per-table ANALYZE snapshots (:class:`repro.engine.planner.TableStatistics`),
         #: keyed by lowercased table name.
         self._statistics: Dict[str, object] = {}
+        # Monotonic catalog mutation counter: bumped by every DDL-shaped
+        # change (tables, indexes, UDFs, UDAs, ANALYZE snapshots).  The plan
+        # cache (:mod:`repro.engine.plancache`) snapshots it per entry so any
+        # catalog change invalidates cached plans, and the executor keys its
+        # function/aggregate registry caches on it.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """The catalog's monotonic DDL mutation counter."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # -- tables --------------------------------------------------------------
 
@@ -45,6 +59,7 @@ class Catalog:
         if key in self._tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        self._bump()
         return table
 
     def get_table(self, name: str) -> Table:
@@ -69,6 +84,7 @@ class Catalog:
             del self._indexes[index_name]
         self._statistics.pop(key, None)
         del self._tables[key]
+        self._bump()
 
     def rename_table(self, old: str, new: str) -> None:
         table = self.get_table(old)
@@ -89,6 +105,7 @@ class Catalog:
         if statistics is not None:
             statistics.table_name = new
             self._statistics[new.lower()] = statistics
+        self._bump()
 
     def table_names(self, *, include_temporary: bool = True) -> List[str]:
         return sorted(
@@ -138,6 +155,7 @@ class Catalog:
         index = make_index(name, table.name, table.schema[column_index].name, column_index, kind)
         table.attach_index(index)
         self._indexes[key] = index
+        self._bump()
         return index
 
     def drop_index(self, name: str, *, if_exists: bool = False) -> None:
@@ -151,6 +169,7 @@ class Catalog:
         if table is not None:
             table.detach_index(index.name)
         del self._indexes[key]
+        self._bump()
 
     def get_index(self, name: str) -> BaseIndex:
         try:
@@ -179,6 +198,7 @@ class Catalog:
     def set_statistics(self, statistics) -> None:
         """Store one table's ANALYZE snapshot (replacing any previous one)."""
         self._statistics[statistics.table_name.lower()] = statistics
+        self._bump()
 
     def get_statistics(self, table_name: str):
         """The table's ANALYZE snapshot, or None when never analyzed."""
@@ -208,6 +228,7 @@ class Catalog:
         if key in self._functions and not replace:
             raise CatalogError(f"function {definition.name!r} already exists")
         self._functions[key] = definition
+        self._bump()
 
     def has_function(self, name: str) -> bool:
         return name.lower() in self._functions
@@ -228,6 +249,7 @@ class Catalog:
         if key in self._aggregates and not replace:
             raise CatalogError(f"aggregate {definition.name!r} already exists")
         self._aggregates[key] = definition
+        self._bump()
 
     def has_aggregate(self, name: str) -> bool:
         return name.lower() in self._aggregates

@@ -18,6 +18,7 @@ aggregation baseline used by the merge-path ablation benchmark.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -28,13 +29,15 @@ from .executor import Executor
 from .functions import FunctionDefinition, builtin_functions
 from .parallel import SegmentWorkerPool
 from .parser import parse_script, parse_statement
+from .parser.lexer import tokenize
+from .plancache import SYNTHETIC_PREFIX, CachedPlan, PlanCache, normalize_statement
 from .result import ResultSet
 from .schema import Column, Schema
 from .segments import ExecutionStats
 from .table import Table
 from .types import ANY, SQLType, type_from_name
 
-__all__ = ["Database", "connect"]
+__all__ = ["Database", "PreparedStatement", "connect"]
 
 
 class Database:
@@ -97,6 +100,15 @@ class Database:
         way — the flag exists so the columnar parity suite and the
         ``--columnar`` microbenchmark can compare the storage layouts.
         Bitmap WHERE evaluation also requires ``compiled_execution``.
+    plan_cache:
+        Capacity of the plan cache (:mod:`repro.engine.plancache`).  ``0``
+        (the embedded default) disables caching: every ``execute`` parses
+        and plans from scratch, exactly as before.  ``N >= 1`` normalizes
+        each SELECT/DML statement into a literal-parameterized shape and
+        reuses the parsed (and, for simple indexed point lookups, fully
+        planned) statement across calls, invalidating on any DDL or enough
+        DML drift.  Results are byte-identical either way.  The serving
+        layer (:mod:`repro.engine.serving`) enables this by default.
     """
 
     def __init__(
@@ -110,6 +122,7 @@ class Database:
         use_indexes: bool = True,
         auto_analyze: bool = False,
         columnar_storage: bool = True,
+        plan_cache: int = 0,
     ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
@@ -117,6 +130,8 @@ class Database:
             parallel = 0
         if parallel < 0:
             raise ValidationError("parallel worker count must not be negative")
+        if plan_cache < 0:
+            raise ValidationError("plan cache capacity must not be negative")
         self.num_segments = num_segments
         self.parallel_aggregation = parallel_aggregation
         self.compiled_execution = compiled_execution
@@ -131,7 +146,16 @@ class Database:
         self.catalog = Catalog()
         self.executor = Executor(self)
         self.last_stats: Optional[ExecutionStats] = None
+        self.plan_cache_size = int(plan_cache)
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(self.plan_cache_size) if self.plan_cache_size else None
+        )
         self._temp_counter = 0
+        # ``unique_temp_name`` and ``close`` may be reached from serving-layer
+        # threads; these locks make both safe without slowing the embedded
+        # single-thread case measurably.
+        self._temp_lock = threading.Lock()
+        self._close_lock = threading.Lock()
         for definition in builtin_functions():
             self.catalog.register_function(definition)
         for aggregate in builtin_aggregates():
@@ -141,14 +165,76 @@ class Database:
 
     def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> ResultSet:
         """Parse and execute a single SQL statement."""
+        if self.plan_cache is not None:
+            return self._execute_via_cache(sql, parameters)
         statement = parse_statement(sql)
         result = self.executor.execute(statement, parameters)
+        return self._record_stats(result)
+
+    def _record_stats(self, result: ResultSet) -> ResultSet:
         # Every result now carries stats (DML included); ``last_stats`` keeps
         # tracking the most recent *query* so callers inspecting aggregate
         # timings are not clobbered by housekeeping DML.
         if result.stats is not None and result.stats.statement_kind == "select":
             self.last_stats = result.stats
         return result
+
+    def _execute_via_cache(
+        self, sql: str, parameters: Optional[Dict[str, Any]]
+    ) -> ResultSet:
+        """Plan-cache execution path (``plan_cache > 0``).
+
+        Uncacheable shapes (DDL, EXPLAIN, parameter-name collisions) take
+        the ordinary parse-and-execute path; cacheable ones run the cached
+        statement with the extracted literals bound as synthetic parameters.
+        """
+        entry: Optional[CachedPlan] = None
+        merged = parameters
+        if not (parameters and any(k.startswith(SYNTHETIC_PREFIX) for k in parameters)):
+            normalized = normalize_statement(sql)
+            if normalized is not None:
+                entry = self.plan_cache.get_or_create(normalized.fingerprint, self.catalog)
+                merged = dict(parameters) if parameters else {}
+                merged.update(normalized.values)
+        if entry is None:
+            statement = parse_statement(sql)
+            return self._record_stats(self.executor.execute(statement, parameters))
+        return self._record_stats(self._run_cached(entry, merged))
+
+    def _run_cached(
+        self, entry: CachedPlan, parameters: Optional[Dict[str, Any]]
+    ) -> ResultSet:
+        if entry.simple_plan is not None:
+            result = entry.simple_plan.execute(self.catalog, parameters)
+            if result is not None:
+                return result
+        return self.executor.execute(entry.statement, parameters)
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse (and cache the plan for) a statement once, for many executions.
+
+        Literals in the statement are captured as defaults, so
+        ``db.prepare("SELECT * FROM t WHERE id = %(id)s")`` and
+        ``db.prepare("SELECT * FROM t WHERE id = 1")`` are both valid; the
+        former is re-bound per :meth:`PreparedStatement.execute` call.
+        Works with or without a plan cache (without one, the prepared
+        statement simply holds its own parsed AST).
+        """
+        normalized = normalize_statement(sql)
+        if normalized is None:
+            # Uncacheable shape: the prepared statement owns its parsed AST.
+            return PreparedStatement(self, statement=parse_statement(sql))
+        if self.plan_cache is not None:
+            # Parse now (through the cache) so PREPARE surfaces syntax errors.
+            self.plan_cache.get_or_create(normalized.fingerprint, self.catalog)
+            return PreparedStatement(
+                self, fingerprint=normalized.fingerprint, values=normalized.values
+            )
+        return PreparedStatement(
+            self,
+            statement=parse_statement(normalized.fingerprint),
+            values=normalized.values,
+        )
 
     def execute_script(self, sql: str, parameters: Optional[Dict[str, Any]] = None) -> List[ResultSet]:
         """Execute a semicolon-separated script; returns one result per statement."""
@@ -296,12 +382,25 @@ class Database:
     def close(self) -> None:
         """Release external resources (the worker pool); idempotent.
 
-        The database object itself stays usable — subsequent queries simply
-        run without the parallel tier.
+        Safe to call concurrently (the serving layer's teardown races
+        ``__del__`` and explicit ``close`` calls): exactly one caller shuts
+        the pool down, everyone else returns immediately.  The database
+        object itself stays usable — subsequent queries simply run without
+        the parallel tier.
         """
-        if self._worker_pool is not None:
-            self._worker_pool.close()
-            self._worker_pool = None
+        with self._close_lock:
+            pool, self._worker_pool = self._worker_pool, None
+        if pool is not None:
+            pool.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown timing
+        # Last-resort cleanup so a served database dropped with in-flight
+        # sessions cannot leak worker processes.  Everything here must
+        # tolerate a partially torn-down interpreter.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __enter__(self) -> "Database":
         return self
@@ -328,13 +427,18 @@ class Database:
     # ------------------------------------------------------------------ temp tables
 
     def unique_temp_name(self, prefix: str = "madlib_temp") -> str:
-        """A fresh temp-table name (drivers stage inter-iteration state in these)."""
-        self._temp_counter += 1
-        candidate = f"{prefix}_{self._temp_counter}"
-        while self.catalog.has_table(candidate):
+        """A fresh temp-table name (drivers stage inter-iteration state in these).
+
+        Counter updates happen under a lock so two serving-layer sessions can
+        never be handed the same name.
+        """
+        with self._temp_lock:
             self._temp_counter += 1
             candidate = f"{prefix}_{self._temp_counter}"
-        return candidate
+            while self.catalog.has_table(candidate):
+                self._temp_counter += 1
+                candidate = f"{prefix}_{self._temp_counter}"
+            return candidate
 
     @contextmanager
     def temporary_table(self, prefix: str = "madlib_temp"):
@@ -347,6 +451,60 @@ class Database:
 
     def drop_temporary_tables(self) -> int:
         return self.catalog.drop_temporary_tables()
+
+
+class PreparedStatement:
+    """A statement parsed (and plan-cached) once, executable many times.
+
+    With a plan cache, the prepared statement holds only its *fingerprint*;
+    every execution revalidates the shared cache entry, so DDL or data drift
+    transparently replans instead of running a stale plan.  Without a cache
+    it owns its parsed AST.  ``values`` carries the literals normalization
+    extracted at PREPARE time; caller parameters are merged under them (the
+    synthetic ``__cN`` names can never be overridden by callers).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        fingerprint: Optional[str] = None,
+        values: Optional[Dict[str, Any]] = None,
+        statement: Optional[Any] = None,
+    ) -> None:
+        self.database = database
+        self.fingerprint = fingerprint
+        self.values = dict(values) if values else {}
+        self._statement = statement
+
+    @property
+    def parameter_names(self) -> List[str]:
+        """The caller-facing parameter names (synthetic literals excluded)."""
+        if self.fingerprint is None:
+            return []
+        return sorted(
+            {
+                token.value
+                for token in tokenize(self.fingerprint)
+                if token.kind == "parameter"
+                and not token.value.startswith(SYNTHETIC_PREFIX)
+            }
+        )
+
+    def execute(self, parameters: Optional[Dict[str, Any]] = None) -> ResultSet:
+        merged: Optional[Dict[str, Any]]
+        if self.values:
+            merged = dict(parameters) if parameters else {}
+            merged.update(self.values)
+        else:
+            merged = parameters
+        database = self.database
+        if self.fingerprint is not None and database.plan_cache is not None:
+            entry = database.plan_cache.get_or_create(self.fingerprint, database.catalog)
+            return database._record_stats(database._run_cached(entry, merged))
+        return database._record_stats(
+            database.executor.execute(self._statement, merged)
+        )
 
 
 def connect(num_segments: int = 1, **kwargs: Any) -> Database:

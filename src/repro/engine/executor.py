@@ -203,6 +203,13 @@ class Executor:
 
     def __init__(self, database) -> None:
         self.database = database
+        # Function/aggregate registries are rebuilt only when the catalog's
+        # DDL version moves — every statement used to pay two full dict
+        # rebuilds, which dominates short point lookups in serving mode.
+        # Callers must treat the returned dicts as read-only.
+        self._registry_version = -1
+        self._functions_cache: Dict[str, Callable[..., Any]] = {}
+        self._aggregates_cache: Dict[str, AggregateDefinition] = {}
 
     # ------------------------------------------------------------------ utils
 
@@ -210,17 +217,26 @@ class Executor:
     def catalog(self):
         return self.database.catalog
 
+    def _refresh_registries(self) -> None:
+        version = self.catalog.version
+        if version != self._registry_version:
+            self._functions_cache = {
+                name.lower(): self.catalog.get_function(name)
+                for name in self.catalog.function_names()
+            }
+            self._aggregates_cache = {
+                name.lower(): self.catalog.get_aggregate(name)
+                for name in self.catalog.aggregate_names()
+            }
+            self._registry_version = version
+
     def _function_registry(self) -> Dict[str, Callable[..., Any]]:
-        return {
-            name.lower(): self.catalog.get_function(name)
-            for name in self.catalog.function_names()
-        }
+        self._refresh_registries()
+        return self._functions_cache
 
     def _aggregate_registry(self) -> Dict[str, AggregateDefinition]:
-        return {
-            name.lower(): self.catalog.get_aggregate(name)
-            for name in self.catalog.aggregate_names()
-        }
+        self._refresh_registries()
+        return self._aggregates_cache
 
     def _make_contexts(
         self, relation: _Relation, parameters: Optional[Dict[str, Any]]

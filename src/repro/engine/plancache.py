@@ -1,0 +1,557 @@
+"""Plan caching: pay parse→compile→plan once per query *shape*.
+
+"Architecture of a Database System" (Hellerstein, Stonebraker & Hamilton,
+Section 4 and 6) describes the query-processing discipline every serious
+server adopts: incoming SQL is *normalized* into a parameterized shape, the
+parsed/optimized plan for that shape is kept in a shared plan cache, and
+subsequent statements that differ only in their literal values reuse it.
+This module is that machinery for our engine:
+
+* :func:`normalize_statement` — tokenize a statement and replace literal
+  tokens with synthetic parameters (``%(__c0)s``, ``%(__c1)s``, ...).  The
+  rebuilt text is both the cache *fingerprint* (two statements with the same
+  shape normalize to the same string) and the SQL that is actually parsed,
+  so a cached AST serves every literal binding of the shape.
+* :class:`PlanCache` — an LRU of :class:`CachedPlan` entries keyed on the
+  fingerprint.  Every entry records the catalog's DDL version and the data
+  version of each referenced table; a lookup revalidates both, so any DDL
+  (CREATE/DROP/ALTER/ANALYZE/UDF registration) or enough DML drift replans
+  the shape instead of trusting a stale plan.
+* :class:`SimpleSelectPlan` — a *physical* plan for the hot serving shape
+  (single-table projection with an optional indexable equality WHERE).  A
+  cache hit on this shape skips the whole executor: probe the secondary
+  index, materialize the matching rows, project.  Anything it cannot prove
+  safe declines at build or run time and the generic executor runs instead,
+  so results are byte-identical with the cache on or off.
+
+Normalization subtleties (all covered by ``tests/serving/test_plancache.py``):
+
+* Numbers after a ``GROUP``/``ORDER``/``LIMIT``/``OFFSET`` keyword are *not*
+  parameterized: ``ORDER BY 2`` is an output-column ordinal and ``LIMIT 10``
+  must be a literal per the grammar, so those literals stay part of the
+  shape.  (String literals freeze there too, conservatively.)
+* Identifier tokens are re-emitted quoted (``"name"``), which reproduces the
+  original token stream exactly whether or not the source quoted them.
+* Statements whose parameters could collide with the synthetic names (a user
+  parameter starting with ``__c``) and non-DML/SELECT statements are simply
+  not cached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from .expressions import BinaryOp, ColumnRef, Literal, Parameter, Star
+from .parser import parse_statement
+from .parser.ast_nodes import (
+    CreateTableAsStatement,
+    DeleteStatement,
+    ExplainStatement,
+    InsertStatement,
+    Join,
+    SelectStatement,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionStatement,
+    UpdateStatement,
+)
+from .parser.lexer import tokenize
+from .planner import AUTO_ANALYZE_FRACTION, AUTO_ANALYZE_MIN_MUTATIONS
+from .result import ResultSet
+from .segments import ExecutionStats, ScanDetail
+
+__all__ = [
+    "normalize_statement",
+    "NormalizedStatement",
+    "referenced_tables",
+    "statement_is_read_only",
+    "CachedPlan",
+    "PlanCache",
+    "SimpleSelectPlan",
+]
+
+
+#: Prefix of the synthetic parameter names normalization introduces.  A user
+#: statement that already binds a parameter with this prefix bypasses the
+#: cache entirely rather than risk a collision.
+SYNTHETIC_PREFIX = "__c"
+
+#: Statement-leading keywords eligible for caching.  DDL is rare and cheap to
+#: parse; EXPLAIN wants the *uncached* planning path by definition.
+_CACHEABLE_FIRST_KEYWORDS = {"select", "insert", "update", "delete"}
+
+#: After one of these keywords is seen, literal tokens stop being
+#: parameterized: ``ORDER BY 2`` is an ordinal, ``LIMIT``/``OFFSET`` require
+#: literal numbers in the grammar, and GROUP BY ordinals ride along.
+_FREEZE_KEYWORDS = {"group", "order", "limit", "offset"}
+
+
+class NormalizedStatement:
+    """The outcome of normalizing one SQL string.
+
+    ``fingerprint`` is the parameterized SQL text (also what the cache
+    parses); ``values`` maps each synthetic parameter name to the literal it
+    replaced in *this* statement.
+    """
+
+    __slots__ = ("fingerprint", "values")
+
+    def __init__(self, fingerprint: str, values: Dict[str, Any]) -> None:
+        self.fingerprint = fingerprint
+        self.values = values
+
+
+def _quote_name(value: str) -> str:
+    # The lexer cannot produce a name containing a double quote (a quoted
+    # identifier ends at the first one), so plain re-quoting round-trips.
+    return f'"{value}"'
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _number_value(text: str) -> Any:
+    """Convert a number token exactly as the parser does."""
+    return float(text) if any(c in text for c in ".eE") else int(text)
+
+
+def normalize_statement(sql: str) -> Optional[NormalizedStatement]:
+    """Parameterize a statement's literals; None when the shape is uncacheable.
+
+    Raises :class:`~repro.errors.SQLSyntaxError` for text the lexer rejects —
+    the same error the uncached path would raise.
+    """
+    tokens = tokenize(sql)
+    if not tokens or tokens[0].kind != "keyword":
+        return None
+    if tokens[0].value.lower() not in _CACHEABLE_FIRST_KEYWORDS:
+        return None
+    parts: List[str] = []
+    values: Dict[str, Any] = {}
+    frozen = False
+    for token in tokens:
+        kind = token.kind
+        if kind == "eof":
+            break
+        if kind == "keyword":
+            lowered = token.value.lower()
+            if lowered in _FREEZE_KEYWORDS:
+                frozen = True
+            parts.append(lowered)
+        elif kind == "name":
+            parts.append(_quote_name(token.value))
+        elif kind == "operator":
+            parts.append(token.value)
+        elif kind == "parameter":
+            if token.value.startswith(SYNTHETIC_PREFIX):
+                return None  # user parameter could collide with ours
+            parts.append(f"%({token.value})s")
+        elif kind == "number":
+            if frozen:
+                parts.append(token.value)
+            else:
+                name = f"{SYNTHETIC_PREFIX}{len(values)}"
+                values[name] = _number_value(token.value)
+                parts.append(f"%({name})s")
+        elif kind == "string":
+            if frozen:
+                parts.append(_quote_string(token.value))
+            else:
+                name = f"{SYNTHETIC_PREFIX}{len(values)}"
+                values[name] = token.value
+                parts.append(f"%({name})s")
+        else:  # pragma: no cover - the lexer has no other kinds
+            return None
+    return NormalizedStatement(" ".join(parts), values)
+
+
+# ---------------------------------------------------------------------------
+# Statement introspection
+# ---------------------------------------------------------------------------
+
+
+def referenced_tables(statement: Statement) -> List[str]:
+    """Lowercased names of every base table a statement touches.
+
+    Used for cache invalidation (data-version snapshots) and by the serving
+    layer's snapshot validation; unknown FROM shapes contribute nothing
+    (subqueries and joins are walked recursively).
+    """
+    names: List[str] = []
+
+    def walk_from(item: object) -> None:
+        if isinstance(item, TableRef):
+            names.append(item.name.lower())
+        elif isinstance(item, Join):
+            walk_from(item.left)
+            walk_from(item.right)
+        elif isinstance(item, SubquerySource):
+            walk_select(item.select)
+
+    def walk_select(select: Statement) -> None:
+        if isinstance(select, UnionStatement):
+            for sub in select.selects:
+                walk_select(sub)
+            return
+        if isinstance(select, SelectStatement):
+            for item in select.from_items:
+                walk_from(item)
+
+    if isinstance(statement, (SelectStatement, UnionStatement)):
+        walk_select(statement)
+    elif isinstance(statement, InsertStatement):
+        names.append(statement.table.lower())
+        if statement.select is not None:
+            walk_select(statement.select)
+    elif isinstance(statement, UpdateStatement):
+        names.append(statement.table.lower())
+    elif isinstance(statement, DeleteStatement):
+        names.append(statement.table.lower())
+    elif isinstance(statement, CreateTableAsStatement):
+        walk_select(statement.select)
+    # Preserve first-seen order, drop duplicates.
+    seen = set()
+    ordered = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            ordered.append(name)
+    return ordered
+
+
+def statement_is_read_only(statement: Statement) -> bool:
+    """True when executing the statement cannot mutate any table.
+
+    SELECT/UNION and plain EXPLAIN are reads; EXPLAIN ANALYZE actually runs
+    its target, so it is only a read when the target is.  Everything else
+    (DML, DDL, ANALYZE) is a write.  The serving layer uses this to pick the
+    reader or the writer side of its lock.
+    """
+    if isinstance(statement, (SelectStatement, UnionStatement)):
+        return True
+    if isinstance(statement, ExplainStatement):
+        if not statement.analyze:
+            return True
+        return statement_is_read_only(statement.target)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The hot-shape physical plan
+# ---------------------------------------------------------------------------
+
+
+class SimpleSelectPlan:
+    """Executor-bypassing plan for ``SELECT cols FROM t [WHERE col = const]``.
+
+    Built once per cached shape; every execution re-fetches the table from
+    the catalog and declines (returns None) on anything it cannot prove
+    byte-identical to the generic path — the caller then falls back.  The
+    WHERE probe uses a secondary index directly, which is also what makes
+    prepared point lookups ~an-order-of-magnitude cheaper than a full
+    parse→plan→execute round trip.
+    """
+
+    __slots__ = (
+        "table_name",
+        "column_indices",
+        "output_names",
+        "where_column",
+        "where_param",
+        "where_value",
+    )
+
+    def __init__(
+        self,
+        table_name: str,
+        column_indices: List[int],
+        output_names: List[str],
+        where_column: Optional[int],
+        where_param: Optional[str],
+        where_value: Any,
+    ) -> None:
+        self.table_name = table_name
+        self.column_indices = column_indices
+        self.output_names = output_names
+        self.where_column = where_column
+        self.where_param = where_param
+        self.where_value = where_value
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def try_build(statement: Statement, catalog) -> Optional["SimpleSelectPlan"]:
+        """Build the fast plan for a statement, or None when out of shape."""
+        if not isinstance(statement, SelectStatement):
+            return None
+        if (
+            statement.group_by
+            or statement.having is not None
+            or statement.order_by
+            or statement.limit is not None
+            or statement.offset is not None
+            or statement.distinct
+        ):
+            return None
+        if len(statement.from_items) != 1:
+            return None
+        ref = statement.from_items[0]
+        if not isinstance(ref, TableRef):
+            return None
+        if not catalog.has_table(ref.name):
+            return None
+        table = catalog.get_table(ref.name)
+        alias = ref.effective_alias.lower()
+        schema = table.schema
+        lowered = [name.lower() for name in schema.names]
+
+        def resolve(column: ColumnRef) -> Optional[int]:
+            if column.qualifier is not None and column.qualifier.lower() != alias:
+                return None
+            try:
+                return lowered.index(column.name.lower())
+            except ValueError:
+                return None
+
+        column_indices: List[int] = []
+        output_names: List[str] = []
+        for item in statement.select_items:
+            expression = item.expression
+            if isinstance(expression, Star):
+                if expression.qualifier is not None and (
+                    expression.qualifier.lower() != alias
+                ):
+                    return None
+                if item.alias:
+                    return None
+                column_indices.extend(range(len(schema)))
+                output_names.extend(schema.names)
+                continue
+            if not isinstance(expression, ColumnRef):
+                return None
+            index = resolve(expression)
+            if index is None:
+                return None
+            column_indices.append(index)
+            output_names.append(item.alias or expression.name)
+
+        where_column: Optional[int] = None
+        where_param: Optional[str] = None
+        where_value: Any = None
+        where = statement.where
+        if where is not None:
+            if not isinstance(where, BinaryOp) or where.op != "=":
+                return None
+            left, right = where.left, where.right
+            if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+                left, right = right, left
+            if not isinstance(left, ColumnRef):
+                return None
+            where_column = resolve(left)
+            if where_column is None:
+                return None
+            if isinstance(right, Literal):
+                where_value = right.value
+            elif isinstance(right, Parameter):
+                where_param = right.name
+            else:
+                return None
+            # Only worthwhile (and only provably scan-order-identical) when a
+            # usable index covers the probed column.
+            if not any(
+                index.usable and index.column_index == where_column
+                for index in table.indexes
+            ):
+                return None
+        return SimpleSelectPlan(
+            table.name.lower(),
+            column_indices,
+            output_names,
+            where_column,
+            where_param,
+            where_value,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self, catalog, parameters: Optional[Dict[str, Any]]
+    ) -> Optional[ResultSet]:
+        """Run the plan; None declines to the generic executor."""
+        if not catalog.has_table(self.table_name):
+            return None  # let the generic path raise the canonical error
+        start = time.perf_counter()
+        table = catalog.get_table(self.table_name)
+        stats = ExecutionStats(statement_kind="select")
+        if self.where_column is None:
+            rows = [
+                tuple(row[i] for i in self.column_indices)
+                for segment in range(table.num_segments)
+                for row in table.segment_view(segment)
+            ]
+            stats.rows_scanned_per_source.append(len(rows))
+            stats.scan_details.append(ScanDetail(table.name, "seq", len(rows)))
+            stats.total_seconds = time.perf_counter() - start
+            return ResultSet(self.output_names, rows, stats=stats)
+        if self.where_param is not None:
+            if parameters is None or self.where_param not in parameters:
+                return None  # generic path raises the unbound-parameter error
+            value = parameters[self.where_param]
+        else:
+            value = self.where_value
+        entries = None
+        index_name = None
+        for index in table.indexes:
+            if index.usable and index.column_index == self.where_column:
+                entries = index.probe_eq(value)
+                index_name = index.name
+                if entries is not None:
+                    break
+        if entries is None:
+            return None  # no usable index left / probe declined: fall back
+        rows = []
+        for segment, position in entries:
+            row = table.segment_view(segment)[position]
+            rows.append(tuple(row[i] for i in self.column_indices))
+        stats.rows_scanned_per_source.append(len(rows))
+        stats.scan_details.append(
+            ScanDetail(table.name, "index", len(rows), index_name=index_name)
+        )
+        stats.total_seconds = time.perf_counter() - start
+        return ResultSet(self.output_names, rows, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+class CachedPlan:
+    """One cached shape: parsed AST + validity snapshot + optional fast plan."""
+
+    __slots__ = (
+        "fingerprint",
+        "statement",
+        "tables",
+        "read_only",
+        "catalog_version",
+        "table_versions",
+        "simple_plan",
+        "hits",
+    )
+
+    def __init__(self, fingerprint: str, statement: Statement, catalog) -> None:
+        self.fingerprint = fingerprint
+        self.statement = statement
+        self.tables = referenced_tables(statement)
+        self.read_only = statement_is_read_only(statement)
+        self.catalog_version = catalog.version
+        self.table_versions: Dict[str, Tuple[int, int]] = {}
+        for name in self.tables:
+            if catalog.has_table(name):
+                table = catalog.get_table(name)
+                self.table_versions[name] = (table._data_version, len(table))
+        self.simple_plan = SimpleSelectPlan.try_build(statement, catalog)
+        self.hits = 0
+
+    def is_valid(self, catalog) -> bool:
+        """Still safe to reuse?  Any DDL or enough DML drift says no.
+
+        The drift threshold mirrors auto-ANALYZE damping: a table that has
+        mutated more than ``max(64, 20% of its row count at plan time)``
+        times since the plan was built gets replanned, because access-path
+        choices are data-dependent even though the AST is not.
+        """
+        if catalog.version != self.catalog_version:
+            return False
+        for name, (version, row_count) in self.table_versions.items():
+            if not catalog.has_table(name):
+                return False
+            drift = catalog.get_table(name)._data_version - version
+            if drift > max(AUTO_ANALYZE_MIN_MUTATIONS, AUTO_ANALYZE_FRACTION * row_count):
+                return False
+        return True
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` entries keyed on the fingerprint.
+
+    Thread-safe: the serving layer runs concurrent readers against one
+    shared cache, so all bookkeeping (LRU order, eviction, counters)
+    happens under an internal lock.  Entry *parsing* happens under the lock
+    too — serializing the occasional miss is far cheaper than letting two
+    threads race a ``del``/``popitem`` on the same OrderedDict.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, fingerprint: str, catalog) -> Optional[CachedPlan]:
+        """A valid entry for the fingerprint, or None (stale entries evict)."""
+        with self._lock:
+            return self._lookup_locked(fingerprint, catalog)
+
+    def _lookup_locked(self, fingerprint: str, catalog) -> Optional[CachedPlan]:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.is_valid(catalog):
+            del self._entries[fingerprint]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        entry.hits += 1
+        return entry
+
+    def _insert_locked(self, fingerprint: str, catalog) -> CachedPlan:
+        statement = parse_statement(fingerprint)
+        entry = CachedPlan(fingerprint, statement, catalog)
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def insert(self, fingerprint: str, catalog) -> CachedPlan:
+        """Parse the fingerprint text and cache the resulting plan."""
+        with self._lock:
+            return self._insert_locked(fingerprint, catalog)
+
+    def get_or_create(self, fingerprint: str, catalog) -> CachedPlan:
+        with self._lock:
+            entry = self._lookup_locked(fingerprint, catalog)
+            if entry is None:
+                entry = self._insert_locked(fingerprint, catalog)
+            return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for monitoring and the serving benchmark's hit ratio."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,94 @@
+"""``python -m repro.serve`` — run the TCP serving layer from the shell.
+
+Starts a :class:`~repro.engine.serving.DatabaseServer` around a fresh
+in-memory :class:`~repro.engine.database.Database`, optionally priming it
+with a SQL script, and serves until interrupted.  See ``docs/serving.md``
+for the wire protocol and the client helper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from .engine.database import Database
+from .engine.serving import DatabaseServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve an in-memory repro database over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument("--port", type=int, default=5433, help="listen port (0 picks a free one)")
+    parser.add_argument("--plan-cache", type=int, default=256, metavar="N",
+                        help="plan cache capacity; 0 disables caching")
+    parser.add_argument("--max-concurrent", type=int, default=8, metavar="N",
+                        help="statements executing at once (worker threads)")
+    parser.add_argument("--max-queue", type=int, default=16, metavar="N",
+                        help="statements allowed to wait before BUSY shedding")
+    parser.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="per-statement timeout")
+    parser.add_argument("--parallel", type=int, default=0, metavar="WORKERS",
+                        help="intra-query parallel worker processes (0 disables)")
+    parser.add_argument("--segments", type=int, default=1, metavar="N",
+                        help="engine segment count")
+    parser.add_argument("--init", metavar="SCRIPT.sql", default=None,
+                        help="SQL script executed before serving (one statement per ';')")
+    return parser
+
+
+def _run_init_script(database: Database, path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    count = 0
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement:
+            database.execute(statement)
+            count += 1
+    return count
+
+
+async def _serve(server: DatabaseServer) -> None:
+    await server.start()
+    print(f"repro serving on {server.host}:{server.port} "
+          f"(plan_cache={server.database.plan_cache_size}, "
+          f"max_concurrent={server.max_concurrent})", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop(close_database=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    database = Database(
+        args.segments, parallel=args.parallel, plan_cache=args.plan_cache
+    )
+    if args.init:
+        executed = _run_init_script(database, args.init)
+        print(f"init script: {executed} statements", flush=True)
+    server = DatabaseServer(
+        database,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        statement_timeout=args.timeout,
+        plan_cache=args.plan_cache,
+    )
+    try:
+        asyncio.run(_serve(server))
+    except KeyboardInterrupt:
+        print("\nshutting down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Concurrency stress for the serving layer.
+
+The contract under test (``docs/serving.md``): concurrent read statements
+share the database; write statements exclude everything; every read sees a
+single consistent table version (the server's snapshot validation raises
+``SNAPSHOT_VIOLATION`` otherwise); admission control sheds overload with
+``BUSY``; timeouts surface as ``TIMEOUT`` without breaking isolation; and an
+interleaved mixed workload lands on exactly the state a serial schedule
+would produce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.engine.serving import RemoteError, ServerThread, ServingClient
+
+
+def _make_database(rows: int = 2000, *, plan_cache: int = 128) -> Database:
+    db = Database(num_segments=2, plan_cache=plan_cache)
+    db.execute("CREATE TABLE t (id INTEGER, grp TEXT, v INTEGER)")
+    db.load_rows("t", [(i, "abc"[i % 3], 0) for i in range(rows)])
+    db.execute("CREATE INDEX t_id ON t (id)")
+    return db
+
+
+def _add_sleepy(db: Database) -> None:
+    """``sleepy(ms)`` sleeps per evaluated row — a controllable slow query."""
+    db.create_function(
+        "sleepy", lambda ms: time.sleep(ms / 1000.0) or ms, volatile=True
+    )
+    db.execute("CREATE TABLE slowt (ms INTEGER)")
+    db.load_rows("slowt", [(100,)] * 10)  # SELECT over slowt ~= 1 second
+
+
+# ---------------------------------------------------------------------------
+# Readers under a concurrent writer: snapshot consistency
+# ---------------------------------------------------------------------------
+
+
+def test_eight_readers_under_writer_zero_violations():
+    """8 reader clients race a whole-table UPDATE writer.
+
+    Every row starts (and stays) at a uniform ``v``: a writer repeatedly runs
+    ``UPDATE t SET v = v + 1``, so any torn read — part old rows, part new —
+    shows up as ``min(v) != max(v)``.  The server's own snapshot validation
+    (``SNAPSHOT_VIOLATION``) guards the same invariant from the inside.
+    """
+    db = _make_database(rows=3000)
+    errors: list = []
+    torn: list = []
+    stop = threading.Event()
+
+    with ServerThread(db, max_concurrent=10, max_queue=64) as server:
+
+        def writer():
+            try:
+                with ServingClient(server.host, server.port) as client:
+                    while not stop.is_set():
+                        client.query("UPDATE t SET v = v + 1")
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def reader(seed: int):
+            try:
+                with ServingClient(server.host, server.port) as client:
+                    for _ in range(30):
+                        row = client.query(
+                            "SELECT min(v), max(v), count(*) FROM t"
+                        ).rows[0]
+                        if row[0] != row[1]:
+                            torn.append(row)
+                        if row[2] != 3000:
+                            torn.append(("count", row))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader, args=(i,)) for i in range(8)]
+        for thread in threads[1:]:
+            thread.start()
+        threads[0].start()
+        for thread in threads[1:]:
+            thread.join()
+        stop.set()
+        threads[0].join()
+
+    assert not errors, errors
+    assert not torn, torn[:5]
+
+
+def test_concurrent_readers_actually_overlap():
+    """Sanity check that reads run in parallel: 4 slow reads on 4 clients
+    finish in well under 4x a single read's duration."""
+    db = _make_database(rows=10)
+    _add_sleepy(db)
+    with ServerThread(db, max_concurrent=8, max_queue=16) as server:
+        clients = [ServingClient(server.host, server.port) for _ in range(4)]
+        try:
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(
+                    target=client.query, args=("SELECT count(sleepy(ms)) FROM slowt",)
+                )
+                for client in clients
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+        finally:
+            for client in clients:
+                client.close()
+    # One slow read is ~1s; four serialized would be ~4s.
+    assert elapsed < 2.5, f"reads serialized: {elapsed:.2f}s for 4 overlapping queries"
+
+
+# ---------------------------------------------------------------------------
+# Interleaved mixed workload equals the serial schedule
+# ---------------------------------------------------------------------------
+
+
+def test_interleaved_dml_matches_serial_schedule():
+    """N clients interleave SELECT/INSERT/UPDATE on disjoint key ranges.
+
+    Because each client touches only its own range, every interleaving is
+    conflict-equivalent to the serial schedule; the final table state must
+    match computing each client's effects independently.
+    """
+    clients_n, per_client = 4, 30
+    base = 10_000
+    db = _make_database(rows=100)
+    errors: list = []
+
+    with ServerThread(db, max_concurrent=8, max_queue=64) as server:
+
+        def worker(c: int):
+            lo = base + c * 1000
+            try:
+                with ServingClient(server.host, server.port) as client:
+                    insert = client.prepare("INSERT INTO t VALUES (%(id)s, %(g)s, %(v)s)")
+                    update = client.prepare("UPDATE t SET v = v + %(d)s WHERE id = %(id)s")
+                    count = client.prepare(
+                        "SELECT count(*), coalesce(sum(v), 0) FROM t "
+                        "WHERE id >= %(lo)s AND id < %(hi)s"
+                    )
+                    for i in range(per_client):
+                        client.execute(insert, {"id": lo + i, "g": "x", "v": i})
+                        if i % 3 == 0:
+                            client.execute(update, {"d": 10, "id": lo + i})
+                        rows_seen, _ = client.execute(
+                            count, {"lo": lo, "hi": lo + 1000}
+                        ).rows[0]
+                        # Own writes are immediately visible (inserted i+1 so far).
+                        assert rows_seen == i + 1, (c, i, rows_seen)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in range(clients_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, errors
+    # Serial-schedule expectation, computed independently per client.
+    assert db.execute("SELECT count(*) FROM t").rows[0][0] == 100 + clients_n * per_client
+    for c in range(clients_n):
+        lo = base + c * 1000
+        expected = sum(i + (10 if i % 3 == 0 else 0) for i in range(per_client))
+        total = db.execute(
+            "SELECT sum(v) FROM t WHERE id >= %(lo)s AND id < %(hi)s",
+            {"lo": lo, "hi": lo + 1000},
+        ).rows[0][0]
+        assert total == expected, (c, total, expected)
+
+
+# ---------------------------------------------------------------------------
+# Admission control and timeouts
+# ---------------------------------------------------------------------------
+
+
+def test_busy_shedding_under_overload():
+    """With capacity 1 and no queue, a second statement is shed with BUSY."""
+    db = _make_database(rows=10)
+    _add_sleepy(db)
+    with ServerThread(db, max_concurrent=1, max_queue=0, statement_timeout=30.0) as server:
+        busy_codes: list = []
+        slow_done = threading.Event()
+
+        def slow():
+            with ServingClient(server.host, server.port) as client:
+                client.query("SELECT count(sleepy(ms)) FROM slowt")
+            slow_done.set()
+
+        slow_thread = threading.Thread(target=slow)
+        slow_thread.start()
+        time.sleep(0.3)  # let the slow statement get admitted
+        with ServingClient(server.host, server.port) as client:
+            for _ in range(3):
+                try:
+                    client.query("SELECT count(*) FROM t")
+                except RemoteError as exc:
+                    busy_codes.append(exc.code)
+                time.sleep(0.05)
+        slow_thread.join()
+        assert slow_done.is_set()
+        assert busy_codes and set(busy_codes) == {"BUSY"}
+        # Capacity is back: the same statement now succeeds.
+        with ServingClient(server.host, server.port) as client:
+            assert client.query("SELECT count(*) FROM t").scalar() == 10
+            assert client.stats()["server"]["shed"] >= 1
+
+
+def test_statement_timeout_and_recovery():
+    """A slow read times out with TIMEOUT; the session and server survive.
+
+    The abandoned worker thread keeps its read lock until the statement
+    really finishes, but other *reads* still share — the quick query after
+    the timeout must not wait for the slow one.
+    """
+    db = _make_database(rows=10)
+    _add_sleepy(db)
+    with ServerThread(db, max_concurrent=4, max_queue=8, statement_timeout=0.3) as server:
+        with ServingClient(server.host, server.port) as client:
+            with pytest.raises(RemoteError) as caught:
+                client.query("SELECT count(sleepy(ms)) FROM slowt")
+            assert caught.value.code == "TIMEOUT"
+            start = time.perf_counter()
+            assert client.query("SELECT count(*) FROM t").scalar() == 10
+            assert time.perf_counter() - start < 0.5
+            assert client.stats()["server"]["timed_out"] >= 1
+    time.sleep(0.1)  # drain log noise from the abandoned statement
+
+
+def test_writer_excludes_readers():
+    """While a slow write runs, reads block until it finishes (no dirty data)."""
+    db = _make_database(rows=10)
+    _add_sleepy(db)
+    with ServerThread(db, max_concurrent=4, max_queue=8) as server:
+        started = threading.Event()
+
+        def slow_write():
+            with ServingClient(server.host, server.port) as client:
+                started.set()
+                client.query("UPDATE t SET v = sleepy(100)")
+
+        writer = threading.Thread(target=slow_write)
+        writer.start()
+        started.wait()
+        time.sleep(0.3)  # ensure the write holds the lock
+        with ServingClient(server.host, server.port) as client:
+            start = time.perf_counter()
+            result = client.query("SELECT min(v), max(v) FROM t")
+            elapsed = time.perf_counter() - start
+        writer.join()
+        # The read waited for the writer and saw its completed effect.
+        assert result.rows[0] == (100, 100)
+        assert elapsed > 0.2, f"read did not wait for the writer ({elapsed:.3f}s)"
+
+
+# ---------------------------------------------------------------------------
+# Prepared statements under concurrency
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_prepared_execute_parity():
+    """6 clients hammer the same prepared point lookup; every result exact."""
+    db = _make_database(rows=500)
+    errors: list = []
+    with ServerThread(db, max_concurrent=8, max_queue=64) as server:
+
+        def worker(seed: int):
+            try:
+                with ServingClient(server.host, server.port) as client:
+                    handle = client.prepare("SELECT grp, v FROM t WHERE id = %(id)s")
+                    for i in range(50):
+                        key = (seed * 37 + i) % 500
+                        rows = client.execute(handle, {"id": key}).rows
+                        assert rows == [("abc"[key % 3], 0)], (key, rows)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert not errors, errors
+    stats = db.plan_cache.stats()
+    assert stats["hits"] >= 6 * 50 - 10  # all executions after the first hit

@@ -1,0 +1,131 @@
+"""Shutdown-ordering regressions: Database.close(), __del__, server stop.
+
+The bugs these pin down: ``Database.close()`` used to race itself when
+called from two threads (or from ``close()`` + ``__del__``), and a server
+stopping while statements were in flight could tear the worker pool down
+under a live statement.  The fixed ordering is: close() hands the pool off
+under a lock (idempotent, thread-safe), ``__del__`` delegates to close()
+and never raises, and ``DatabaseServer.stop()`` drains connections and
+joins its thread pool *before* touching the database.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import threading
+import time
+
+from repro import Database
+from repro.engine.serving import ServerThread, ServingClient
+
+
+def _parallel_db() -> Database:
+    db = Database(num_segments=2, parallel=2)
+    db.execute("CREATE TABLE t (id INTEGER, v DOUBLE PRECISION)")
+    db.load_rows("t", [(i, float(i)) for i in range(200)])
+    # Force the worker pool to actually start.
+    db.execute("SELECT sum(v) FROM t")
+    return db
+
+
+def test_close_is_idempotent():
+    db = _parallel_db()
+    db.close()
+    db.close()  # second close must be a no-op, not an error
+    db.close()
+
+
+def test_close_then_del_does_not_raise():
+    db = _parallel_db()
+    db.close()
+    del db
+    gc.collect()  # __del__ after close: nothing left to do, nothing raised
+
+
+def test_del_without_close_shuts_the_pool_down():
+    db = _parallel_db()
+    del db
+    gc.collect()
+    deadline = time.time() + 10.0
+    while time.time() < deadline and multiprocessing.active_children():
+        time.sleep(0.1)
+    assert not multiprocessing.active_children(), "leaked worker processes"
+
+
+def test_concurrent_close_from_many_threads():
+    db = _parallel_db()
+    errors: list = []
+
+    def closer():
+        try:
+            db.close()
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+def test_close_leaves_no_worker_processes():
+    db = _parallel_db()
+    db.close()
+    deadline = time.time() + 10.0
+    while time.time() < deadline and multiprocessing.active_children():
+        time.sleep(0.1)
+    assert not multiprocessing.active_children(), "leaked worker processes"
+
+
+def test_queries_still_work_after_close():
+    """close() only tears down the worker pool; in-process execution (the
+    sequential fallback) keeps working, as documented."""
+    db = _parallel_db()
+    db.close()
+    assert db.execute("SELECT count(*) FROM t").rows[0][0] == 200
+
+
+def test_server_stop_drains_before_database_close():
+    """stop(close_database=True) must finish in-flight statements, join the
+    worker threads, and only then close the database."""
+    db = _parallel_db()
+    server = ServerThread(db, max_concurrent=4, max_queue=8).start()
+    clients = [ServingClient(server.host, server.port) for _ in range(3)]
+    try:
+        for client in clients:
+            assert client.query("SELECT count(*) FROM t").scalar() == 200
+    finally:
+        for client in clients:
+            client.close()
+    server.stop(close_database=True)
+    # Idempotent all the way down: stopping again and re-closing are no-ops.
+    server.stop(close_database=True)
+    db.close()
+    deadline = time.time() + 10.0
+    while time.time() < deadline and multiprocessing.active_children():
+        time.sleep(0.1)
+    assert not multiprocessing.active_children(), "leaked worker processes"
+
+
+def test_server_stop_with_connected_clients():
+    """Clients still connected at stop time are disconnected cleanly."""
+    db = Database(plan_cache=16)
+    db.execute("CREATE TABLE s (a INTEGER)")
+    db.execute("INSERT INTO s VALUES (1)")
+    server = ServerThread(db).start()
+    client = ServingClient(server.host, server.port)
+    assert client.query("SELECT a FROM s").scalar() == 1
+    server.stop()
+    # The dangling client sees a closed connection, not a hang.
+    try:
+        client.query("SELECT a FROM s")
+        raise AssertionError("expected a connection error")
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        client.close()
+    # The database itself is untouched (stop() without close_database).
+    assert db.execute("SELECT a FROM s").rows == [(1,)]

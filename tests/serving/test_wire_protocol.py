@@ -1,0 +1,286 @@
+"""Wire-protocol fault injection: the server must survive hostile bytes.
+
+Raw-socket tests against the length-prefixed JSON framing: truncated
+frames, oversized declared lengths, malformed JSON, non-object payloads,
+unknown ops, bad handles, and clients that vanish mid-query.  The
+invariants: a broken frame *boundary* (oversized length) gets a typed
+``PROTOCOL`` error and the connection closes; a broken frame *body*
+(bad JSON, bad request shape) gets a typed error and the session lives on;
+and no fault ever takes the server down — a fresh client always works
+afterward.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+
+import pytest
+
+from repro import Database
+from repro.engine.serving import (
+    DEFAULT_MAX_FRAME_BYTES,
+    RemoteError,
+    ServerThread,
+    ServingClient,
+    error_code_for,
+    json_frame,
+)
+from repro.errors import CatalogError, ExecutionError, SQLSyntaxError
+
+_HEADER = struct.Struct(">I")
+
+
+@pytest.fixture()
+def server():
+    db = Database(plan_cache=32)
+    db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+    db.load_rows("t", [(i, i * 10) for i in range(20)])
+    with ServerThread(db, max_frame_bytes=64 * 1024) as thread:
+        yield thread
+
+
+def _raw_connection(server) -> socket.socket:
+    sock = socket.create_connection((server.host, server.port), timeout=5.0)
+    return sock
+
+
+def _send_frame(sock: socket.socket, body: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _read_frame(sock: socket.socket):
+    header = b""
+    while len(header) < _HEADER.size:
+        chunk = sock.recv(_HEADER.size - len(header))
+        if not chunk:
+            return None  # connection closed
+        header += chunk
+    (length,) = _HEADER.unpack(header)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            return None
+        body += chunk
+    return json.loads(body.decode("utf-8"))
+
+
+def _assert_server_alive(server) -> None:
+    with ServingClient(server.host, server.port) as client:
+        assert client.query("SELECT count(*) FROM t").scalar() == 20
+
+
+# ---------------------------------------------------------------------------
+# Frame-level faults
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_frame_then_disconnect(server):
+    """A client that dies mid-frame must not wedge or kill the server."""
+    sock = _raw_connection(server)
+    sock.sendall(_HEADER.pack(100) + b'{"op": "qu')  # 100 promised, 10 sent
+    sock.close()
+    _assert_server_alive(server)
+
+
+def test_truncated_header_then_disconnect(server):
+    sock = _raw_connection(server)
+    sock.sendall(b"\x00\x00")  # half a length prefix
+    sock.close()
+    _assert_server_alive(server)
+
+
+def test_oversized_frame_is_fatal_protocol_error(server):
+    """A declared length over the limit: typed error, then the server closes
+    the connection (the frame boundary can no longer be trusted)."""
+    sock = _raw_connection(server)
+    sock.sendall(_HEADER.pack(server.server.max_frame_bytes + 1))
+    reply = _read_frame(sock)
+    assert reply is not None and reply["ok"] is False
+    assert reply["error"]["code"] == "PROTOCOL"
+    assert _read_frame(sock) is None  # server closed the connection
+    sock.close()
+    _assert_server_alive(server)
+
+
+def test_malformed_json_keeps_session_alive(server):
+    """Bad JSON inside an intact frame: typed error, connection survives."""
+    sock = _raw_connection(server)
+    _send_frame(sock, b"this is not json {")
+    reply = _read_frame(sock)
+    assert reply["ok"] is False and reply["error"]["code"] == "PROTOCOL"
+    # Same socket still speaks the protocol.
+    _send_frame(sock, json.dumps({"op": "query", "sql": "SELECT v FROM t WHERE id = 3"}).encode())
+    reply = _read_frame(sock)
+    assert reply["ok"] is True and reply["rows"] == [[30]]
+    sock.close()
+
+
+def test_invalid_utf8_keeps_session_alive(server):
+    sock = _raw_connection(server)
+    _send_frame(sock, b"\xff\xfe\x00garbage")
+    reply = _read_frame(sock)
+    assert reply["ok"] is False and reply["error"]["code"] == "PROTOCOL"
+    _send_frame(sock, json.dumps({"op": "connect"}).encode())
+    assert _read_frame(sock)["ok"] is True
+    sock.close()
+
+
+def test_non_object_payload(server):
+    sock = _raw_connection(server)
+    for payload in (b"[1, 2, 3]", b'"query"', b"42", b"null"):
+        _send_frame(sock, payload)
+        reply = _read_frame(sock)
+        assert reply["ok"] is False and reply["error"]["code"] == "PROTOCOL"
+    sock.close()
+
+
+def test_empty_frame(server):
+    sock = _raw_connection(server)
+    _send_frame(sock, b"")
+    reply = _read_frame(sock)
+    assert reply["ok"] is False and reply["error"]["code"] == "PROTOCOL"
+    sock.close()
+
+
+# ---------------------------------------------------------------------------
+# Request-level faults
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_op(server):
+    with ServingClient(server.host, server.port) as client:
+        with pytest.raises(RemoteError) as caught:
+            client.request({"op": "teleport"})
+        assert caught.value.code == "PROTOCOL"
+        # The session survives request-level errors.
+        assert client.query("SELECT 1 + 1").scalar() == 2
+
+
+def test_missing_and_invalid_fields(server):
+    with ServingClient(server.host, server.port) as client:
+        for bad in (
+            {"op": "query"},  # no sql
+            {"op": "query", "sql": ""},  # empty sql
+            {"op": "query", "sql": 42},  # wrong type
+            {"op": "query", "sql": "SELECT 1", "params": [1, 2]},  # params not a dict
+            {"op": "execute"},  # no handle
+            {"op": "execute", "handle": 7},  # wrong type
+            {"op": "prepare"},  # no sql
+            {},  # no op at all
+        ):
+            with pytest.raises(RemoteError) as caught:
+                client.request(bad)
+            assert caught.value.code == "PROTOCOL", bad
+        assert client.query("SELECT count(*) FROM t").scalar() == 20
+
+
+def test_unknown_statement_handle(server):
+    with ServingClient(server.host, server.port) as client:
+        with pytest.raises(RemoteError) as caught:
+            client.execute("s999")
+        assert caught.value.code == "PROTOCOL"
+
+
+def test_handles_are_per_session(server):
+    with ServingClient(server.host, server.port) as one:
+        handle = one.prepare("SELECT v FROM t WHERE id = %(id)s")
+        assert one.execute(handle, {"id": 5}).scalar() == 50
+        with ServingClient(server.host, server.port) as two:
+            with pytest.raises(RemoteError) as caught:
+                two.execute(handle, {"id": 5})
+            assert caught.value.code == "PROTOCOL"
+
+
+def test_engine_errors_are_typed(server):
+    with ServingClient(server.host, server.port) as client:
+        cases = [
+            ("SELEKT 1", "SYNTAX"),
+            ("SELECT * FROM no_such_table", "CATALOG"),
+            ("SELECT nope(id) FROM t", "FUNCTION"),
+        ]
+        for sql, code in cases:
+            with pytest.raises(RemoteError) as caught:
+                client.query(sql)
+            assert caught.value.code == code, sql
+        # Missing parameter surfaces as a typed engine error, session intact.
+        with pytest.raises(RemoteError):
+            client.query("SELECT v FROM t WHERE id = %(missing)s")
+        assert client.query("SELECT 1").scalar() == 1
+
+
+def test_error_code_mapping():
+    assert error_code_for(SQLSyntaxError("x", position=0)) == "SYNTAX"
+    assert error_code_for(CatalogError("x")) == "CATALOG"
+    assert error_code_for(ExecutionError("x")) == "EXECUTION"
+    assert error_code_for(ValueError("x")) == "INTERNAL"
+
+
+# ---------------------------------------------------------------------------
+# Disconnects
+# ---------------------------------------------------------------------------
+
+
+def test_mid_query_disconnect(server):
+    """The client sends a query and hangs up before reading the response."""
+    sock = _raw_connection(server)
+    _send_frame(
+        sock, json.dumps({"op": "query", "sql": "SELECT count(*) FROM t"}).encode()
+    )
+    sock.close()  # response has nowhere to go
+    time.sleep(0.2)
+    _assert_server_alive(server)
+
+
+def test_mid_write_disconnect_still_applies(server):
+    """A write whose client vanishes still commits — there is no rollback."""
+    sock = _raw_connection(server)
+    _send_frame(
+        sock,
+        json.dumps({"op": "query", "sql": "INSERT INTO t VALUES (777, 7770)"}).encode(),
+    )
+    sock.close()
+    deadline = time.time() + 5.0
+    db = server.server.database
+    while time.time() < deadline:
+        if db.execute("SELECT count(*) FROM t WHERE id = 777").rows[0][0] == 1:
+            break
+        time.sleep(0.05)
+    with ServingClient(server.host, server.port) as client:
+        assert client.query("SELECT v FROM t WHERE id = 777").scalar() == 7770
+
+
+def test_many_rapid_connect_disconnect(server):
+    for _ in range(25):
+        sock = _raw_connection(server)
+        sock.close()
+    _assert_server_alive(server)
+    assert len(server.server._sessions) <= 1  # sessions are reaped
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding helper
+# ---------------------------------------------------------------------------
+
+
+def test_json_frame_roundtrip():
+    frame = json_frame({"ok": True, "rows": [[1, "a", None, 2.5]]})
+    (length,) = _HEADER.unpack(frame[: _HEADER.size])
+    assert length == len(frame) - _HEADER.size
+    assert json.loads(frame[_HEADER.size :].decode("utf-8"))["rows"] == [[1, "a", None, 2.5]]
+
+
+def test_large_result_within_frame_limit(server):
+    with ServingClient(server.host, server.port) as client:
+        client.query("CREATE TABLE big (s TEXT)")
+        payload = "x" * 100
+        handle = client.prepare("INSERT INTO big VALUES (%(s)s)")
+        client.pipeline(
+            [{"op": "execute", "handle": handle, "params": {"s": payload}}] * 50
+        )
+        result = client.query("SELECT s FROM big")
+        assert len(result.rows) == 50
+        assert all(row == (payload,) for row in result.rows)
