@@ -103,7 +103,7 @@ def _baseline_metric(name: str) -> bool:
     gate would flag them MISSING) stay out.
     """
     return name not in PARALLEL_ONLY_METRICS and not name.startswith(
-        ("join_", "index_", "columnar_")
+        ("join_", "index_", "columnar_", "compression_")
     )
 
 
@@ -383,8 +383,8 @@ def _run_columnar_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -
     (``count(*) + sum`` over ``u < 0.1``), where the bitmap path must beat
     the row-tuple path by at least 3×.  Filtered projection exercises late
     materialization; the DML pair reports bitmap DELETE (complement-keep,
-    no row tuples) and vectorized-WHERE UPDATE (mask computation is
-    vectorized; the rewrite itself is storage-bound, so expect ~parity).
+    no row tuples) and vectorized-WHERE UPDATE (the bitmap picks the touched
+    positions and only those rows are rewritten in place).
     """
     columnar = _make_columnar_database(rows, columnar=True)
     rowstore = _make_columnar_database(rows, columnar=False)
@@ -449,6 +449,95 @@ def _run_columnar_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -
     assert delete_result.rowcount == delete_slow.rowcount
 
 
+def _make_compression_database(rows: int, *, compression: bool) -> Database:
+    """The ``--compression`` fixture: low-cardinality text columns.
+
+    ``tag`` has 8 distinct values (the classic dimension-attribute shape)
+    and ``name`` has 100 (so an equality hits ~1% of rows and a ``LIKE``
+    prefix ~11%).  With ``compression=False`` the storage is still columnar
+    but the text columns are plain object lists, so text predicates run on
+    the row path — the honest before/after for dictionary encoding.
+    """
+    database = Database(num_segments=4, columnar_compression=compression)
+    database.create_table(
+        "ct",
+        [
+            ("id", "integer"),
+            ("tag", "text"),
+            ("name", "text"),
+            ("v", "double precision"),
+        ],
+        distributed_by="id",
+    )
+    tags = ["red", "green", "blue", "cyan", "teal", "plum", "gray", "gold"]
+    database.load_rows(
+        "ct",
+        [(i, tags[i % 8], f"cat_{i % 100}", float(i % 1000) / 10.0) for i in range(rows)],
+    )
+    return database
+
+
+def _run_compression_suite(metrics: Dict[str, float], rows: int, *, repeats: int) -> None:
+    """The ``--compression`` pattern: code-space text predicates and
+    bitmap-aware UPDATE over dictionary-encoded columns vs the same
+    statements on uncompressed (object-list) text columns.
+
+    Acceptance shapes, asserted at full scale only: the text-filter trio
+    (``=`` / ``IN`` / ``LIKE`` prefix) must beat the uncompressed row path
+    by at least 5× — each predicate is evaluated once per *dictionary
+    entry*, then resolved with one fancy-index over the int16 codes — and
+    the 1%-selectivity UPDATE by at least 3×, since the bitmap rewrites
+    only the matched positions in place instead of driving the predicate
+    through per-row contexts.
+    """
+    compressed = _make_compression_database(rows, compression=True)
+    plain = _make_compression_database(rows, compression=False)
+
+    filters = [
+        ("eq", "SELECT count(*), sum(v) FROM ct WHERE tag = 'blue'"),
+        ("in", "SELECT count(*), sum(v) FROM ct WHERE tag IN ('red', 'teal', 'gold')"),
+        ("like_prefix", "SELECT count(*), sum(v) FROM ct WHERE name LIKE 'cat_1%'"),
+    ]
+    for label, query in filters:
+        metrics[f"compression_text_{label}_rows_per_sec"], fast = _time_rows_per_sec(
+            rows, repeats=repeats, func=lambda q=query: compressed.execute(q).rows
+        )
+        assert compressed.last_stats.where_vectorized, f"{label}: dict path did not engage"
+        assert compressed.last_stats.rows_scanned == rows
+        metrics[f"compression_text_{label}_plain_rows_per_sec"], slow = _time_rows_per_sec(
+            rows, repeats=repeats, func=lambda q=query: plain.execute(q).rows
+        )
+        assert not plain.last_stats.where_vectorized
+        assert fast[0][0] == slow[0][0] and abs(fast[0][1] - slow[0][1]) < 1e-6
+        speedup = (
+            metrics[f"compression_text_{label}_rows_per_sec"]
+            / metrics[f"compression_text_{label}_plain_rows_per_sec"]
+        )
+        metrics[f"compression_text_{label}_speedup"] = speedup
+        if rows >= MICRO_ROWS:
+            assert speedup >= 5.0, f"text {label} speedup {speedup:.2f}x < 5x"
+
+    # UPDATE at 1% selectivity: the predicate column is untouched, so the
+    # matched set is stable across repeats (steady-state timing).
+    update = "UPDATE ct SET v = v + 1.0 WHERE name = 'cat_7'"
+    metrics["compression_update_bitmap_rows_per_sec"], fast_update = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: compressed.execute(update)
+    )
+    assert fast_update.stats.where_vectorized
+    metrics["compression_update_plain_rows_per_sec"], slow_update = _time_rows_per_sec(
+        rows, repeats=repeats, func=lambda: plain.execute(update)
+    )
+    assert not slow_update.stats.where_vectorized
+    assert fast_update.rowcount == slow_update.rowcount
+    speedup = (
+        metrics["compression_update_bitmap_rows_per_sec"]
+        / metrics["compression_update_plain_rows_per_sec"]
+    )
+    metrics["compression_update_bitmap_speedup"] = speedup
+    if rows >= MICRO_ROWS:
+        assert speedup >= 3.0, f"bitmap UPDATE speedup {speedup:.2f}x < 3x"
+
+
 def run_micro_suite(
     rows: int = MICRO_ROWS,
     *,
@@ -458,6 +547,7 @@ def run_micro_suite(
     joins: bool = False,
     indexes: bool = False,
     columnar: bool = False,
+    compression: bool = False,
 ) -> Dict[str, float]:
     """All microbenchmark metrics, each in rows/second (higher is better).
 
@@ -471,7 +561,9 @@ def run_micro_suite(
     speedup).  ``joins`` adds the hash-vs-nested-loop join pattern (a 2-way
     equi-join and the Viterbi-shaped 3-way join).  ``columnar`` adds the
     bitmap-vectorized WHERE pattern: filtered aggregate / projection / DML
-    throughput on columnar vs row-tuple storage.
+    throughput on columnar vs row-tuple storage.  ``compression`` adds the
+    dictionary-encoding pattern: code-space text filters and bitmap-aware
+    UPDATE on compressed vs uncompressed text columns.
     """
     database = _make_database(True, rows)
     where, executor, relation = _expression_fixture(database)
@@ -549,6 +641,11 @@ def run_micro_suite(
         _run_index_suite(metrics, index_rows, repeats=repeats)
     if columnar:
         _run_columnar_suite(metrics, rows, repeats=repeats)
+    if compression:
+        # The acceptance shape is a 100k-row low-cardinality text table;
+        # smoke runs keep their reduced row count.
+        compression_rows = max(rows, 100_000) if rows >= MICRO_ROWS else rows
+        _run_compression_suite(metrics, compression_rows, repeats=repeats)
     return metrics
 
 
@@ -666,6 +763,15 @@ def main(argv=None) -> int:
         "full scale)",
     )
     parser.add_argument(
+        "--compression",
+        action="store_true",
+        help="also measure the dictionary-compression pattern: code-space "
+        "text predicates (=, IN, LIKE prefix; >=5x at full scale) and "
+        "1%%-selectivity bitmap-aware UPDATE (>=3x) on a 100k-row "
+        "low-cardinality text table vs the same statements with "
+        "columnar_compression=False (excluded from the committed baseline)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI mode: reduced row count, one timing repeat — checks the "
@@ -687,6 +793,7 @@ def main(argv=None) -> int:
         joins=args.joins,
         indexes=args.indexes,
         columnar=args.columnar,
+        compression=args.compression,
     )
     write_report(output, metrics, rows=rows)
     print(f"wrote {output}" + (" (smoke mode)" if args.smoke else ""))

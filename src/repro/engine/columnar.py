@@ -32,21 +32,57 @@ The row-tuple view (:meth:`ColumnStore.rows_view`) is materialized lazily
 and cached until the next mutation of *this segment* — per-segment
 invalidation, so DML touching one segment never recomputes another
 segment's view.
+
+Compression
+-----------
+Text and boolean columns compress with dictionary encoding
+(:class:`DictColumn`): values live once in a per-column dictionary and the
+column itself is an ``array('h')`` of int16 codes (``-1`` = SQL NULL).  A
+freshly created column starts in a run-length tier (runs of ``(code,
+count)`` pairs — loads of sorted or constant data stay O(runs)); once runs
+get short the column converts permanently to the packed code array.  A
+column whose distinct count crosses :attr:`DictColumn.max_distinct` (or the
+int16 code space) *demotes* to a plain object list, exactly like an int
+column overflowing int64 — fast paths decline, results never change.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .schema import Schema
-from .types import BIGINT, DOUBLE, INTEGER
+from .types import BIGINT, BOOLEAN, DOUBLE, INTEGER, TEXT, is_null
 
-__all__ = ["ColumnStore", "TypedColumn", "SelectedRows", "gather_positions"]
+__all__ = [
+    "ColumnStore",
+    "DictColumn",
+    "TypedColumn",
+    "SelectedRows",
+    "gather_positions",
+]
 
 _NAN = float("nan")
+
+#: Key under which a genuine NaN value (which ``is_null`` treats as NULL but
+#: which must round-trip distinctly from ``None``) lives in a dictionary —
+#: NaN is not equal to itself, so it cannot key a dict directly.
+_NAN_KEY = ("__nan__",)
+
+
+def _dict_key(value: Any) -> Any:
+    """Dictionary identity of a value: type-exact, NaN-safe.
+
+    ``(type, value)`` keeps ``True`` / ``1`` / ``1.0`` distinct (tuple
+    equality compares the classes first), so a round-trip through the
+    dictionary returns the exact object kind that was stored.  Unhashable
+    values raise ``TypeError`` — the owning store then demotes the column.
+    """
+    if isinstance(value, float) and value != value:
+        return _NAN_KEY
+    return (value.__class__, value)
 
 
 class TypedColumn(Sequence):
@@ -85,6 +121,28 @@ class TypedColumn(Sequence):
             # failed append leaves the column consistent for demotion.
             self.data.append(value)
             self.nulls.append(0)
+
+    def set(self, position: int, value: Any) -> None:
+        """Rewrite one existing position (bitmap-aware UPDATE).
+
+        Same failure contract as :meth:`append`: an unrepresentable value
+        raises *before* any mutation, so the owning store can demote and
+        retry against the object list.
+        """
+        if value is None:
+            self._values_cache = None
+            self._mask_cache = None
+            self.data[position] = _NAN if self.typecode == "d" else 0
+            if not self.nulls[position]:
+                self.nulls[position] = 1
+                self.null_count += 1
+        else:
+            self.data[position] = value  # raises before any mutation
+            self._values_cache = None
+            self._mask_cache = None
+            if self.nulls[position]:
+                self.nulls[position] = 0
+                self.null_count -= 1
 
     # -- sequence protocol ----------------------------------------------------
 
@@ -181,6 +239,235 @@ class TypedColumn(Sequence):
         return ("f64" if self.typecode == "d" else "i64", self.data)
 
 
+class DictColumn(Sequence):
+    """One dictionary-encoded column: int16 codes + a value dictionary.
+
+    Two physical tiers, both behind the same ``Sequence`` facade:
+
+    * **RLE** (the initial tier): parallel ``(code, run length)`` arrays.
+      Constant and sorted loads stay O(runs); once the mean run length drops
+      below ~4 the column converts permanently to —
+    * **packed**: one ``array('h')`` of codes in row order.
+
+    SQL NULL is code ``-1``; a genuine NaN is a *dictionary entry* (keyed by
+    a sentinel), so ``None`` and ``float('nan')`` round-trip distinctly just
+    as they do through :class:`TypedColumn`.  :meth:`append`/:meth:`set`
+    raise ``OverflowError`` before mutating when the dictionary would exceed
+    :attr:`max_distinct` (or the int16 code space) and ``TypeError`` for
+    unhashable values — the owning :class:`ColumnStore` then demotes the
+    column to a plain object list.
+    """
+
+    __slots__ = (
+        "values",
+        "_code_of",
+        "_codes",
+        "_run_codes",
+        "_run_counts",
+        "_length",
+        "_codes_cache",
+        "_mask_cache",
+        "max_distinct",
+    )
+
+    #: Demotion threshold: past this many distinct values the column is no
+    #: longer "low cardinality" and dictionary lookups stop paying for
+    #: themselves.  Kept well under the int16 code space.
+    MAX_DISTINCT = 4096
+
+    #: Hard ceiling from the ``array('h')`` code representation.
+    _CODE_LIMIT = 32767
+
+    #: RLE→packed conversion: convert when there are more than this many runs
+    #: *and* the mean run length is below ``_RLE_MIN_MEAN_RUN``.
+    _RLE_MIN_RUNS = 64
+    _RLE_MIN_MEAN_RUN = 4
+
+    def __init__(self, max_distinct: Optional[int] = None) -> None:
+        self.values: List[Any] = []
+        self._code_of: Dict[Any, int] = {}
+        self._codes: Optional[array] = None  # packed tier
+        self._run_codes: Optional[array] = array("h")  # RLE tier
+        self._run_counts: Optional[array] = array("q")
+        self._length = 0
+        self._codes_cache: Optional[np.ndarray] = None
+        self._mask_cache: Any = False  # False = not computed (None is valid)
+        self.max_distinct = self.MAX_DISTINCT if max_distinct is None else max_distinct
+
+    # -- encoding -------------------------------------------------------------
+
+    def _encode(self, value: Any) -> int:
+        """Code for ``value``, growing the dictionary; raises before mutating."""
+        if value is None:
+            return -1
+        key = _dict_key(value)  # may raise TypeError (unhashable) → demotion
+        code = self._code_of.get(key)
+        if code is None:
+            if len(self.values) >= min(self.max_distinct, self._CODE_LIMIT):
+                raise OverflowError(
+                    f"dictionary column exceeds {self.max_distinct} distinct values"
+                )
+            code = len(self.values)
+            self._code_of[key] = code
+            self.values.append(value)
+        return code
+
+    def _decode(self, code: int) -> Any:
+        return None if code < 0 else self.values[code]
+
+    def _invalidate(self) -> None:
+        self._codes_cache = None
+        self._mask_cache = False
+
+    def _to_packed(self) -> None:
+        """Convert the RLE tier to the packed code array (one-way)."""
+        expanded = np.repeat(
+            np.frombuffer(self._run_codes, dtype=np.int16),
+            np.frombuffer(self._run_counts, dtype=np.int64),
+        )
+        codes = array("h")
+        codes.frombytes(np.ascontiguousarray(expanded, dtype=np.int16).tobytes())
+        self._codes = codes
+        self._run_codes = None
+        self._run_counts = None
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(self, value: Any) -> None:
+        code = self._encode(value)  # raises before any mutation
+        self._invalidate()
+        if self._codes is not None:
+            self._codes.append(code)
+        else:
+            runs = self._run_codes
+            if len(runs) and runs[-1] == code:
+                self._run_counts[-1] += 1
+            else:
+                runs.append(code)
+                self._run_counts.append(1)
+                if (
+                    len(runs) > self._RLE_MIN_RUNS
+                    and len(runs) * self._RLE_MIN_MEAN_RUN > self._length + 1
+                ):
+                    self._to_packed()
+        self._length += 1
+
+    def set(self, position: int, value: Any) -> None:
+        """Rewrite one existing position (bitmap-aware UPDATE).
+
+        The RLE tier converts to packed first — point writes would split
+        runs, and a column being point-updated has left the append-only
+        load phase the RLE tier exists for.
+        """
+        code = self._encode(value)  # raises before any mutation
+        if self._codes is None:
+            self._to_packed()
+        if not -self._length <= position < self._length:
+            raise IndexError(position)
+        self._invalidate()
+        self._codes[position] = code
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._decode(int(c)) for c in self.codes_array()[index]]
+        if self._codes is not None:
+            return self._decode(self._codes[index])
+        return self._decode(int(self.codes_array()[index]))
+
+    def __iter__(self) -> Iterator[Any]:
+        values = self.values
+        if self._codes is not None:
+            return (None if c < 0 else values[c] for c in self._codes)
+        return (
+            None if code < 0 else values[code]
+            for code, count in zip(self._run_codes, self._run_counts)
+            for _ in range(count)
+        )
+
+    # -- packed views ---------------------------------------------------------
+
+    def codes_array(self) -> np.ndarray:
+        """Row-order codes as an int16 ndarray (cached copy; ``-1`` = NULL)."""
+        if self._codes_cache is None:
+            if self._codes is not None:
+                self._codes_cache = np.array(self._codes, dtype=np.int16)
+            else:
+                self._codes_cache = np.repeat(
+                    np.frombuffer(self._run_codes, dtype=np.int16),
+                    np.frombuffer(self._run_counts, dtype=np.int64),
+                )
+        return self._codes_cache
+
+    def null_mask(self) -> Optional[np.ndarray]:
+        """Boolean SQL-NULL mask (True where NULL), or ``None`` when clean.
+
+        Covers both ``None`` (code ``-1``) and dictionary entries that are
+        themselves SQL NULL (a stored NaN), mirroring ``TypedColumn``.
+        """
+        if self._mask_cache is False:
+            lut = np.zeros(len(self.values) + 1, dtype=bool)
+            lut[-1] = True  # code -1 wraps to the sentinel slot
+            for code, value in enumerate(self.values):
+                if is_null(value):
+                    lut[code] = True
+            mask = lut[self.codes_array()]
+            self._mask_cache = mask if mask.any() else None
+        return self._mask_cache
+
+    def null_positions(self) -> Optional[set]:
+        """Strict-filter contract of ``vectorized._null_positions``."""
+        mask = self.null_mask()
+        if mask is None:
+            return None
+        positions = set(np.flatnonzero(mask).tolist())
+        return positions or None
+
+    def gather(self, positions: np.ndarray) -> List[Any]:
+        """Decoded values at ``positions`` (late materialization)."""
+        values = self.values
+        return [
+            None if code < 0 else values[code]
+            for code in self.codes_array()[positions].tolist()
+        ]
+
+    def take(self, positions: np.ndarray) -> "DictColumn":
+        """New packed-tier column with the rows at ``positions`` (ascending)."""
+        clone = DictColumn(max_distinct=self.max_distinct)
+        clone.values = list(self.values)
+        clone._code_of = dict(self._code_of)
+        taken = np.ascontiguousarray(self.codes_array()[positions], dtype=np.int16)
+        codes = array("h")
+        codes.frombytes(taken.tobytes())
+        clone._codes = codes
+        clone._run_codes = None
+        clone._run_counts = None
+        clone._length = len(codes)
+        return clone
+
+    def packed_wire(self) -> Optional[Tuple[str, Tuple[array, Tuple[Any, ...]]]]:
+        """Wire format for worker shipping: codes buffer + dictionary.
+
+        Unlike ``TypedColumn``, NULLs need no special casing — code ``-1``
+        decodes to ``None`` on the far side — so every non-empty column
+        ships compressed.
+        """
+        if not self._length:
+            return None
+        if self._codes is not None:
+            codes = self._codes
+        else:
+            codes = array("h")
+            codes.frombytes(
+                np.ascontiguousarray(self.codes_array(), dtype=np.int16).tobytes()
+            )
+        return ("dict16", (codes, tuple(self.values)))
+
+
 class ColumnStore(Sequence):
     """One segment's rows, stored as typed packed columns.
 
@@ -190,20 +477,26 @@ class ColumnStore(Sequence):
     column-oriented consumers read the packed columns directly.
     """
 
-    __slots__ = ("schema", "_columns", "_length", "_rows_cache")
+    __slots__ = ("schema", "compression", "_columns", "_length", "_rows_cache")
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(self, schema: Schema, *, compression: bool = True) -> None:
         self.schema = schema
+        self.compression = bool(compression)
         self._columns: List[Any] = [self._new_column(column.sql_type) for column in schema]
         self._length = 0
         self._rows_cache: Optional[List[Tuple[Any, ...]]] = None
 
-    @staticmethod
-    def _new_column(sql_type) -> Any:
+    def _new_column(self, sql_type) -> Any:
         if sql_type is DOUBLE:
             return TypedColumn("d")
         if sql_type is INTEGER or sql_type is BIGINT:
             return TypedColumn("q")
+        if self.compression and (sql_type is TEXT or sql_type is BOOLEAN):
+            # Dictionary encoding only for types whose consumers never need
+            # a numeric packed view — an int column behind a dictionary
+            # would lose ``numeric_view`` and with it the numeric bitmap
+            # path, a net loss.
+            return DictColumn()
         return []
 
     # -- writes -------------------------------------------------------------
@@ -212,20 +505,50 @@ class ColumnStore(Sequence):
         self._rows_cache = None
         for i, value in enumerate(row):
             column = self._columns[i]
-            if isinstance(column, TypedColumn):
+            if isinstance(column, (TypedColumn, DictColumn)):
                 try:
                     column.append(value)
                 except (OverflowError, TypeError):
                     # Demote: a value the packed representation cannot hold
-                    # (e.g. an int beyond int64) turns the column into a
-                    # plain object list.  Fast paths decline; results do not
-                    # change.
+                    # (an int beyond int64, a dictionary past its distinct
+                    # threshold, an unhashable value) turns the column into
+                    # a plain object list.  Fast paths decline; results do
+                    # not change.
                     demoted = list(column)
                     demoted.append(value)
                     self._columns[i] = demoted
             else:
                 column.append(value)
         self._length += 1
+
+    def set_rows(
+        self,
+        positions: Sequence[int],
+        rows: Sequence[Tuple[Any, ...]],
+        column_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Rewrite the rows at ``positions`` in place (bitmap-aware UPDATE).
+
+        ``rows`` holds one full coerced row per position; ``column_indices``
+        limits the writes to the assigned columns (the rest are untouched
+        storage).  A packed column that cannot hold a new value demotes to
+        an object list and the writes are re-applied — sets are absolute,
+        so re-applying those already made is idempotent.
+        """
+        self._rows_cache = None
+        indices = range(len(self._columns)) if column_indices is None else column_indices
+        for i in indices:
+            column = self._columns[i]
+            if isinstance(column, (TypedColumn, DictColumn)):
+                try:
+                    for position, row in zip(positions, rows):
+                        column.set(position, row[i])
+                    continue
+                except (OverflowError, TypeError):
+                    demoted = list(column)
+                    self._columns[i] = column = demoted
+            for position, row in zip(positions, rows):
+                column[position] = row[i]
 
     def clear(self) -> None:
         self._columns = [self._new_column(column.sql_type) for column in self.schema]
@@ -237,7 +560,7 @@ class ColumnStore(Sequence):
         index = np.asarray(positions, dtype=np.int64)
         new_columns: List[Any] = []
         for column in self._columns:
-            if isinstance(column, TypedColumn):
+            if isinstance(column, (TypedColumn, DictColumn)):
                 new_columns.append(column.take(index))
             else:
                 new_columns.append([column[p] for p in index])
@@ -296,16 +619,31 @@ class ColumnStore(Sequence):
             return None
         return column.values_array(), column.null_mask()
 
+    def dict_view(self, index: int) -> Optional[Tuple[np.ndarray, List[Any]]]:
+        """``(codes, dictionary values)`` for a dictionary-encoded column.
+
+        ``None`` for anything else (plain lists, numeric columns, demoted
+        dictionary columns) — code-space predicate programs must then fall
+        back to the row path.
+        """
+        column = self._columns[index]
+        if not isinstance(column, DictColumn):
+            return None
+        return column.codes_array(), column.values
+
 
 def gather_positions(column: Sequence[Any], positions: np.ndarray) -> List[Any]:
     """Late materialization: the values of ``column`` at ``positions``.
 
     Packed NULL-free columns gather with one NumPy fancy-index (+``tolist``,
-    which restores genuine Python floats/ints); anything else gathers
-    per-position, preserving ``None``.
+    which restores genuine Python floats/ints); dictionary columns gather in
+    code space and decode; anything else gathers per-position, preserving
+    ``None``.
     """
     if isinstance(column, TypedColumn) and not column.null_count:
         return column.values_array()[positions].tolist()
+    if isinstance(column, DictColumn):
+        return column.gather(positions)
     return [column[int(p)] for p in positions]
 
 

@@ -52,9 +52,11 @@ from .expressions import (
 )
 from .types import (
     BIGINT,
+    BOOLEAN,
     DOUBLE,
     INTEGER,
     SQLType,
+    TEXT,
     coerce_value,
     is_null,
     type_from_name,
@@ -632,6 +634,121 @@ def _vector_compare(op, left, right):
     return compare
 
 
+# ---------------------------------------------------------------------------
+# Code-space predicate programs (dictionary-encoded columns)
+#
+# A predicate over a dictionary-encoded text/boolean column needs the row
+# operator evaluated once **per distinct value**, not per row: evaluate the
+# exact row-tier operator over the dictionary (plus the NULL entry) into a
+# pair of lookup tables, then one fancy-index over the int16 code array
+# yields the (true, null) bitmaps.  Constants therefore resolve against the
+# dictionary once per segment; a constant no dictionary entry satisfies
+# simply produces an all-false table — Kleene short-circuit for free.
+# Because the *row operators themselves* build the tables, NULL constants,
+# type mismatches and three-valued logic agree with the row path by
+# construction; anything the row operator raises on aborts the mask and the
+# row path re-runs (and re-raises) it.
+# ---------------------------------------------------------------------------
+
+#: Stored types eligible for dictionary encoding (must mirror
+#: ``ColumnStore._new_column``).
+_DICT_TYPES = (TEXT, BOOLEAN)
+
+
+def _dict_column(
+    node: Expression, layout: ColumnLayout, column_types: Sequence[SQLType]
+) -> Optional[int]:
+    """Tuple index of a dictionary-eligible column reference, or ``None``."""
+    if not isinstance(node, ColumnRef):
+        return None
+    index = layout.resolve(node.name, node.qualifier)
+    if index is None or index >= len(column_types):
+        return None
+    if column_types[index] not in _DICT_TYPES:
+        return None
+    return index
+
+
+def _dict_constant(node: Expression, parameters: Dict[str, Any]) -> Any:
+    """The Python value of a constant operand (any type — the row operator
+    decides what it means, including NULL)."""
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, Parameter):
+        if node.name not in parameters:
+            raise _Uncompilable(node.name)
+        return parameters[node.name]
+    raise _Uncompilable(type(node).__name__)
+
+
+def _dict_program(column_index: int, rowfn: Callable[[Any], Any]):
+    """Boolean program evaluating ``rowfn`` over a column's dictionary.
+
+    ``rowfn`` is a closure over the row-tier operator and the resolved
+    constant; it is called once per dictionary entry plus once for ``None``
+    and must return ``True``/``False``/``None`` (SQL three-valued result).
+    Anything else — including an exception — aborts to the row path.
+    """
+
+    def program(store, length, _index=column_index, _rowfn=rowfn):
+        view_fn = getattr(store, "dict_view", None)
+        view = view_fn(_index) if view_fn is not None else None
+        if view is None:
+            # Compression off, demoted column, or a store without
+            # dictionaries at all — no code space to run in.
+            raise _VectorAbort
+        codes, values = view
+        size = len(values)
+        true_lut = np.zeros(size + 1, dtype=bool)
+        null_lut = np.zeros(size + 1, dtype=bool)
+        try:
+            for code in range(size + 1):
+                # The final slot is the NULL entry; code -1 wraps to it.
+                result = _rowfn(values[code] if code < size else None)
+                if result is None:
+                    null_lut[code] = True
+                elif result is True:
+                    true_lut[code] = True
+                elif result is not False:
+                    raise _VectorAbort
+        except _VectorAbort:
+            raise
+        except Exception:
+            # The row operator would raise for this column/constant pairing
+            # (e.g. a cross-type ordering) — let the row path raise it.
+            raise _VectorAbort
+        true_mask = true_lut[codes]
+        null_mask = null_lut[codes]
+        return true_mask, (null_mask if null_mask.any() else None)
+
+    return program
+
+
+def _dict_compare(
+    node: BinaryOp,
+    layout: ColumnLayout,
+    column_types: Sequence[SQLType],
+    parameters: Dict[str, Any],
+):
+    """Comparison of a dictionary column against a constant, in code space."""
+    func = _BINARY_OPS.get(node.op.lower())
+    if func is None:
+        raise _Uncompilable(node.op)
+    left_index = _dict_column(node.left, layout, column_types)
+    right_index = _dict_column(node.right, layout, column_types)
+    if left_index is not None and right_index is None:
+        constant = _dict_constant(node.right, parameters)
+        return _dict_program(
+            left_index, lambda value, _f=func, _c=constant: _f(value, _c)
+        )
+    if right_index is not None and left_index is None:
+        constant = _dict_constant(node.left, parameters)
+        return _dict_program(
+            right_index, lambda value, _f=func, _c=constant: _f(_c, value)
+        )
+    raise _Uncompilable(node.op)
+
+
 def _vector_bool(
     node: Expression,
     layout: ColumnLayout,
@@ -651,7 +768,24 @@ def _vector_bool(
         op_name = node.op.lower()
         compare_op = _VECTOR_COMPARE_OPS.get(op_name)
         if compare_op is not None:
-            return _vector_compare(compare_op, recurse_num(node.left), recurse_num(node.right))
+            try:
+                operands = (recurse_num(node.left), recurse_num(node.right))
+            except _Uncompilable:
+                # Outside the numeric subset — a text/boolean comparison may
+                # still run in code space over a dictionary column.
+                return _dict_compare(node, layout, column_types, parameters)
+            return _vector_compare(compare_op, *operands)
+        if op_name == "like":
+            index = _dict_column(node.left, layout, column_types)
+            if index is None:
+                raise _Uncompilable("like")
+            pattern = _dict_constant(node.right, parameters)
+            # ``like_match`` is the row tier's operator (NULL-propagating,
+            # ``str(text)``); evaluated per dictionary entry the regex still
+            # compiles only once per distinct value per segment.
+            return _dict_program(
+                index, lambda value, _p=pattern: like_match(value, _p)
+            )
         if op_name == "and":
             left, right = recurse(node.left), recurse(node.right)
 
@@ -696,10 +830,19 @@ def _vector_bool(
         return kleene_not
 
     if isinstance(node, IsNull):
-        spec = recurse_num(node.operand)
+        negated = node.negated
+        try:
+            spec = recurse_num(node.operand)
+        except _Uncompilable:
+            index = _dict_column(node.operand, layout, column_types)
+            if index is None:
+                raise
+            return _dict_program(
+                index,
+                lambda value, _n=negated: (not is_null(value)) if _n else is_null(value),
+            )
         if spec[0] == "scalar":
             raise _Uncompilable("IS NULL on constant")
-        negated = node.negated
 
         def is_null_mask(store, length, _spec=spec):
             _, nulls = _resolve_operand(_spec, store, length)
@@ -708,6 +851,23 @@ def _vector_bool(
             return (np.zeros(length, dtype=bool) if nulls is None else nulls), None
 
         return is_null_mask
+
+    if isinstance(node, InList):
+        index = _dict_column(node.operand, layout, column_types)
+        if index is None:
+            raise _Uncompilable("in")
+        items = [_dict_constant(item, parameters) for item in node.items]
+        negated = node.negated
+
+        # Mirrors the compiled row tier's ``in_list`` closure exactly:
+        # NULL operand → NULL; membership via ``values_equal``.
+        def in_dictionary(value, _items=items, _negated=negated):
+            if is_null(value):
+                return None
+            found = any(values_equal(value, item) for item in _items)
+            return (not found) if _negated else found
+
+        return _dict_program(index, in_dictionary)
 
     if isinstance(node, Between):
         # BETWEEN is the conjunction of two comparisons; the operands' null

@@ -100,6 +100,16 @@ class Database:
         way — the flag exists so the columnar parity suite and the
         ``--columnar`` microbenchmark can compare the storage layouts.
         Bitmap WHERE evaluation also requires ``compiled_execution``.
+    columnar_compression:
+        When true (default), columnar tables dictionary-encode text and
+        boolean columns (:class:`~repro.engine.columnar.DictColumn`) — the
+        storage shrinks to int16 codes and supported text predicates
+        (``=``, ``!=``, ``IN``, ``LIKE``) evaluate in code space as
+        selection bitmaps.  High-cardinality columns demote back to object
+        lists automatically.  Results are byte-identical either way — the
+        flag exists so the compression parity/fuzz suites and the
+        ``--compression`` microbenchmark can compare the encodings.  Has no
+        effect when ``columnar_storage`` is off.
     plan_cache:
         Capacity of the plan cache (:mod:`repro.engine.plancache`).  ``0``
         (the embedded default) disables caching: every ``execute`` parses
@@ -122,6 +132,7 @@ class Database:
         use_indexes: bool = True,
         auto_analyze: bool = False,
         columnar_storage: bool = True,
+        columnar_compression: bool = True,
         plan_cache: int = 0,
     ) -> None:
         if num_segments < 1:
@@ -139,6 +150,7 @@ class Database:
         self.use_indexes = use_indexes
         self.auto_analyze = auto_analyze
         self.columnar_storage = bool(columnar_storage)
+        self.columnar_compression = bool(columnar_compression)
         self.parallel = int(parallel)
         self._worker_pool: Optional[SegmentWorkerPool] = (
             SegmentWorkerPool(self.parallel) if self.parallel else None
@@ -316,6 +328,7 @@ class Database:
             distributed_by=distributed_by,
             temporary=temporary,
             columnar_storage=self.columnar_storage,
+            columnar_compression=self.columnar_compression,
         )
         return self.catalog.create_table(table)
 

@@ -109,7 +109,7 @@ from .result import ResultSet
 from .schema import Column, Schema
 from .segments import AggregateTimings, ExecutionStats, ScanDetail, SegmentedAggregator
 from .table import Table
-from .types import ANY, SQLType, hashable_key, infer_type, type_from_name
+from .types import ANY, SQLType, coerce_value, hashable_key, infer_type, type_from_name
 from .window import compute_window_values
 
 __all__ = ["Executor"]
@@ -1583,6 +1583,7 @@ class Executor:
             distributed_by=statement.distributed_by,
             temporary=statement.temporary,
             columnar_storage=getattr(self.database, "columnar_storage", True),
+            columnar_compression=getattr(self.database, "columnar_compression", True),
         )
         self.catalog.create_table(table)
         return ResultSet([], [], rowcount=0)
@@ -1611,6 +1612,7 @@ class Executor:
             distributed_by=statement.distributed_by,
             temporary=statement.temporary,
             columnar_storage=getattr(self.database, "columnar_storage", True),
+            columnar_compression=getattr(self.database, "columnar_compression", True),
         )
         table.insert_many(result.rows)
         self.catalog.create_table(table)
@@ -1645,25 +1647,31 @@ class Executor:
         return ResultSet([], [], rowcount=count)
 
     def _execute_update(self, statement: UpdateStatement, parameters) -> ResultSet:
-        """UPDATE through the compiled-predicate path.
+        """UPDATE through the compiled-predicate path, rewriting in place.
 
         The WHERE predicate and each assignment expression compile once per
         statement against the table's column layout and run over positional
         row tuples; any uncompilable expression falls back to its interpreted
         evaluation against a lazily built ``RowContext`` — per expression,
         so one odd assignment does not de-optimize the whole statement.
+
+        The rewrite is bitmap-aware: only *matched* positions are written,
+        per segment (``Table.update_rows_in_place``), so an UPDATE touching
+        1% of a table does ~1% of the storage work — rows never move
+        segments, untouched segments keep their caches, and only indexes on
+        assigned columns are maintained.  When the WHERE is in the
+        vector-compilable subset the match bitmap itself comes from the
+        packed columns with no per-row predicate calls.
         """
         table = self.catalog.get_table(statement.table)
         relation = self._scan_table(TableRef(statement.table))
         env = self._compiler_env(relation, parameters)
         contexts = self._lazy_contexts(relation, parameters)
         predicate = self._compile(statement.where, env)
-        # Vectorized WHERE: evaluate the predicate over the packed columns
-        # into one concatenated match bitmap (scan order is segment order,
-        # matching ``_scan_table``'s row order), skipping the per-row
-        # predicate call.  The rewrite itself stays row-at-a-time so the
-        # assignment expressions see exactly the rows the row path would.
-        matched_flags = None
+        # Vectorized WHERE: one match bitmap per segment straight off the
+        # packed columns.  Scan order is segment order (``_scan_table``), so
+        # per-segment positions and the relation's row indices line up.
+        segment_masks = None
         if (
             statement.where is not None
             and table.columnar
@@ -1683,47 +1691,65 @@ class Executor:
                         masks = None
                         break
                     masks.append(mask)
-                if masks is not None:
-                    matched_flags = (
-                        np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
-                    )
+                segment_masks = masks
         assignments = [
             (table.schema.index_of(name), expression, self._compile(expression, env))
             for name, expression in statement.assignments
         ]
-        new_rows: List[List[Any]] = []
+        changed_columns = [position for position, _, _ in assignments]
+        column_types = [column.sql_type for column in table.schema]
+        rows_scanned = len(relation.rows)
+        updates: List[Tuple[List[int], List[Tuple[Any, ...]]]] = []
         updated = 0
-        for index, row in enumerate(relation.rows):
-            if statement.where is None:
-                matched = True
-            elif matched_flags is not None:
-                matched = bool(matched_flags[index])
+        offset = 0  # the segment's start index within the relation's rows
+        for segment in range(table.num_segments):
+            segment_rows = table.segment_view(segment)
+            if segment_masks is not None:
+                positions = np.flatnonzero(segment_masks[segment]).tolist()
+            elif statement.where is None:
+                positions = list(range(len(segment_rows)))
             elif predicate is not None:
-                matched = predicate(row) is True
+                positions = [
+                    position
+                    for position, row in enumerate(segment_rows)
+                    if predicate(row) is True
+                ]
             else:
-                matched = statement.where.evaluate(contexts[index]) is True
-            if matched:
+                positions = [
+                    position
+                    for position in range(len(segment_rows))
+                    if statement.where.evaluate(contexts[offset + position]) is True
+                ]
+            new_rows: List[Tuple[Any, ...]] = []
+            for position in positions:
+                row = segment_rows[position]
                 new_row = list(row)
-                for position, expression, compiled in assignments:
-                    new_row[position] = (
-                        compiled(row) if compiled is not None else expression.evaluate(contexts[index])
+                for column_index, expression, compiled in assignments:
+                    value = (
+                        compiled(row)
+                        if compiled is not None
+                        else expression.evaluate(contexts[offset + position])
                     )
-                new_rows.append(new_row)
-                updated += 1
-            else:
-                new_rows.append(list(row))
-        table.replace_rows(new_rows)
+                    # The full-replace path coerced on reinsert; coerce the
+                    # assigned values up front so the in-place write stores
+                    # exactly what a reinsert would have.
+                    new_row[column_index] = coerce_value(
+                        value, column_types[column_index]
+                    )
+                new_rows.append(tuple(new_row))
+            updates.append((positions, new_rows))
+            updated += len(new_rows)
+            offset += len(segment_rows)
+        table.update_rows_in_place(updates, changed_columns)
         stats = ExecutionStats(
             statement_kind="update",
-            rows_scanned=len(relation.rows),
+            rows_scanned=rows_scanned,
             rows_matched=updated,
-            rows_scanned_per_source=[len(relation.rows)],
+            rows_scanned_per_source=[rows_scanned],
         )
-        if matched_flags is not None:
+        if segment_masks is not None:
             stats.where_vectorized = True
-            stats.bitmap_selectivity = (
-                updated / len(relation.rows) if len(relation.rows) else 0.0
-            )
+            stats.bitmap_selectivity = updated / rows_scanned if rows_scanned else 0.0
         return ResultSet([], [], rowcount=updated, stats=stats)
 
     def _execute_delete(self, statement: DeleteStatement, parameters) -> ResultSet:

@@ -106,6 +106,11 @@ class BaseIndex:
     def remap_segment(self, segment: int, kept_positions: Sequence[int]) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def replace(self, old_value: Any, new_value: Any, segment: int, position: int) -> None:  # pragma: no cover
+        """In-place UPDATE of one row: drop the entry under ``old_value`` and
+        re-add it under ``new_value`` (same segment/position)."""
+        raise NotImplementedError
+
     def rebuild(self, segments: Sequence[Sequence[tuple]]) -> None:
         """Rebuild from scratch over the table's segment row lists.
 
@@ -212,6 +217,29 @@ class HashIndex(BaseIndex):
         for key in dead_keys:
             del self._buckets[key]
 
+    def replace(self, old_value: Any, new_value: Any, segment: int, position: int) -> None:
+        if not self.usable:
+            return
+        if not is_null(old_value):
+            try:
+                key = hashable_key(old_value)
+            except TypeError:
+                # The stored key was never indexed (add degraded us already),
+                # but degrade defensively — replace must never leave a stale
+                # entry behind.
+                self.usable = False
+                self._buckets.clear()
+                return
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove((segment, position))
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._buckets[key]
+        self.add(new_value, segment, position)
+
     def probe_eq(self, value: Any) -> Optional[List[Entry]]:
         if not self.usable:
             return None
@@ -317,6 +345,27 @@ class SortedIndex(BaseIndex):
                 new_entries.append((segment, rank))
         self._keys = new_keys
         self._entries = new_entries
+
+    def replace(self, old_value: Any, new_value: Any, segment: int, position: int) -> None:
+        if not self.usable:
+            return
+        if not is_null(old_value):
+            # All keys equal to old_value form one contiguous bisect range;
+            # the (segment, position) pair disambiguates within it.  A key
+            # outside the comparison family cannot have been indexed while
+            # usable, but degrade rather than trust that invariant.
+            try:
+                start = bisect_left(self._keys, old_value)
+                end = bisect_right(self._keys, old_value, lo=start)
+            except TypeError:
+                self._degrade()
+                return
+            for at in range(start, end):
+                if self._entries[at] == (segment, position):
+                    del self._keys[at]
+                    del self._entries[at]
+                    break
+        self.add(new_value, segment, position)
 
     def _probe_kind_ok(self, value: Any) -> bool:
         """A probe value must share the key family, or the comparison the

@@ -75,6 +75,10 @@ class Table:
         When true (default), segments store typed packed columns
         (:class:`~repro.engine.columnar.ColumnStore`); when false, lists of
         row tuples.  See the module docstring.
+    columnar_compression:
+        When true (default), columnar segments dictionary-encode text and
+        boolean columns (:class:`~repro.engine.columnar.DictColumn`).  No
+        effect in row-tuple mode.
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class Table:
         distributed_by: Optional[str] = None,
         temporary: bool = False,
         columnar_storage: bool = True,
+        columnar_compression: bool = True,
     ) -> None:
         if num_segments < 1:
             raise ExecutionError("a table needs at least one segment")
@@ -95,6 +100,7 @@ class Table:
         self.num_segments = num_segments
         self.distributed_by = distributed_by
         self.columnar_storage = bool(columnar_storage)
+        self.columnar_compression = bool(columnar_compression)
         if distributed_by is not None:
             # Validates the column exists.
             self._distribution_index: Optional[int] = schema.index_of(distributed_by)
@@ -119,7 +125,7 @@ class Table:
 
     def _new_segment(self):
         if self.columnar_storage:
-            return ColumnStore(self.schema)
+            return ColumnStore(self.schema, compression=self.columnar_compression)
         return []
 
     def _touch(self, segment: int) -> None:
@@ -236,10 +242,60 @@ class Table:
             index.clear()
 
     def replace_rows(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Replace the full contents (used by UPDATE and CREATE TABLE AS)."""
+        """Replace the full contents (used by CREATE TABLE AS and bulk loads)."""
         if self._indexes:
             return self._with_index_rebuild(lambda: self._replace_all(rows))
         return self._replace_all(rows)
+
+    def update_rows_in_place(
+        self,
+        updates_per_segment: Sequence[Tuple[Sequence[int], Sequence[Row]]],
+        changed_columns: Sequence[int],
+    ) -> int:
+        """Bitmap-aware UPDATE: rewrite only the matched positions, per segment.
+
+        ``updates_per_segment`` holds one ``(positions, coerced full rows)``
+        pair per segment; ``changed_columns`` names the assigned column
+        indices (storage writes and index maintenance are limited to them).
+        Rows never move between segments — UPDATE does not redistribute
+        (Greenplum's historical rule), so untouched segments keep their
+        caches and only indexes on assigned columns see any work: entries
+        are replaced in place below the bulk threshold, rebuilt once above
+        it.  Returns the number of rows updated.
+        """
+        total = sum(len(positions) for positions, _ in updates_per_segment)
+        if not total:
+            return 0
+        changed = set(changed_columns)
+        affected = [index for index in self._indexes if index.column_index in changed]
+        incremental = affected and total < self._BULK_REBUILD_ROWS
+        for segment_index, (positions, rows) in enumerate(updates_per_segment):
+            if not len(positions):
+                continue
+            segment = self._segments[segment_index]
+            old_values: List[List[Any]] = []
+            if incremental:
+                view = self.segment_view(segment_index)
+                old_values = [
+                    [view[position][index.column_index] for position in positions]
+                    for index in affected
+                ]
+            if self.columnar_storage:
+                segment.set_rows(positions, rows, changed_columns)
+            else:
+                for position, row in zip(positions, rows):
+                    segment[position] = tuple(row)
+            self._touch(segment_index)
+            if incremental:
+                for index, olds in zip(affected, old_values):
+                    for position, old, row in zip(positions, olds, rows):
+                        index.replace(
+                            old, row[index.column_index], segment_index, position
+                        )
+        if affected and not incremental:
+            for index in affected:
+                index.rebuild(self._segments)
+        return total
 
     def _replace_all(self, rows: Iterable[Sequence[Any]]) -> int:
         self.truncate()

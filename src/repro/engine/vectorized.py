@@ -138,6 +138,12 @@ def _unpack_column(packed: Tuple[str, Any]) -> Sequence[Any]:
     tag, payload = packed
     if tag in ("f64", "i64"):
         return payload.tolist()
+    if tag == "dict16":
+        # Dictionary-encoded column: int16 code buffer + value dictionary
+        # (code -1 is SQL NULL).  Decoding shares the dictionary's value
+        # objects, so the round-trip is value-identical.
+        codes, values = payload
+        return [None if code < 0 else values[code] for code in codes]
     return payload
 
 

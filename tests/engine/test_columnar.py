@@ -101,7 +101,8 @@ CORPUS = [
     "SELECT id FROM t WHERE a - b > 1.5 ORDER BY id",
     "SELECT id FROM t WHERE a * 2 < b ORDER BY id",
     "SELECT id FROM t WHERE -a > 10 ORDER BY id",
-    # Outside the vector subset (text, LIKE, IN, functions) — fallback parity.
+    # Text/LIKE/IN now vectorize in code space over dictionary columns;
+    # functions remain fallback parity.
     "SELECT id FROM t WHERE grp = 'a' ORDER BY id",
     "SELECT id FROM t WHERE s LIKE 'name_1%' ORDER BY id",
     "SELECT id FROM t WHERE id IN (3, 5, 8) ORDER BY id",
@@ -249,8 +250,11 @@ def test_dml_stats_report_vectorized_where():
     assert delete.stats.rows_matched == delete.rowcount
     update = columnar_db.execute("UPDATE t SET b = 0.0 WHERE a > 25")
     assert update.stats.where_vectorized is True
-    # Text predicates are outside the vector subset → row path, same effect.
-    fallback = columnar_db.execute("DELETE FROM t WHERE grp = 'a'")
+    # Text equality runs in code space over the dictionary-encoded column.
+    text_delete = columnar_db.execute("DELETE FROM t WHERE grp = 'a'")
+    assert text_delete.stats.where_vectorized is True
+    # Function calls stay outside the vector subset → row path, same effect.
+    fallback = columnar_db.execute("DELETE FROM t WHERE abs(a) > 90")
     assert fallback.stats.where_vectorized is False
 
 
