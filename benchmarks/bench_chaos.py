@@ -1,0 +1,86 @@
+"""Chaos sweep: seeded fault-injection runs over the serving stack.
+
+Each seed (see ``repro.engine.chaos``) drives concurrent clients through a
+mixed workload while the full fault arsenal fires — worker crashes, hangs,
+pickle failures, truncated sends, client stalls, abrupt disconnects — and
+checks the robustness invariants: no deadlock, graceful drain, no leaked
+readers/writer lock, monotone table versions, no forbidden error codes,
+and committed data byte-identical to a fault-free replay.
+
+Entry points:
+
+* ``python benchmarks/bench_chaos.py --seeds 25`` — the acceptance sweep,
+  writes ``BENCH_chaos.json``.
+* ``python benchmarks/bench_chaos.py --smoke`` — one fixed seed within a
+  ~10 second budget; the CI configuration.
+
+Exit status is nonzero if any seed fails, so both modes gate directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.chaos import run_chaos
+
+_SMOKE_SEED = 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=25, metavar="N",
+                        help="run seeds 1..N (default 25)")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI mode: the single fixed seed {_SMOKE_SEED}")
+    parser.add_argument("--statements", type=int, default=30, metavar="N",
+                        help="statements per client per seed (default 30)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write results JSON here (default BENCH_chaos.json; "
+                             "smoke mode writes nothing)")
+    args = parser.parse_args(argv)
+
+    seeds = [_SMOKE_SEED] if args.smoke else list(range(1, args.seeds + 1))
+    results: List[Dict] = []
+    failed = 0
+    for seed in seeds:
+        report = run_chaos(seed, statements_per_client=args.statements)
+        print(report.summary(), flush=True)
+        if not report.ok:
+            failed += 1
+            for line in report.errors:
+                print(f"  !! {line}", flush=True)
+        results.append(
+            {
+                "seed": seed,
+                "ok": report.ok,
+                "statements": report.statements,
+                "acked_writes": report.acked_writes,
+                "in_doubt_writes": report.in_doubt_writes,
+                "failed_writes": report.failed_writes,
+                "faults_fired": report.faults_fired,
+                "reconnects": report.reconnects,
+                "busy_retries": report.busy_retries,
+                "typed_errors": report.typed_errors,
+                "server": report.server_stats,
+                "worker_pool": report.pool_stats,
+                "seconds": round(report.elapsed_seconds, 3),
+                "errors": report.errors,
+            }
+        )
+
+    print(f"chaos: {len(seeds) - failed}/{len(seeds)} seeds passed", flush=True)
+    if not args.smoke:
+        output = Path(args.output or Path(__file__).parent / "BENCH_chaos.json")
+        output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {output}", flush=True)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,10 @@ catalog introspection that templated queries need.
 from .aggregates import AggregateDefinition, AggregateRunner, builtin_aggregates
 from .catalog import Catalog
 from .database import Database, connect
+from .faults import FaultInjector
 from .functions import FunctionDefinition, builtin_functions
 from .index import BaseIndex, HashIndex, SortedIndex
-from .parallel import SegmentWorkerPool
+from .parallel import SegmentWorkerPool, WorkerPoolError
 from .planner import ColumnStatistics, TableStatistics, collect_table_statistics
 from .result import ResultSet
 from .schema import Column, Schema
@@ -45,6 +46,8 @@ __all__ = [
     "AggregateRunner",
     "SegmentedAggregator",
     "SegmentWorkerPool",
+    "WorkerPoolError",
+    "FaultInjector",
     "AggregateTimings",
     "ExecutionStats",
     "ScanDetail",

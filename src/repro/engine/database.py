@@ -26,6 +26,7 @@ from ..errors import CatalogError, ValidationError
 from .aggregates import AggregateDefinition, builtin_aggregates
 from .catalog import Catalog
 from .executor import Executor
+from .faults import FaultInjector
 from .functions import FunctionDefinition, builtin_functions
 from .parallel import SegmentWorkerPool
 from .parser import parse_script, parse_statement
@@ -119,6 +120,22 @@ class Database:
         planned) statement across calls, invalidating on any DDL or enough
         DML drift.  Results are byte-identical either way.  The serving
         layer (:mod:`repro.engine.serving`) enables this by default.
+    parallel_task_timeout:
+        Per-task supervision deadline for the worker pool (seconds); a task
+        whose result misses the deadline is declared lost (dead or hung
+        worker) and the pool's respawn/retry/fallback policy engages.
+        ``None`` keeps the pool default (generous — production statements
+        are never killed by the supervisor); chaos tests shrink it.
+    parallel_task_retries:
+        Bounded per-segment retry budget after worker-pool infra faults
+        (``None`` = pool default).
+    faults:
+        Optional :class:`~repro.engine.faults.FaultInjector` wired into the
+        worker pool's dispatch sites for deterministic chaos testing.
+        ``None`` (default, production) costs one attribute check per
+        dispatch; results are byte-identical with or without injected
+        faults — that is the point of the fault-tolerance layer, and the
+        chaos harness (``tests/serving/test_chaos.py``) proves it.
     """
 
     def __init__(
@@ -134,6 +151,10 @@ class Database:
         columnar_storage: bool = True,
         columnar_compression: bool = True,
         plan_cache: int = 0,
+        parallel_task_timeout: Optional[float] = None,
+        parallel_task_retries: Optional[int] = None,
+        parallel_min_dispatch_rows: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if num_segments < 1:
             raise ValidationError("num_segments must be at least 1")
@@ -152,8 +173,17 @@ class Database:
         self.columnar_storage = bool(columnar_storage)
         self.columnar_compression = bool(columnar_compression)
         self.parallel = int(parallel)
+        self.faults = faults
         self._worker_pool: Optional[SegmentWorkerPool] = (
-            SegmentWorkerPool(self.parallel) if self.parallel else None
+            SegmentWorkerPool(
+                self.parallel,
+                min_dispatch_rows=parallel_min_dispatch_rows,
+                task_timeout=parallel_task_timeout,
+                max_task_retries=parallel_task_retries,
+                faults=faults,
+            )
+            if self.parallel
+            else None
         )
         self.catalog = Catalog()
         self.executor = Executor(self)

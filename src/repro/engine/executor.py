@@ -65,7 +65,7 @@ from .join import (
     plan_hash_join,
     plan_key_join,
 )
-from .parallel import guarded_function_registry, shippable_spec
+from .parallel import WorkerPoolError, guarded_function_registry, shippable_spec
 from .planner import (
     choose_access_path,
     collect_table_statistics,
@@ -316,6 +316,13 @@ class Executor:
                 for i, ch in enumerate(kind)
             )
             result.stats = ExecutionStats(statement_kind=kind)
+        for timing in result.stats.aggregate_timings:
+            # Roll per-aggregate supervision outcomes (fold-dispatch
+            # fallbacks, retries, respawns) up to the statement level.
+            if timing.fallback_reason or timing.worker_retries or timing.pool_respawns:
+                result.stats.note_parallel_fallback(
+                    timing.fallback_reason, timing.worker_retries, timing.pool_respawns
+                )
         result.stats.total_seconds = time.perf_counter() - start
         return result
 
@@ -1379,13 +1386,24 @@ class Executor:
                 segment_rows,
                 use_batch=use_batch,
             )
-        except Exception:
-            # Unpicklable rows/states or a worker-side failure must not change
-            # which queries succeed: regroup in-process, where a genuinely
-            # raising transition raises identically.
+        except WorkerPoolError as exc:
+            # Infra faults only (dead/hung workers, IPC pickling, a
+            # defensive worker-side compile failure) — supervision already
+            # retried; regroup in-process and record why.  Query errors a
+            # transition raised inside a worker propagate out of this call
+            # byte-identical to the in-process tier: never retried, never
+            # masked as a silent fallback.
+            stats.note_parallel_fallback(exc.reason, exc.retries, exc.respawns)
             outcome = None
         if outcome is None:
             return None
+        report = pool.consume_dispatch_report()
+        if report is not None:
+            # Succeeded, but only after supervision stepped in (retries
+            # and/or a pool respawn): attribute that work to the statement.
+            stats.note_parallel_fallback(
+                None, report["worker_retries"], report["pool_respawns"]
+            )
         tables, agg_seconds, key_seconds, wall = outcome
 
         # Merge the per-segment partial tables in segment order.

@@ -68,7 +68,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .compile import ColumnLayout, compile_expression, keys_for_columns
 from .expressions import BinaryOp, ColumnRef, Expression, FunctionCall, WindowCall
-from .parallel import guarded_function_registry
+from .parallel import WorkerPoolError, guarded_function_registry
 from .types import hashable_key, is_null
 
 __all__ = [
@@ -849,10 +849,11 @@ def _try_parallel_join(
 
     try:
         outcome = pool.run_join(spec, probe_chunks, build_chunks, build_rows)
-    except Exception:
-        # Unpicklable rows or a worker-side failure must not change which
-        # queries succeed: rejoin in-process, where a genuinely raising
-        # expression raises identically.
+    except WorkerPoolError:
+        # Infra faults only (dead/hung workers, IPC pickling) — supervision
+        # already retried and counted the fallback on the pool's counters;
+        # rejoin in-process.  Query errors a shipped expression raised in a
+        # worker propagate unchanged, byte-identical to the in-process tier.
         return None
     if outcome is None:
         return None

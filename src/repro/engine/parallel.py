@@ -63,23 +63,142 @@ Database` (``Database(parallel=N)``), is started lazily on first use (or
 eagerly via ``ensure_started``, which the driver-iteration controller calls
 so multipass methods pay the spawn cost once, not per iteration), and is
 reused by every query until ``close()``.
+
+Supervision (the fault-tolerance layer)
+---------------------------------------
+
+Real worker processes die.  A SIGKILL'd fork used to strand the blanket
+``pool.map`` call forever (the task's result simply never arrives), and any
+worker-side exception was silently retried in-process — masking genuine
+kernel bugs behind the fallback.  Dispatch is now supervised:
+
+* every fan-out runs through :meth:`SegmentWorkerPool._dispatch`, which
+  submits one ``apply_async`` per task and collects results under a
+  **per-task deadline** (``task_timeout``, scaled by queueing depth);
+* a missing result (dead or hung worker) is an *infra fault*: the pool is
+  **respawned** (terminate + fresh processes, reclaiming hung slots) and the
+  unfinished tasks are **retried** with exponential backoff, at most
+  ``max_task_retries`` times;
+* failures are **classified** (:func:`classify_failure`): infra faults —
+  lost workers, IPC pickling breakage — raise :class:`WorkerPoolError` after
+  retries are exhausted, which callers turn into an in-process fallback with
+  the reason recorded on ``ExecutionStats.parallel_fallback_reason``; *query
+  errors* — anything the shipped kernel itself raised — propagate unchanged,
+  byte-identical to the in-process tier, and are **never retried or masked**;
+* cumulative counters (``stats()``) expose retries, respawns and fallbacks
+  so operators see degradation instead of inferring it.
+
+Deterministic fault injection (:mod:`repro.engine.faults`) hooks two sites:
+``parallel.dispatch`` (once per fan-out attempt; ``pickle_error``) and
+``parallel.task`` (once per task per attempt; ``worker_crash`` /
+``worker_hang`` / ``slow_worker`` — decided on the coordinator and shipped
+to the worker as a directive, so chaos runs replay exactly by seed).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
+import os
 import pickle
+import threading
 import time
 import weakref
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ValidationError
+from ..errors import EngineError, ReproError, ValidationError
 from .aggregates import AggregateDefinition, builtin_aggregates
 from .compile import ColumnLayout, compile_expression
+from .faults import PICKLE_ERROR, SLOW_WORKER, WORKER_CRASH, WORKER_HANG, FaultInjector
 from .functions import builtin_functions
 from .types import hashable_key
 
-__all__ = ["SegmentWorkerPool", "guarded_function_registry", "shippable_spec"]
+__all__ = [
+    "SegmentWorkerPool",
+    "WorkerPoolError",
+    "classify_failure",
+    "guarded_function_registry",
+    "shippable_spec",
+]
+
+
+# ---------------------------------------------------------------------------
+# Failure classification: infra faults versus query errors
+# ---------------------------------------------------------------------------
+
+
+def _rebuild_worker_pool_error(reason, retries, respawns, message):
+    return WorkerPoolError(reason, retries=retries, respawns=respawns, message=message)
+
+
+class WorkerPoolError(EngineError):
+    """A fan-out failed for *infrastructure* reasons after bounded retries.
+
+    Raised only for faults of the pool itself — dead or hung worker
+    processes, IPC pickling breakage, a worker-side compile of a shipped
+    expression failing defensively — never for errors the query's own code
+    raised (those propagate unchanged, byte-identical to the in-process
+    tier).  Callers catch exactly this type, record ``reason`` on
+    ``ExecutionStats.parallel_fallback_reason``, and fall back in-process.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        retries: int = 0,
+        respawns: int = 0,
+        message: Optional[str] = None,
+    ) -> None:
+        self.reason = reason
+        self.retries = retries
+        self.respawns = respawns
+        super().__init__(
+            message
+            or f"worker pool fan-out failed ({reason}) after "
+            f"{retries} task retries and {respawns} pool respawns"
+        )
+
+    def __reduce__(self):  # survives the worker → coordinator pickle hop
+        return (
+            _rebuild_worker_pool_error,
+            (self.reason, self.retries, self.respawns, str(self)),
+        )
+
+
+class _InfraFailure(Exception):
+    """Internal marker for one failed dispatch attempt (never escapes)."""
+
+    def __init__(self, reason: str, retryable: bool) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retryable = retryable
+
+
+def classify_failure(exc: BaseException) -> Tuple[Optional[str], bool]:
+    """``(reason, retryable)`` when ``exc`` is an infra fault, ``(None, _)``
+    when it is a query error.
+
+    The contract (see ``docs/robustness.md``): anything the *pool machinery*
+    produced — a result that never arrived (``multiprocessing.TimeoutError``
+    from a dead or hung worker), payloads or partial states that failed to
+    pickle, broken IPC pipes, a worker-side :class:`WorkerPoolError` — is an
+    infra fault the caller may retry and then absorb into the in-process
+    fallback.  Anything else was raised by the shipped kernel itself and
+    would have been raised identically in-process: it must propagate with
+    the same type and message, never be retried, never be masked.
+    """
+    if isinstance(exc, WorkerPoolError):
+        return exc.reason or "worker_internal", False
+    if isinstance(exc, multiprocessing.TimeoutError):
+        return "worker_lost", True
+    if isinstance(exc, (pickle.PicklingError, multiprocessing.pool.MaybeEncodingError)):
+        return "pickle_error", False
+    if isinstance(exc, (BrokenPipeError, EOFError, ConnectionError)):
+        return "ipc_broken", True
+    if isinstance(exc, ReproError):
+        return None, False
+    return None, False
 
 
 # ---------------------------------------------------------------------------
@@ -230,6 +349,24 @@ def _worker_initializer() -> None:
     _WORKER_FUNCTIONS = {d.name.lower(): d for d in builtin_functions()}
 
 
+def _apply_worker_fault(directive: Optional[tuple]) -> None:
+    """Act on a coordinator-decided fault directive, inside the worker.
+
+    ``("crash",)`` dies abruptly (no cleanup, no exception back — exactly
+    what a SIGKILL or OOM kill looks like to the coordinator);
+    ``("hang", s)`` / ``("slow", s)`` sleep — past every deadline for a
+    hang, briefly for a slow worker.  ``None`` (the production value) is a
+    single comparison.
+    """
+    if directive is None:
+        return
+    kind = directive[0]
+    if kind == "crash":
+        os._exit(70)
+    elif kind in ("hang", "slow"):
+        time.sleep(directive[1])
+
+
 def _resolve_spec(spec: tuple) -> AggregateDefinition:
     global _WORKER_BUILTINS
     if spec[0] == "builtin":
@@ -257,7 +394,8 @@ def _fold_segment_task(task: tuple) -> Tuple[Any, float]:
     """
     from .segments import SegmentedAggregator  # deferred: avoids import cycle
 
-    spec, stream, use_batch = task
+    directive, spec, stream, use_batch = task
+    _apply_worker_fault(directive)
     aggregator = SegmentedAggregator(_resolve_spec(spec), use_batch=use_batch)
     start = time.perf_counter()
     state = aggregator._fold_stream(stream)
@@ -266,14 +404,18 @@ def _fold_segment_task(task: tuple) -> Tuple[Any, float]:
 
 def _compile_shipped(expression, layout, parameters):
     """Compile a shipped AST in the worker; raise if it falls outside the
-    compilable subset (the coordinator pre-validated, so this is defensive —
-    the raise propagates to the coordinator, which refolds in-process)."""
+    compilable subset.  The coordinator pre-validated shippability, so this
+    is defensive — it raises :class:`WorkerPoolError` (an *infra* fault, not
+    a query error) so the coordinator's classifier falls back in-process
+    instead of surfacing an error the in-process tier would never raise."""
     global _WORKER_FUNCTIONS
     if _WORKER_FUNCTIONS is None:  # defensive: initializer not run
         _worker_initializer()
     fn = compile_expression(expression, layout, _WORKER_FUNCTIONS, parameters)
     if fn is None:
-        raise ValidationError("shipped expression did not compile in worker")
+        raise WorkerPoolError(
+            "shipped_compile", message="shipped expression did not compile in worker"
+        )
     return fn
 
 
@@ -291,7 +433,8 @@ def _grouped_segment_task(task: tuple) -> Tuple[list, List[float], float]:
     """
     from .segments import SegmentedAggregator  # deferred: avoids import cycle
 
-    keys_per_column, key_exprs, parameters, agg_entries, use_batch, rows = task
+    directive, keys_per_column, key_exprs, parameters, agg_entries, use_batch, rows = task
+    _apply_worker_fault(directive)
     layout = ColumnLayout(keys_per_column)
     key_fns = [_compile_shipped(expr, layout, parameters) for expr in key_exprs]
 
@@ -340,6 +483,9 @@ def _join_segment_task(task: tuple) -> Tuple[list, float]:
     """
     from .join import build_hash_table, probe_hash_table  # deferred: avoids cycle
 
+    directive = task[0]
+    task = task[1:]
+    _apply_worker_fault(directive)
     (
         left_keys_per_column,
         right_keys_per_column,
@@ -407,10 +553,36 @@ class SegmentWorkerPool:
         Set to ``0`` to force every eligible aggregate through the workers
         and to disable the grouped-dispatch cardinality heuristic (the
         parallel parity tests do).
+    task_timeout:
+        Per-task supervision deadline in seconds (scaled by queueing depth
+        when a fan-out has more tasks than workers).  A task whose result
+        has not arrived by the deadline is declared lost — its worker dead
+        or hung — and the supervision policy (respawn + retry, then
+        fallback) engages.  Generous by default so production statements
+        are never killed by the supervisor; chaos tests shrink it.
+    max_task_retries:
+        How many times an unfinished task may be re-submitted after an
+        infra fault before the fan-out gives up with
+        :class:`WorkerPoolError` (→ in-process fallback).
+    retry_backoff:
+        Base sleep before retry attempt *n* (doubles each attempt).
+    faults:
+        Optional :class:`~repro.engine.faults.FaultInjector` for
+        deterministic chaos testing; ``None`` (production) costs one
+        attribute check per dispatch.
     """
 
     #: Default row floor below which dispatching to workers is not worth it.
     DEFAULT_MIN_DISPATCH_ROWS = 512
+
+    #: Default per-task supervision deadline (seconds).
+    DEFAULT_TASK_TIMEOUT = 60.0
+
+    #: Default bounded per-segment retry budget after infra faults.
+    DEFAULT_MAX_TASK_RETRIES = 2
+
+    #: Default base backoff before a retry attempt (seconds, doubling).
+    DEFAULT_RETRY_BACKOFF = 0.05
 
     #: Grouped dispatch samples this many leading rows to estimate group
     #: cardinality before shipping anything.
@@ -435,6 +607,10 @@ class SegmentWorkerPool:
         *,
         start_method: Optional[str] = None,
         min_dispatch_rows: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        max_task_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if num_workers < 1:
             raise ValidationError("parallel worker count must be at least 1")
@@ -442,6 +618,20 @@ class SegmentWorkerPool:
         self.min_dispatch_rows = (
             self.DEFAULT_MIN_DISPATCH_ROWS if min_dispatch_rows is None else int(min_dispatch_rows)
         )
+        self.task_timeout = (
+            self.DEFAULT_TASK_TIMEOUT if task_timeout is None else float(task_timeout)
+        )
+        if self.task_timeout <= 0:
+            raise ValidationError("task_timeout must be positive")
+        self.max_task_retries = (
+            self.DEFAULT_MAX_TASK_RETRIES if max_task_retries is None else int(max_task_retries)
+        )
+        if self.max_task_retries < 0:
+            raise ValidationError("max_task_retries must not be negative")
+        self.retry_backoff = (
+            self.DEFAULT_RETRY_BACKOFF if retry_backoff is None else float(retry_backoff)
+        )
+        self.faults = faults
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -449,6 +639,24 @@ class SegmentWorkerPool:
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._finalizer = None
         self._closed = False
+        #: Guards pool creation/respawn/close so serving-layer threads never
+        #: race two pools into existence.
+        self._pool_mutex = threading.Lock()
+        self._counter_lock = threading.Lock()
+        #: Cumulative supervision counters (see :meth:`stats`).
+        self.counters: Dict[str, int] = {
+            "dispatches": 0,
+            "tasks": 0,
+            "worker_retries": 0,
+            "pool_respawns": 0,
+            "infra_failures": 0,
+            "fallbacks": 0,
+            "query_errors": 0,
+        }
+        #: Per-dispatching-thread record of the most recent fan-out
+        #: (retries/respawns/reason) so callers can attribute supervision
+        #: work to the statement that paid for it.
+        self._report_local = threading.local()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -457,26 +665,183 @@ class SegmentWorkerPool:
         return self._pool is not None
 
     def ensure_started(self) -> None:
-        """Start the worker processes now (idempotent).
+        """Start the worker processes now (idempotent, thread-safe).
 
         Called lazily on the first parallel aggregate, and eagerly by
         :class:`~repro.driver.iteration.IterationController` so iterative
         methods never pay the spawn cost inside a timed iteration.
         """
-        if self._pool is None and not self._closed:
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = context.Pool(self.num_workers, initializer=_worker_initializer)
-            self._finalizer = weakref.finalize(self, _terminate_pool, self._pool)
+        if self._pool is not None or self._closed:
+            return
+        with self._pool_mutex:
+            if self._pool is None and not self._closed:
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = context.Pool(self.num_workers, initializer=_worker_initializer)
+                self._finalizer = weakref.finalize(self, _terminate_pool, self._pool)
 
     def close(self) -> None:
         """Shut the workers down (idempotent); the pool cannot be restarted."""
-        self._closed = True
-        if self._pool is not None:
+        with self._pool_mutex:
+            self._closed = True
             pool, self._pool = self._pool, None
             if self._finalizer is not None:
                 self._finalizer.detach()
                 self._finalizer = None
+        if pool is not None:
             _terminate_pool(pool)
+
+    def respawn(self) -> None:
+        """Terminate and recreate the worker processes (supervision restart).
+
+        Reclaims hung worker slots (a sleeping fork occupies a pool slot
+        forever; ``Pool`` only repopulates workers that *died*).  Outstanding
+        results from the old pool never arrive — their dispatch loops hit
+        the per-task deadline and retry on the fresh pool.
+        """
+        with self._pool_mutex:
+            pool, self._pool = self._pool, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            if pool is None or self._closed:
+                return
+            with self._counter_lock:
+                self.counters["pool_respawns"] += 1
+        _terminate_pool(pool)
+        self.ensure_started()
+
+    # -- supervision ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the cumulative supervision counters."""
+        with self._counter_lock:
+            return dict(self.counters)
+
+    def consume_dispatch_report(self) -> Optional[Dict[str, Any]]:
+        """The calling thread's most recent fan-out report, cleared on read.
+
+        ``{"worker_retries", "pool_respawns", "fallback_reason"}`` — the
+        executor copies these onto the statement's ``ExecutionStats`` so a
+        retried or fallen-back statement is visible in EXPLAIN ANALYZE and
+        the serving stats, attributed to the statement that paid the cost.
+        """
+        report = getattr(self._report_local, "value", None)
+        self._report_local.value = None
+        return report
+
+    def _set_report(
+        self, retries: int, respawns: int, reason: Optional[str] = None
+    ) -> None:
+        if retries or respawns or reason is not None:
+            self._report_local.value = {
+                "worker_retries": retries,
+                "pool_respawns": respawns,
+                "fallback_reason": reason,
+            }
+        else:
+            self._report_local.value = None
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self.counters[key] += amount
+
+    def _probe_fault(self, site: str):
+        injector = self.faults
+        return injector.probe(site) if injector is not None else None
+
+    def _task_directive(self) -> Optional[tuple]:
+        """The coordinator-decided fault directive for one task (chaos only)."""
+        fault = self._probe_fault("parallel.task")
+        if fault is None:
+            return None
+        if fault.kind == WORKER_CRASH:
+            return ("crash",)
+        if fault.kind == WORKER_HANG:
+            return ("hang", fault.delay)
+        if fault.kind == SLOW_WORKER:
+            return ("slow", fault.delay)
+        return None
+
+    def _attempt(
+        self,
+        fn: Callable[[tuple], Any],
+        tasks: Sequence[tuple],
+        pending: List[int],
+        results: List[Any],
+        done: List[bool],
+    ) -> None:
+        """One dispatch attempt over the unfinished tasks.
+
+        Fills ``results``/``done`` for every task whose result arrives in
+        time; raises :class:`_InfraFailure` on the first infra fault (later
+        pending tasks stay marked unfinished for the retry), re-raises the
+        first query error unchanged.
+        """
+        pool = self._pool
+        if pool is None:
+            raise _InfraFailure("pool_closed", False)
+        fault = self._probe_fault("parallel.dispatch")
+        if fault is not None and fault.kind == PICKLE_ERROR:
+            raise _InfraFailure(PICKLE_ERROR, False)
+        handles = [
+            (index, pool.apply_async(fn, ((self._task_directive(),) + tasks[index],)))
+            for index in pending
+        ]
+        # Tasks queue when a fan-out is wider than the pool; give each wave
+        # of ``num_workers`` tasks its own deadline slice.
+        waves = -(-len(pending) // self.num_workers)
+        deadline = time.monotonic() + self.task_timeout * max(1, waves)
+        for index, handle in handles:
+            remaining = deadline - time.monotonic()
+            try:
+                results[index] = handle.get(timeout=max(remaining, 0.001))
+                done[index] = True
+            except multiprocessing.TimeoutError:
+                raise _InfraFailure("worker_lost", True) from None
+            except Exception as exc:
+                reason, retryable = classify_failure(exc)
+                if reason is None:
+                    self._count("query_errors")
+                    raise  # the query's own error: byte-identical passthrough
+                raise _InfraFailure(reason, retryable) from exc
+
+    def _dispatch(self, fn: Callable[[tuple], Any], tasks: Sequence[tuple]) -> List[Any]:
+        """Supervised fan-out: per-task results in task order.
+
+        Retries unfinished tasks (respawning the pool first) up to
+        ``max_task_retries`` times with exponential backoff; raises
+        :class:`WorkerPoolError` when infra faults win, re-raises query
+        errors unchanged.  Completed tasks are never re-run — retry is per
+        segment, not per fan-out.
+        """
+        count = len(tasks)
+        results: List[Any] = [None] * count
+        done = [False] * count
+        retries = 0
+        respawns = 0
+        self._count("dispatches")
+        self._count("tasks", count)
+        for attempt in range(self.max_task_retries + 1):
+            pending = [index for index in range(count) if not done[index]]
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                retries += len(pending)
+                self._count("worker_retries", len(pending))
+            try:
+                self._attempt(fn, tasks, pending, results, done)
+                self._set_report(retries, respawns)
+                return results
+            except _InfraFailure as failure:
+                self._count("infra_failures")
+                if failure.retryable and not self._closed:
+                    self.respawn()
+                    respawns += 1
+                if not failure.retryable or attempt == self.max_task_retries:
+                    self._count("fallbacks")
+                    self._set_report(retries, respawns, failure.reason)
+                    raise WorkerPoolError(
+                        failure.reason, retries=retries, respawns=respawns
+                    ) from None
 
     # -- execution -------------------------------------------------------------
 
@@ -495,6 +860,9 @@ class SegmentWorkerPool:
         for the whole fan-out — dispatch, folds and IPC included.  Returns
         ``None`` when this aggregate cannot be shipped (non-picklable UDA) or
         the pool is closed, in which case the caller folds in-process.
+        Raises :class:`WorkerPoolError` when supervision exhausted its
+        retries (the caller falls back with the reason recorded), and
+        re-raises worker-side query errors unchanged.
         """
         if self._closed:
             return None
@@ -506,7 +874,7 @@ class SegmentWorkerPool:
         self.ensure_started()
         tasks = [(spec, stream, use_batch) for stream in segment_streams]
         start = time.perf_counter()
-        results = self._pool.map(_fold_segment_task, tasks)
+        results = self._dispatch(_fold_segment_task, tasks)
         wall = time.perf_counter() - start
         states = [state for state, _ in results]
         seconds = [elapsed for _, elapsed in results]
@@ -557,7 +925,7 @@ class SegmentWorkerPool:
         self.ensure_started()
         tasks = [header + (rows,) for rows in segment_rows]
         start = time.perf_counter()
-        results = self._pool.map(_grouped_segment_task, tasks)
+        results = self._dispatch(_grouped_segment_task, tasks)
         wall = time.perf_counter() - start
         tables = [table for table, _, _ in results]
         agg_seconds = [seconds for _, seconds, _ in results]
@@ -601,7 +969,7 @@ class SegmentWorkerPool:
             build_payload = list(build_rows)
             tasks = [join_spec + (probe, build_payload) for probe in probe_segments]
         start = time.perf_counter()
-        results = self._pool.map(_join_segment_task, tasks)
+        results = self._dispatch(_join_segment_task, tasks)
         wall = time.perf_counter() - start
         rows = [segment_rows for segment_rows, _ in results]
         seconds = [elapsed for _, elapsed in results]

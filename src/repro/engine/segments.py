@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from .aggregates import AggregateDefinition, AggregateRunner
+from .parallel import WorkerPoolError
 from .vectorized import ColumnBatch, strict_filter_columns
 
 __all__ = [
@@ -90,6 +91,15 @@ class AggregateTimings:
     #: fallback, which also set ``executed_parallel`` but pay one round trip
     #: per group.
     grouped_dispatch: bool = False
+    #: Why the worker-pool fan-out for this aggregate fell back in-process
+    #: (``worker_lost``, ``pickle_error``, ...); ``None`` when it ran in the
+    #: pool or was never dispatched.  Set only for *infra* faults — query
+    #: errors propagate instead of falling back.
+    fallback_reason: Optional[str] = None
+    #: Supervision work this aggregate's fan-out(s) paid for: task
+    #: re-submissions after infra faults, and full pool respawns.
+    worker_retries: int = 0
+    pool_respawns: int = 0
 
     @property
     def num_segments(self) -> int:
@@ -123,6 +133,10 @@ class AggregateTimings:
             ) + other.measured_parallel_wall_seconds
             self.num_workers = max(self.num_workers, other.num_workers)
         self.num_groups += 1
+        if other.fallback_reason is not None and self.fallback_reason is None:
+            self.fallback_reason = other.fallback_reason
+        self.worker_retries += other.worker_retries
+        self.pool_respawns += other.pool_respawns
 
     @property
     def executed_parallel(self) -> bool:
@@ -263,6 +277,24 @@ class ExecutionStats:
     #: Fraction of bitmap-scanned rows the WHERE selected (popcount / bitmap
     #: width); ``None`` when the WHERE did not run vectorized.
     bitmap_selectivity: Optional[float] = None
+    #: Why a worker-pool fan-out of this statement fell back in-process
+    #: (first infra fault reason: ``worker_lost``, ``pickle_error``,
+    #: ``ipc_broken``, ``shipped_compile``, ...); ``None`` when nothing fell
+    #: back.  Query errors never set this — they propagate.
+    parallel_fallback_reason: Optional[str] = None
+    #: Supervision work the statement's fan-outs paid for: per-segment task
+    #: re-submissions after infra faults, and full worker-pool respawns.
+    worker_retries: int = 0
+    pool_respawns: int = 0
+
+    def note_parallel_fallback(
+        self, reason: Optional[str], retries: int = 0, respawns: int = 0
+    ) -> None:
+        """Record supervision work (first fallback reason wins)."""
+        if reason is not None and self.parallel_fallback_reason is None:
+            self.parallel_fallback_reason = reason
+        self.worker_retries += retries
+        self.pool_respawns += respawns
 
     def record_join(
         self,
@@ -439,12 +471,22 @@ class SegmentedAggregator:
                     outcome = pool.run_aggregate(
                         self.definition, segment_streams, use_batch=self.use_batch
                     )
-                except Exception:
-                    # IPC failures (e.g. a partial state that does not pickle)
-                    # must not change which queries succeed: refold in-process,
-                    # where a genuinely raising transition raises identically.
+                except WorkerPoolError as exc:
+                    # Infra faults only (dead/hung workers, IPC pickling) —
+                    # supervision already retried; refold in-process and
+                    # record why.  Query errors raised by the transition
+                    # itself propagate out of this call byte-identical to
+                    # the in-process tier: they are never retried or masked.
+                    timings.fallback_reason = exc.reason
+                    timings.worker_retries = exc.retries
+                    timings.pool_respawns = exc.respawns
                     outcome = None
                 if outcome is not None:
+                    report = pool.consume_dispatch_report()
+                    if report is not None:
+                        # Succeeded, but only after supervision stepped in.
+                        timings.worker_retries = report["worker_retries"]
+                        timings.pool_respawns = report["pool_respawns"]
                     states, per_segment, wall = outcome
                     timings.per_segment_seconds = per_segment
                     timings.rows_per_segment = [len(s) for s in segment_streams]

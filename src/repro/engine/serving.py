@@ -40,11 +40,27 @@ leans on it).
 
 Admission control is a bounded counter: at most ``max_concurrent`` admitted
 statements run at once and at most ``max_queue`` more may wait; past that
-the server *sheds* the statement with a typed ``BUSY`` error instead of
-letting latency grow without bound.  Each statement also gets a
-``statement_timeout``; on expiry the client receives ``TIMEOUT`` while the
-abandoned thread keeps the lock until the statement actually finishes (a
-Python thread cannot be killed), so isolation is never compromised.
+the server *sheds* the statement with a typed ``BUSY`` error (carrying a
+``retry_after_ms`` hint sized to the backlog) instead of letting latency
+grow without bound.  Each statement also gets a ``statement_timeout``; on
+expiry the client receives ``TIMEOUT`` while the abandoned thread keeps the
+lock until the statement actually finishes (a Python thread cannot be
+killed), so isolation is never compromised.
+
+Resilience (see ``docs/robustness.md``)
+---------------------------------------
+
+A client that disconnects mid-statement no longer strands its batch: the
+connection loop races socket reads against the in-flight batch, and EOF
+cancels the *await* (the statement thread runs to completion and the
+readers/writer lock is released by its done-callback, exactly as on
+timeout — the lock can never leak to a vanished client).  ``stop()``
+performs a graceful drain — stop accepting, finish in-flight batches,
+bounded by ``drain_timeout`` — and reports whether the drain completed.
+A :class:`~repro.engine.faults.FaultInjector` can be wired to the
+``serving.send`` site to truncate response frames mid-write, which is how
+the chaos harness (``tests/serving/test_chaos.py``) creates in-doubt
+acknowledgements.
 """
 
 from __future__ import annotations
@@ -57,6 +73,7 @@ import threading
 from collections import deque
 from concurrent.futures import Future as ThreadFuture
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .. import __version__
@@ -71,6 +88,7 @@ from ..errors import (
     ValidationError,
 )
 from .database import Database, PreparedStatement
+from .faults import WIRE_TRUNCATE, FaultInjector
 from .parser import parse_statement
 from .parser.lexer import tokenize
 from .plancache import PlanCache, statement_is_read_only
@@ -84,6 +102,7 @@ __all__ = [
     "SnapshotViolationError",
     "RemoteError",
     "ReadWriteLock",
+    "ServerStats",
     "Session",
     "DatabaseServer",
     "ServerThread",
@@ -92,6 +111,10 @@ __all__ = [
 ]
 
 _HEADER = struct.Struct(">I")
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: (``stop(drain_timeout=None)`` means wait forever).
+_UNSET: Any = object()
 
 #: Default cap on one frame's JSON body.  Large enough for bulk INSERTs and
 #: wide result sets, small enough that a garbage length prefix cannot make
@@ -126,9 +149,18 @@ class ProtocolError(ServingError):
 
 
 class ServerBusyError(ServingError):
-    """Admission control shed the statement; retry later."""
+    """Admission control shed the statement; retry later.
+
+    ``retry_after_ms`` is a backoff hint sized to the current backlog — it
+    rides along in the error frame so well-behaved clients can pace their
+    retries instead of hammering an overloaded server.
+    """
 
     code = "BUSY"
+
+    def __init__(self, message: str, *, retry_after_ms: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class StatementTimeoutError(ServingError):
@@ -206,6 +238,20 @@ class ReadWriteLock:
     @property
     def writer_active(self) -> bool:
         return self._writer_active
+
+    @property
+    def waiters(self) -> int:
+        """Queued (not yet granted, not yet reaped-cancelled) waiters."""
+        return sum(1 for _, future in self._waiters if not future.done())
+
+    @property
+    def idle(self) -> bool:
+        """No holder and nobody queued — the leak-freedom invariant."""
+        return (
+            not self._writer_active
+            and self._active_readers == 0
+            and self.waiters == 0
+        )
 
     # -- acquire ------------------------------------------------------------
 
@@ -344,7 +390,39 @@ def _result_payload(result: ResultSet) -> Dict[str, Any]:
 
 
 def _error_payload(exc: BaseException) -> Dict[str, Any]:
-    return {"ok": False, "error": {"code": error_code_for(exc), "message": str(exc)}}
+    error: Dict[str, Any] = {"code": error_code_for(exc), "message": str(exc)}
+    retry_after = getattr(exc, "retry_after_ms", None)
+    if retry_after is not None:
+        error["retry_after_ms"] = retry_after
+    return {"ok": False, "error": error}
+
+
+@dataclass
+class ServerStats:
+    """Monitoring counters for one :class:`DatabaseServer` (``stats`` op).
+
+    ``statements_cancelled`` counts in-flight batches whose awaiting client
+    disconnected (the statement thread still finishes and releases the lock;
+    only the response is abandoned).  ``client_disconnects`` counts
+    connections that ended without a clean ``close`` op.
+    """
+
+    statements_served: int = 0
+    statements_shed: int = 0
+    statements_timed_out: int = 0
+    statements_cancelled: int = 0
+    client_disconnects: int = 0
+    truncated_sends: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "served": self.statements_served,
+            "shed": self.statements_shed,
+            "timed_out": self.statements_timed_out,
+            "cancelled": self.statements_cancelled,
+            "disconnects": self.client_disconnects,
+            "truncated_sends": self.truncated_sends,
+        }
 
 
 class DatabaseServer:
@@ -366,6 +444,13 @@ class DatabaseServer:
         admission control sheds new arrivals with ``BUSY``.
     statement_timeout:
         Seconds before an admitted statement fails with ``TIMEOUT``.
+    drain_timeout:
+        Default bound (seconds) on :meth:`stop`'s graceful drain; ``None``
+        waits for in-flight work indefinitely (the pre-chaos behaviour).
+    faults:
+        Optional :class:`~repro.engine.faults.FaultInjector` probed at the
+        ``serving.send`` site (response truncation).  ``None`` in
+        production: the cost is one attribute check per batch.
     """
 
     def __init__(
@@ -379,6 +464,8 @@ class DatabaseServer:
         statement_timeout: float = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         plan_cache: int = 256,
+        drain_timeout: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if max_concurrent < 1:
             raise ValidationError("max_concurrent must be at least 1")
@@ -394,6 +481,8 @@ class DatabaseServer:
         self.max_queue = max_queue
         self.statement_timeout = statement_timeout
         self.max_frame_bytes = max_frame_bytes
+        self.drain_timeout = drain_timeout
+        self.faults = faults
         self._lock = ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_concurrent, thread_name_prefix="repro-serve"
@@ -403,11 +492,23 @@ class DatabaseServer:
         self._connections: set = set()
         self._next_session = 0
         self._inflight = 0
+        self._active_batches = 0
         self._stopping = False
         # Monitoring counters (exposed by the ``stats`` op).
-        self.statements_served = 0
-        self.statements_shed = 0
-        self.statements_timed_out = 0
+        self.stats = ServerStats()
+
+    # Back-compat aliases for the pre-ServerStats counter attributes.
+    @property
+    def statements_served(self) -> int:
+        return self.stats.statements_served
+
+    @property
+    def statements_shed(self) -> int:
+        return self.stats.statements_shed
+
+    @property
+    def statements_timed_out(self) -> int:
+        return self.stats.statements_timed_out
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -417,25 +518,55 @@ class DatabaseServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self, *, close_database: bool = False) -> None:
-        """Drain and stop: no new connections, finish in-flight work, then
-        shut the thread pool down — and only then (optionally) close the
-        database, so worker-pool teardown can never race a live statement."""
+    async def stop(
+        self,
+        *,
+        close_database: bool = False,
+        drain_timeout: Optional[float] = _UNSET,
+    ) -> bool:
+        """Graceful drain and stop; returns whether the drain completed.
+
+        Phases: (1) stop accepting — the listener closes and admission
+        control sheds new statements with BUSY; (2) drain — wait for every
+        in-flight batch to finish and flush its responses, bounded by
+        ``drain_timeout`` (the constructor default if not given, ``None`` =
+        unbounded); (3) disconnect survivors and shut the thread pool down.
+        When the deadline expires with work still running the pool is shut
+        down without waiting (a Python thread cannot be killed) and
+        ``False`` is returned so callers — e.g. the ``repro.serve`` CLI —
+        can exit nonzero.  Only a completed drain may close the database:
+        worker-pool teardown must never race a live statement.
+        """
+        if drain_timeout is _UNSET:
+            drain_timeout = self.drain_timeout
         self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        drained = await self._drain(drain_timeout)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        # Blocks until every submitted statement thread has finished.
+        # Blocks until every submitted statement thread has finished — unless
+        # the drain already gave up on a wedged statement.
         await asyncio.get_running_loop().run_in_executor(
-            None, lambda: self._pool.shutdown(wait=True)
+            None, lambda: self._pool.shutdown(wait=drained)
         )
-        if close_database:
+        if close_database and drained:
             self.database.close()
+        return drained
+
+    async def _drain(self, timeout: Optional[float]) -> bool:
+        """Wait for in-flight batches and statements to reach zero."""
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while self._active_batches or self._inflight:
+            if deadline is not None and loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -454,24 +585,82 @@ class DatabaseServer:
         session = Session(self._next_session)
         self._sessions[session.id] = session
         buffer = bytearray()
+        recv: Optional[asyncio.Task] = None
+        batch: Optional[asyncio.Task] = None
+        clean_close = False
         try:
             while True:
                 items = self._extract_frames(buffer)
                 if not items:
-                    chunk = await reader.read(65536)
+                    if recv is None:
+                        recv = asyncio.ensure_future(reader.read(65536))
+                    chunk = await recv
+                    recv = None
                     if not chunk:
                         break  # client disconnected (possibly mid-frame)
                     buffer.extend(chunk)
                     continue
-                if await self._process_batch(session, items, writer):
+                # Race the batch against further socket reads so a client
+                # that vanishes mid-statement cancels the *await* instead of
+                # stranding the connection until the statement finishes.
+                # Data that arrives while the batch runs (a pipelining
+                # client) is buffered for the next iteration.
+                batch = asyncio.ensure_future(
+                    self._process_batch(session, items, writer)
+                )
+                disconnected = False
+                while not batch.done():
+                    if recv is None:
+                        recv = asyncio.ensure_future(reader.read(65536))
+                    await asyncio.wait(
+                        {batch, recv}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    if not recv.done():
+                        continue
+                    try:
+                        chunk = recv.result()
+                    except (ConnectionError, OSError):
+                        chunk = b""
+                    recv = None
+                    if chunk:
+                        buffer.extend(chunk)
+                    elif not batch.done():
+                        # EOF with the batch still in flight: abandon the
+                        # response.  The statement thread runs to completion
+                        # and its done-callback releases the lock.
+                        batch.cancel()
+                        try:
+                            await batch
+                        except asyncio.CancelledError:
+                            pass
+                        batch = None
+                        self.stats.statements_cancelled += 1
+                        disconnected = True
+                        break
+                if disconnected:
+                    break
+                close = batch.result()
+                batch = None
+                if close:
+                    clean_close = True
                     break
         except asyncio.CancelledError:
             pass  # server shutdown
         except ConnectionError:
             pass  # mid-query disconnect: results are discarded
         finally:
+            if not clean_close:
+                self.stats.client_disconnects += 1
+            for pending in (recv, batch):
+                if pending is not None and not pending.done():
+                    pending.cancel()
+                    try:
+                        await pending
+                    except (asyncio.CancelledError, ConnectionError, OSError):
+                        pass
             self._sessions.pop(session.id, None)
             self._connections.discard(task)
+            _shutdown_transport(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -529,6 +718,15 @@ class DatabaseServer:
         control ops, and protocol errors act as barriers: queued reads flush
         first so every response lands in request order.
         """
+        self._active_batches += 1
+        try:
+            return await self._process_batch_inner(session, items, writer)
+        finally:
+            self._active_batches -= 1
+
+    async def _process_batch_inner(
+        self, session: Session, items: List[Any], writer: asyncio.StreamWriter
+    ) -> bool:
         frames: List[bytes] = []
         close = False
         pending_reads: List[Any] = []
@@ -571,7 +769,18 @@ class DatabaseServer:
                 await flush_reads()
                 frames.append(json_frame(_error_payload(exc)))
         await flush_reads()
-        writer.write(b"".join(frames))
+        blob = b"".join(frames)
+        if self.faults is not None and blob:
+            fault = self.faults.probe("serving.send")
+            if fault is not None and fault.kind == WIRE_TRUNCATE:
+                # Chaos: lose the tail of the response batch.  The work is
+                # already committed — the client sees a broken frame and must
+                # treat unacknowledged statements as in-doubt.
+                self.stats.truncated_sends += 1
+                writer.write(blob[: max(1, len(blob) // 2)])
+                await writer.drain()
+                return True
+        writer.write(blob)
         await writer.drain()
         return close
 
@@ -627,9 +836,9 @@ class DatabaseServer:
 
     def _count_error(self, exc: BaseException) -> None:
         if isinstance(exc, StatementTimeoutError):
-            self.statements_timed_out += 1
+            self.stats.statements_timed_out += 1
         if isinstance(exc, ServerBusyError):
-            self.statements_shed += 1
+            self.stats.statements_shed += 1
 
     async def _dispatch_control(
         self, session: Session, request: Dict[str, Any]
@@ -689,17 +898,35 @@ class DatabaseServer:
         # mutates table data; the cache has its own lock.
         return await loop.run_in_executor(self._pool, prepare)
 
+    def _retry_after_ms(self) -> int:
+        """Backoff hint for a shed statement, sized to the backlog.
+
+        Rough model: each queued statement ahead of the retrier takes some
+        slice of a worker; 20 ms per backlogged statement, clamped to
+        [25 ms, 2 s], is enough to spread a thundering herd without making a
+        briefly-saturated server look down.
+        """
+        backlog = max(0, self._inflight - self.max_concurrent)
+        return max(25, min(2000, 20 * (backlog + 1)))
+
     def _op_stats(self) -> Dict[str, Any]:
         cache = self.database.plan_cache
+        server = {
+            "sessions": len(self._sessions),
+            "inflight": self._inflight,
+            "active_batches": self._active_batches,
+        }
+        server.update(self.stats.as_dict())
+        worker_pool = getattr(self.database, "_worker_pool", None)
         return {
             "ok": True,
-            "server": {
-                "sessions": len(self._sessions),
-                "inflight": self._inflight,
-                "served": self.statements_served,
-                "shed": self.statements_shed,
-                "timed_out": self.statements_timed_out,
+            "server": server,
+            "lock": {
+                "active_readers": self._lock.active_readers,
+                "writer_active": self._lock.writer_active,
+                "waiters": self._lock.waiters,
             },
+            "worker_pool": None if worker_pool is None else worker_pool.stats(),
             "plan_cache": None if cache is None else cache.stats(),
         }
 
@@ -725,7 +952,7 @@ class DatabaseServer:
                 )
         else:
             result = execute()
-        self.statements_served += 1
+        self.stats.statements_served += 1
         return json_frame(_result_payload(result))
 
     @staticmethod
@@ -741,7 +968,8 @@ class DatabaseServer:
             raise ServerBusyError("server is shutting down")
         if self._inflight >= self.max_concurrent + self.max_queue:
             raise ServerBusyError(
-                f"server at capacity ({self._inflight} statements in flight)"
+                f"server at capacity ({self._inflight} statements in flight)",
+                retry_after_ms=self._retry_after_ms(),
             )
         self._inflight += 1
         try:
@@ -752,7 +980,14 @@ class DatabaseServer:
                 await self._lock.acquire_write()
                 release = self._lock.release_write
             loop = asyncio.get_running_loop()
-            thread_future: ThreadFuture = self._pool.submit(run)
+            try:
+                thread_future: ThreadFuture = self._pool.submit(run)
+            except RuntimeError:
+                # Pool already shut down (stop raced a late batch).  Without
+                # a thread future there is no done-callback, so release here
+                # or the lock leaks forever.
+                release()
+                raise ServerBusyError("server is shutting down") from None
 
             def on_done(_: ThreadFuture) -> None:
                 # The lock is held until the statement thread truly finishes,
@@ -776,6 +1011,31 @@ class DatabaseServer:
                 ) from None
         finally:
             self._inflight -= 1
+
+
+def _shutdown_transport(writer: asyncio.StreamWriter) -> None:
+    """Send FIN explicitly before closing a connection's transport.
+
+    ``transport.close()`` only closes this process's file descriptor.  The
+    parallel worker pool forks, and forked workers inherit every open fd —
+    including accepted client sockets — so the kernel keeps the connection
+    alive after our close and the client hangs on read until its own
+    timeout instead of seeing EOF.  ``socket.shutdown`` acts on the
+    *connection*, not the fd refcount: the FIN goes out no matter who else
+    holds a copy.  Skipped when the transport still buffers unflushed
+    response bytes (shutdown would drop them); ``close()`` flushes first
+    in that rare case.
+    """
+    transport = writer.transport
+    if transport.is_closing() or transport.get_write_buffer_size():
+        return
+    sock = writer.get_extra_info("socket")
+    if sock is None:
+        return
+    try:
+        sock.shutdown(socket.SHUT_WR)
+    except OSError:
+        pass
 
 
 def _swallow_exception(future: "asyncio.Future[Any]") -> None:
@@ -842,24 +1102,33 @@ class ServerThread:
         finally:
             loop.close()
 
-    def stop(self, *, close_database: bool = False) -> None:
+    def stop(
+        self,
+        *,
+        close_database: bool = False,
+        drain_timeout: Optional[float] = _UNSET,
+    ) -> bool:
         loop = self._loop
         if loop is None or not loop.is_running():
-            return
-        drained = threading.Event()
+            return True
+        done = threading.Event()
+        outcome = {"drained": True}
 
         async def drain() -> None:
             try:
-                await self.server.stop(close_database=close_database)
+                outcome["drained"] = await self.server.stop(
+                    close_database=close_database, drain_timeout=drain_timeout
+                )
             finally:
-                drained.set()
+                done.set()
                 loop.stop()
 
         asyncio.run_coroutine_threadsafe(drain(), loop)
-        drained.wait()
+        done.wait()
         if self._thread is not None:
             self._thread.join()
         self._loop = None
+        return outcome["drained"]
 
     def __enter__(self) -> "ServerThread":
         return self.start()

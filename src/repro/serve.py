@@ -2,14 +2,19 @@
 
 Starts a :class:`~repro.engine.serving.DatabaseServer` around a fresh
 in-memory :class:`~repro.engine.database.Database`, optionally priming it
-with a SQL script, and serves until interrupted.  See ``docs/serving.md``
-for the wire protocol and the client helper.
+with a SQL script, and serves until interrupted.  SIGTERM and SIGINT both
+trigger a *graceful drain*: the listener closes, in-flight statements
+finish (bounded by ``--drain-timeout``), and the process exits 0 on a
+clean drain or 1 if the deadline expired with work still running — so
+process supervisors can tell an orderly shutdown from an abandoned one.
+See ``docs/serving.md`` for the wire protocol and the client helper.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from typing import List, Optional
 
@@ -32,6 +37,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="statements allowed to wait before BUSY shedding")
     parser.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
                         help="per-statement timeout")
+    parser.add_argument("--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+                        help="graceful-shutdown bound on finishing in-flight "
+                             "statements (exit 1 if exceeded)")
     parser.add_argument("--parallel", type=int, default=0, metavar="WORKERS",
                         help="intra-query parallel worker processes (0 disables)")
     parser.add_argument("--segments", type=int, default=1, metavar="N",
@@ -53,17 +61,40 @@ def _run_init_script(database: Database, path: str) -> int:
     return count
 
 
-async def _serve(server: DatabaseServer) -> None:
+async def _serve(server: DatabaseServer, drain_timeout: float) -> bool:
+    """Serve until a shutdown signal; returns whether the drain completed."""
     await server.start()
     print(f"repro serving on {server.host}:{server.port} "
           f"(plan_cache={server.database.plan_cache_size}, "
           f"max_concurrent={server.max_concurrent})", flush=True)
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+    installed: List[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, shutdown.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):
+            # Platforms without loop signal handlers (e.g. Windows event
+            # loops) fall back to KeyboardInterrupt in main().
+            pass
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    wait_task = asyncio.ensure_future(shutdown.wait())
     try:
-        await server.serve_forever()
-    except asyncio.CancelledError:
-        pass
+        await asyncio.wait({serve_task, wait_task},
+                           return_when=asyncio.FIRST_COMPLETED)
     finally:
-        await server.stop(close_database=True)
+        for task in (serve_task, wait_task):
+            task.cancel()
+        await asyncio.gather(serve_task, wait_task, return_exceptions=True)
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+    print("draining...", flush=True)
+    drained = await server.stop(close_database=True, drain_timeout=drain_timeout)
+    if not drained:
+        print(f"drain deadline ({drain_timeout}s) exceeded with statements "
+              "still running", file=sys.stderr, flush=True)
+    return drained
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -84,10 +115,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         plan_cache=args.plan_cache,
     )
     try:
-        asyncio.run(_serve(server))
+        drained = asyncio.run(_serve(server, args.drain_timeout))
     except KeyboardInterrupt:
         print("\nshutting down", flush=True)
-    return 0
+        return 0
+    print("shutdown complete" if drained else "shutdown incomplete", flush=True)
+    return 0 if drained else 1
 
 
 if __name__ == "__main__":

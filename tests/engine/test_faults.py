@@ -1,0 +1,131 @@
+"""The fault-injection registry: determinism, rates, bounds, bookkeeping.
+
+Everything the chaos harness builds on reduces to one property: probe *n*
+at a site fires (or not) as a pure function of ``(seed, site, n)`` —
+independent of thread scheduling, other sites, and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.faults import (
+    CLIENT_STALL,
+    WORKER_CRASH,
+    WORKER_HANG,
+    FaultInjector,
+)
+
+
+def _firing_pattern(seed: int, site: str, kind: str, rate: float, probes: int):
+    injector = FaultInjector(seed).arm(site, kind, rate=rate)
+    return [injector.probe(site) is not None for _ in range(probes)]
+
+
+def test_same_seed_same_pattern():
+    a = _firing_pattern(7, "parallel.task", WORKER_CRASH, 0.3, 200)
+    b = _firing_pattern(7, "parallel.task", WORKER_CRASH, 0.3, 200)
+    assert a == b
+    assert any(a) and not all(a)  # 0.3 over 200 probes fires some, not all
+
+
+def test_different_seeds_differ():
+    a = _firing_pattern(1, "parallel.task", WORKER_CRASH, 0.3, 200)
+    b = _firing_pattern(2, "parallel.task", WORKER_CRASH, 0.3, 200)
+    assert a != b
+
+
+def test_rate_zero_and_one():
+    assert not any(_firing_pattern(5, "s", WORKER_CRASH, 0.0, 50))
+    assert all(_firing_pattern(5, "s", WORKER_CRASH, 1.0, 50))
+
+
+def test_rate_roughly_respected():
+    fires = sum(_firing_pattern(11, "s", WORKER_CRASH, 0.25, 2000))
+    assert 350 < fires < 650  # 500 expected; generous deterministic bounds
+
+
+def test_max_fires_bounds_total():
+    injector = FaultInjector(3).arm("s", WORKER_CRASH, max_fires=2)
+    fired = [injector.probe("s") for _ in range(10)]
+    assert sum(1 for f in fired if f is not None) == 2
+    # The first two probes fire (rate 1.0), the rest are exhausted.
+    assert fired[0] is not None and fired[1] is not None
+    assert all(f is None for f in fired[2:])
+
+
+def test_unarmed_site_is_silent_and_free():
+    injector = FaultInjector(0).arm("armed", WORKER_CRASH)
+    assert injector.probe("other") is None
+    # Probing an unarmed site does not advance any counter.
+    assert injector.probes("other") == 0
+
+
+def test_sites_are_independent():
+    """A site's pattern does not depend on how often other sites probed."""
+    solo = FaultInjector(9).arm("a", WORKER_CRASH, rate=0.4)
+    solo_pattern = [solo.probe("a") is not None for _ in range(100)]
+
+    mixed = FaultInjector(9).arm("a", WORKER_CRASH, rate=0.4).arm("b", WORKER_HANG)
+    mixed_pattern = []
+    for _ in range(100):
+        mixed.probe("b")
+        mixed_pattern.append(mixed.probe("a") is not None)
+    assert solo_pattern == mixed_pattern
+
+
+def test_first_matching_spec_wins():
+    injector = (
+        FaultInjector(4)
+        .arm("s", WORKER_CRASH, max_fires=1)
+        .arm("s", WORKER_HANG)
+    )
+    first = injector.probe("s")
+    second = injector.probe("s")
+    assert first is not None and first.kind == WORKER_CRASH
+    assert second is not None and second.kind == WORKER_HANG  # crash exhausted
+
+
+def test_delay_defaults_by_kind():
+    injector = FaultInjector(0).arm("s", WORKER_HANG).arm("t", CLIENT_STALL)
+    assert injector.probe("s").delay == 3600.0
+    assert injector.probe("t").delay == 0.1
+
+
+def test_history_and_counters():
+    injector = FaultInjector(2).arm("s", WORKER_CRASH, max_fires=3)
+    for _ in range(5):
+        injector.probe("s")
+    assert injector.fired("s", WORKER_CRASH) == 3
+    assert injector.probes("s") == 5
+    history = injector.history()
+    assert [f.sequence for f in history] == [0, 1, 2]
+    injector.reset()
+    assert injector.fired() == 0 and injector.probes("s") == 0
+    # Arms survive a reset and replay the identical pattern.
+    assert injector.probe("s") is not None
+
+
+def test_disarm():
+    injector = FaultInjector(0).arm("s", WORKER_CRASH).arm("s", WORKER_HANG)
+    injector.disarm("s", WORKER_CRASH)
+    assert injector.probe("s").kind == WORKER_HANG
+    injector.disarm("s")
+    assert injector.probe("s") is None
+
+
+def test_thread_safety_counts_every_probe():
+    injector = FaultInjector(6).arm("s", WORKER_CRASH, rate=0.5)
+    fires = []
+
+    def worker():
+        local = sum(1 for _ in range(500) if injector.probe("s") is not None)
+        fires.append(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert injector.probes("s") == 2000
+    assert injector.fired("s") == sum(fires)

@@ -1,0 +1,281 @@
+"""Cancellation, FIFO-lock fairness, drain deadlines, BUSY retry hints.
+
+The invariant every test here circles: whatever happens to a statement —
+client gone, deadline blown, waiter cancelled mid-queue — the server's
+readers/writer lock ends **idle**.  A leaked hold would wedge every later
+writer forever, which is why ``ReadWriteLock.idle`` exists as a property
+instead of living only in our heads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import threading
+import time
+
+from repro import Database
+from repro.engine.serving import ReadWriteLock, ServerThread, ServingClient
+
+SLOW_SQL = "SELECT count(sleepy(ms)) FROM slowt"  # ~1 second
+
+
+def _make_database() -> Database:
+    db = Database(num_segments=2, plan_cache=32)
+    db.create_function(
+        "sleepy", lambda ms: time.sleep(ms / 1000.0) or ms, volatile=True
+    )
+    db.execute("CREATE TABLE slowt (ms INTEGER)")
+    db.load_rows("slowt", [(100,)] * 10)
+    return db
+
+
+def _send_raw(client: ServingClient, sql: str) -> None:
+    """Ship a query frame without waiting for the response."""
+    client._write_frame({"op": "query", "sql": sql})
+    client._file.flush()
+
+
+def _await_idle(server: ServerThread, deadline: float = 6.0) -> bool:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if server.server._lock.idle:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# ReadWriteLock: FIFO grants and cancellation fairness
+# ---------------------------------------------------------------------------
+
+
+def test_lock_fifo_skips_cancelled_writer_and_batches_readers():
+    """Queue [reader A, writer B, reader C] behind a writer, cancel B while
+    it waits: the release grants A and C as one reader batch."""
+
+    async def scenario() -> None:
+        lock = ReadWriteLock()
+        await lock.acquire_write()
+        order = []
+
+        async def reader(name: str) -> None:
+            await lock.acquire_read()
+            order.append(name)
+
+        async def writer(name: str) -> None:
+            await lock.acquire_write()
+            order.append(name)
+
+        a = asyncio.ensure_future(reader("A"))
+        await asyncio.sleep(0)
+        b = asyncio.ensure_future(writer("B"))
+        await asyncio.sleep(0)
+        c = asyncio.ensure_future(reader("C"))
+        await asyncio.sleep(0)
+        assert lock.waiters == 3
+        b.cancel()
+        await asyncio.gather(b, return_exceptions=True)
+        lock.release_write()
+        await asyncio.gather(a, c)
+        assert order == ["A", "C"]
+        assert lock.active_readers == 2
+        lock.release_read()
+        lock.release_read()
+        assert lock.idle
+
+    asyncio.run(scenario())
+
+
+def test_lock_waiting_writer_blocks_later_readers():
+    """No writer starvation: a reader arriving behind a queued writer waits."""
+
+    async def scenario() -> None:
+        lock = ReadWriteLock()
+        await lock.acquire_read()
+        order = []
+
+        async def writer() -> None:
+            await lock.acquire_write()
+            order.append("W")
+            lock.release_write()
+
+        async def reader() -> None:
+            await lock.acquire_read()
+            order.append("R")
+            lock.release_read()
+
+        w = asyncio.ensure_future(writer())
+        await asyncio.sleep(0)
+        r = asyncio.ensure_future(reader())
+        await asyncio.sleep(0)
+        lock.release_read()
+        await asyncio.gather(w, r)
+        assert order == ["W", "R"]
+        assert lock.idle
+
+    asyncio.run(scenario())
+
+
+def test_lock_randomized_cancel_grant_interleaving():
+    """Fuzz: dozens of readers/writers with a third of them cancelled at
+    random times — some while queued, some in the grant tick, some while
+    holding.  Exclusion holds throughout and the lock ends idle."""
+
+    async def fuzz(seed: int) -> None:
+        rng = random.Random(seed)
+        lock = ReadWriteLock()
+        state = {"readers": 0, "writer": False}
+        violations = []
+
+        async def actor(kind: str, hold: float, start: float) -> None:
+            await asyncio.sleep(start)
+            if kind == "w":
+                await lock.acquire_write()
+                if state["readers"] or state["writer"]:
+                    violations.append(("w", dict(state)))
+                state["writer"] = True
+                try:
+                    await asyncio.sleep(hold)
+                finally:
+                    state["writer"] = False
+                    lock.release_write()
+            else:
+                await lock.acquire_read()
+                if state["writer"]:
+                    violations.append(("r", dict(state)))
+                state["readers"] += 1
+                try:
+                    await asyncio.sleep(hold)
+                finally:
+                    state["readers"] -= 1
+                    lock.release_read()
+
+        tasks = [
+            asyncio.ensure_future(
+                actor(
+                    "w" if rng.random() < 0.35 else "r",
+                    rng.uniform(0.0, 0.004),
+                    rng.uniform(0.0, 0.004),
+                )
+            )
+            for _ in range(40)
+        ]
+        loop = asyncio.get_running_loop()
+        for task in rng.sample(tasks, len(tasks) // 3):
+            loop.call_later(rng.uniform(0.0, 0.006), task.cancel)
+        await asyncio.gather(*tasks, return_exceptions=True)
+        assert not violations, violations[:3]
+        assert lock.idle, f"seed {seed}: leaked lock state"
+
+    for seed in range(12):
+        asyncio.run(fuzz(seed))
+
+
+# ---------------------------------------------------------------------------
+# Server-side cancellation and timeout: the lock never leaks
+# ---------------------------------------------------------------------------
+
+
+def test_disconnect_cancels_inflight_statement():
+    """An abruptly-dropped client (no polite close frame) cancels its
+    running statement; the server counts it and stays fully usable."""
+    db = _make_database()
+    with ServerThread(db, max_concurrent=4, max_queue=8) as server:
+        victim = ServingClient(server.host, server.port)
+        _send_raw(victim, SLOW_SQL)
+        time.sleep(0.3)  # statement admitted and running
+        # shutdown() sends the FIN now; close() alone would leave the fd
+        # open behind the makefile() wrapper's io-ref.
+        victim._sock.shutdown(socket.SHUT_RDWR)
+        victim._sock.close()  # abrupt: server sees EOF mid-statement
+
+        deadline = time.monotonic() + 6.0
+        while time.monotonic() < deadline:
+            if server.server.stats.statements_cancelled >= 1:
+                break
+            time.sleep(0.02)
+        assert server.server.stats.statements_cancelled >= 1
+        assert server.server.stats.client_disconnects >= 1
+
+        with ServingClient(server.host, server.port) as client:
+            assert client.query("SELECT count(*) FROM slowt").rows[0][0] == 10
+        # The orphaned worker thread finishes and the done-callback
+        # releases the read hold — nothing leaks.
+        assert _await_idle(server)
+
+
+def test_timeout_surfaces_and_releases_lock():
+    """A TIMEOUT reply does not strand the read hold: a write queued behind
+    the runaway statement still lands once its thread finishes."""
+    db = _make_database()
+    with ServerThread(
+        db, max_concurrent=4, max_queue=8, statement_timeout=0.2
+    ) as server:
+        with ServingClient(server.host, server.port) as client:
+            reply = client.pipeline([{"op": "query", "sql": SLOW_SQL}])[0]
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "TIMEOUT"
+            # The write waits FIFO behind the still-running thread, then
+            # proceeds — impossible if the timeout leaked the lock.
+            result = client.query("INSERT INTO slowt VALUES (1)")
+            assert result.rowcount == 1
+        assert server.server.stats.statements_timed_out >= 1
+        assert _await_idle(server)
+
+
+def test_busy_shed_carries_retry_after_hint():
+    db = _make_database()
+    with ServerThread(db, max_concurrent=1, max_queue=0) as server:
+        blocker = ServingClient(server.host, server.port)
+        try:
+            _send_raw(blocker, SLOW_SQL)
+            time.sleep(0.3)  # blocker occupies the only execution slot
+            with ServingClient(server.host, server.port) as probe:
+                reply = probe.pipeline(
+                    [{"op": "query", "sql": "SELECT count(*) FROM slowt"}]
+                )[0]
+            assert reply["ok"] is False
+            error = reply["error"]
+            assert error["code"] == "BUSY"
+            assert isinstance(error["retry_after_ms"], int)
+            assert error["retry_after_ms"] >= 25
+        finally:
+            blocker.close()
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_stop_drains_inflight_statement():
+    db = _make_database()
+    server = ServerThread(db, max_concurrent=2, max_queue=4).start()
+    client = ServingClient(server.host, server.port)
+    replies = []
+    reader = threading.Thread(
+        target=lambda: replies.append(client.pipeline([{"op": "query", "sql": SLOW_SQL}]))
+    )
+    reader.start()
+    time.sleep(0.3)
+    drained = server.stop(close_database=True, drain_timeout=10.0)
+    assert drained is True
+    reader.join(timeout=5.0)
+    assert replies and replies[0][0]["ok"], "drained statement lost its reply"
+    client._sock.close()
+
+
+def test_stop_reports_drain_deadline_exceeded():
+    db = _make_database()
+    server = ServerThread(db, max_concurrent=2, max_queue=4).start()
+    client = ServingClient(server.host, server.port)
+    try:
+        _send_raw(client, SLOW_SQL)
+        time.sleep(0.3)
+        drained = server.stop(drain_timeout=0.05)
+        assert drained is False
+    finally:
+        client._sock.close()
+        db.close()
