@@ -1,0 +1,201 @@
+"""Materialized-view maintenance benchmark: O(delta) upkeep vs the baselines.
+
+Loads a base table (default 100k rows, ~100 groups), defines an incremental
+grouped-aggregate view, then measures the cost of absorbing a 1% insert batch
+three ways:
+
+* **incremental** — INSERT with the view installed; maintenance folds only
+  the delta rows into the stored aggregate states.
+* **recompute**   — INSERT with no view watching, then a full REFRESH
+  (rescan of the whole base table), the strategy a non-incremental view
+  is forced into.
+* **on-demand**   — INSERT, then re-run the defining query from scratch,
+  the no-view-at-all baseline.
+
+The acceptance gate is ``incremental`` at least 10x faster than
+``recompute`` at the 1% delta.  A second scenario repeats the measurement
+with a ``linregr`` model view (the paper's running example): each insert
+batch leaves a continuously fresh model without retraining.
+
+Entry points:
+
+* ``python benchmarks/bench_matview.py`` — full run, writes
+  ``BENCH_matview.json``.
+* ``python benchmarks/bench_matview.py --smoke`` — scaled down (~seconds);
+  the CI configuration.  Exit status is nonzero if the speedup gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Database
+from repro.methods.linear_regression import install_linear_regression
+
+REQUIRED_SPEEDUP = 10.0
+
+AGG_VIEW_SQL = (
+    "SELECT k, count(*) AS n, sum(v) AS total, avg(v) AS mean, "
+    "min(v) AS lo, max(v) AS hi FROM base GROUP BY k"
+)
+LINREGR_VIEW_SQL = "SELECT linregr(y, x) AS model FROM points"
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _delta_rows(rows: int, groups: int, offset: int) -> List[tuple]:
+    return [((offset + i) % groups, (offset + i) * 3 % 997) for i in range(rows)]
+
+
+def _bench_aggregate(rows: int, groups: int, repeats: int) -> Dict:
+    """Time one 1% insert delta under each maintenance discipline."""
+    delta = max(1, rows // 100)
+
+    def make_db(with_view: bool) -> Database:
+        db = Database(num_segments=2)
+        db.execute("CREATE TABLE base (k INTEGER, v INTEGER)")
+        db.load_rows("base", _delta_rows(rows, groups, 0))
+        if with_view:
+            db.execute(f"CREATE MATERIALIZED VIEW agg AS {AGG_VIEW_SQL}")
+            db.execute("SELECT * FROM agg")  # settle the initial build
+        return db
+
+    incremental: List[float] = []
+    recompute: List[float] = []
+    on_demand: List[float] = []
+    for rep in range(repeats):
+        batch = _delta_rows(delta, groups, rows + rep * delta)
+        values = ", ".join(f"({k}, {v})" for k, v in batch)
+        insert = f"INSERT INTO base VALUES {values}"
+
+        db = make_db(with_view=True)
+        incremental.append(_timed(lambda: db.execute(insert)))
+        folded = db.execute("SELECT * FROM agg").rows
+
+        db = make_db(with_view=True)
+        db.execute(insert)
+        # Force the full-rescan path on the same end state for a fair check.
+        recompute.append(_timed(lambda: db.execute("REFRESH MATERIALIZED VIEW agg")))
+        refreshed = db.execute("SELECT * FROM agg").rows
+
+        db = make_db(with_view=False)
+        db.execute(insert)
+        on_demand.append(_timed(lambda: db.execute(AGG_VIEW_SQL)))
+
+        if repr(folded) != repr(refreshed):
+            raise AssertionError("incremental fold diverged from full refresh")
+
+    best = {
+        "incremental_s": min(incremental),
+        "recompute_s": min(recompute),
+        "on_demand_s": min(on_demand),
+    }
+    best["speedup_vs_recompute"] = best["recompute_s"] / best["incremental_s"]
+    best["speedup_vs_on_demand"] = best["on_demand_s"] / best["incremental_s"]
+    return {
+        "scenario": "grouped-aggregates",
+        "rows": rows,
+        "groups": groups,
+        "delta_rows": delta,
+        **{k: round(v, 6) for k, v in best.items()},
+    }
+
+
+def _bench_linregr(rows: int, batches: int) -> Dict:
+    """A continuously fresh linear-regression model view under streaming inserts."""
+    delta = max(1, rows // 100)
+    db = Database(num_segments=2)
+    install_linear_regression(db)
+    db.execute("CREATE TABLE points (y DOUBLE PRECISION, x DOUBLE PRECISION[])")
+    db.load_rows(
+        "points",
+        [
+            (2.0 * (i % 50) + 3.0 * (i % 7) + 1.0, [1.0, float(i % 50), float(i % 7)])
+            for i in range(rows)
+        ],
+    )
+    db.execute(f"CREATE MATERIALIZED VIEW model AS {LINREGR_VIEW_SQL}")
+    db.execute("SELECT * FROM model")
+
+    upkeep: List[float] = []
+    for batch in range(batches):
+        values = ", ".join(
+            f"({2.0 * ((rows + i) % 50) + 3.0 * ((rows + i) % 7) + 1.0}, "
+            f"ARRAY[1.0, {float((rows + i) % 50)}, {float((rows + i) % 7)}])"
+            for i in range(delta)
+        )
+        insert = f"INSERT INTO points VALUES {values}"
+        upkeep.append(_timed(lambda: db.execute(insert)))
+        fresh = db.execute("SELECT * FROM model").rows
+        direct = db.execute(LINREGR_VIEW_SQL).rows
+        if repr(fresh) != repr(direct):
+            raise AssertionError("model view diverged from direct query")
+
+    retrain = _timed(lambda: db.execute("REFRESH MATERIALIZED VIEW model"))
+    view = db.catalog.get_matview("model")
+    return {
+        "scenario": "linregr-model",
+        "rows": rows,
+        "delta_rows": delta,
+        "batches": batches,
+        "upkeep_per_batch_s": round(min(upkeep), 6),
+        "full_retrain_s": round(retrain, 6),
+        "speedup_vs_retrain": round(retrain / min(upkeep), 3),
+        "deltas_applied": view.deltas_applied,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=100_000, metavar="N",
+                        help="base-table rows (default 100000)")
+    parser.add_argument("--groups", type=int, default=100, metavar="N",
+                        help="distinct group keys (default 100)")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="measurement repeats, best-of (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 20k rows, 1 repeat, no output file")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write results JSON here (default BENCH_matview.json; "
+                             "smoke mode writes nothing)")
+    args = parser.parse_args(argv)
+
+    rows = 20_000 if args.smoke else args.rows
+    repeats = 1 if args.smoke else args.repeats
+
+    agg = _bench_aggregate(rows, args.groups, repeats)
+    linregr = _bench_linregr(max(2_000, rows // 10), batches=2 if args.smoke else 5)
+    results = [agg, linregr]
+
+    for entry in results:
+        print(json.dumps(entry), flush=True)
+
+    speedup = agg["speedup_vs_recompute"]
+    ok = speedup >= REQUIRED_SPEEDUP
+    print(
+        f"matview: incremental {speedup:.1f}x faster than recompute at "
+        f"{agg['delta_rows']}/{rows} delta "
+        f"({'PASS' if ok else f'FAIL, need {REQUIRED_SPEEDUP:.0f}x'})",
+        flush=True,
+    )
+
+    if not args.smoke:
+        output = Path(args.output or Path(__file__).parent / "BENCH_matview.json")
+        output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {output}", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,9 @@ class Catalog:
         #: Per-table ANALYZE snapshots (:class:`repro.engine.planner.TableStatistics`),
         #: keyed by lowercased table name.
         self._statistics: Dict[str, object] = {}
+        #: Materialized views (:class:`repro.engine.matview.MaterializedView`),
+        #: keyed by lowercased view name.
+        self._matviews: Dict[str, object] = {}
         # Monotonic catalog mutation counter: bumped by every DDL-shaped
         # change (tables, indexes, UDFs, UDAs, ANALYZE snapshots).  The plan
         # cache (:mod:`repro.engine.plancache`) snapshots it per entry so any
@@ -58,6 +61,10 @@ class Catalog:
         key = table.name.lower()
         if key in self._tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists")
+        if key in self._matviews:
+            raise CatalogError(
+                f"a materialized view named {table.name!r} already exists"
+            )
         self._tables[key] = table
         self._bump()
         return table
@@ -84,12 +91,26 @@ class Catalog:
             del self._indexes[index_name]
         self._statistics.pop(key, None)
         del self._tables[key]
+        # ... and to materialized views defined over the table (recursively,
+        # so views over views fall too).
+        for view_name in [
+            view.name for view in self._matviews.values() if key in view.dependencies
+        ]:
+            self.drop_matview(view_name, if_exists=True)
         self._bump()
 
     def rename_table(self, old: str, new: str) -> None:
         table = self.get_table(old)
         if self.has_table(new):
             raise CatalogError(f"table {new!r} already exists")
+        dependents = [
+            view.name for view in self._matviews.values() if old.lower() in view.dependencies
+        ]
+        if dependents:
+            raise CatalogError(
+                f"cannot rename table {old!r}: materialized view(s) "
+                f"{', '.join(sorted(dependents))} depend on it"
+            )
         del self._tables[old.lower()]
         table.name = new
         self._tables[new.lower()] = table
@@ -124,6 +145,59 @@ class Catalog:
         for name in temp_names:
             self.drop_table(name)
         return len(temp_names)
+
+    # -- materialized views --------------------------------------------------
+
+    def has_matview(self, name: str) -> bool:
+        return name.lower() in self._matviews
+
+    def get_matview(self, name: str):
+        try:
+            return self._matviews[name.lower()]
+        except KeyError:
+            raise CatalogError(f"materialized view {name!r} does not exist") from None
+
+    def create_matview(self, view) -> None:
+        key = view.name.lower()
+        if key in self._matviews:
+            raise CatalogError(f"materialized view {view.name!r} already exists")
+        if key in self._tables:
+            raise CatalogError(f"a table named {view.name!r} already exists")
+        self._matviews[key] = view
+        self._bump()
+
+    def drop_matview(self, name: str, *, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._matviews:
+            if if_exists:
+                return
+            raise CatalogError(f"materialized view {name!r} does not exist")
+        del self._matviews[key]
+        # Cascade to views defined over this view.
+        for view_name in [
+            view.name for view in self._matviews.values() if key in view.dependencies
+        ]:
+            self.drop_matview(view_name, if_exists=True)
+        self._bump()
+
+    def matview_names(self) -> List[str]:
+        return sorted(view.name for view in self._matviews.values())
+
+    def matviews(self) -> List[Dict[str, object]]:
+        """Observability listing: one JSON-safe record per view."""
+        return [
+            self._matviews[key].describe(self)
+            for key in sorted(self._matviews, key=lambda k: self._matviews[k].name)
+        ]
+
+    def incremental_matviews_on(self, table_name: str) -> List[object]:
+        """Incrementally maintained views whose base table is ``table_name``."""
+        key = table_name.lower()
+        return [
+            view
+            for view in self._matviews.values()
+            if view.strategy == "incremental" and view.base_table == key
+        ]
 
     # -- secondary indexes ---------------------------------------------------
 

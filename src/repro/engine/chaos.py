@@ -93,6 +93,10 @@ class ChaosReport:
     lock_idle: bool = False
     versions_monotone: bool = True
     replay_identical: bool = False
+    #: After the run drains: the materialized view's finalized contents are
+    #: byte-identical to re-running its defining query (no half-applied
+    #: deltas survive fault-injected writes).
+    matview_consistent: bool = False
     server_stats: Dict[str, Any] = field(default_factory=dict)
     pool_stats: Optional[Dict[str, int]] = None
     elapsed_seconds: float = 0.0
@@ -107,6 +111,7 @@ class ChaosReport:
             and self.lock_idle
             and self.versions_monotone
             and self.replay_identical
+            and self.matview_consistent
         )
 
     def summary(self) -> str:
@@ -298,7 +303,13 @@ def _client_worker(
             elif roll < 0.80:
                 sql = "SELECT count(*), sum(v) FROM chaos"
             elif roll < 0.90:
-                sql = "SELECT c, count(*) FROM chaos GROUP BY c"
+                # Alternate between the raw grouped aggregate and the
+                # materialized view of the same query, so view reads (and
+                # their lazy recomputes) interleave with faulted writes.
+                if seq % 2:
+                    sql = "SELECT c, cnt, total FROM chaos_by_c"
+                else:
+                    sql = "SELECT c, count(*) FROM chaos GROUP BY c"
             elif roll < 0.95:
                 key = rng.choice(live_keys)
                 sql = f"SELECT v FROM chaos WHERE k = {key}"
@@ -409,6 +420,13 @@ def run_chaos(
     db.execute("CREATE TABLE chaos (k INTEGER, c INTEGER, v INTEGER)")
     for i in range(_SEED_ROWS):
         db.execute(f"INSERT INTO chaos VALUES ({10_000_000 + i}, {_SEED_OWNER}, {i})")
+    # A continuously maintained view over the chaos table: every INSERT folds
+    # a delta into its group states, DELETE/UPDATE leave it stale, and the
+    # post-drain check asserts its contents still match the defining query.
+    db.execute(
+        "CREATE MATERIALIZED VIEW chaos_by_c AS "
+        "SELECT c, count(*) AS cnt, sum(v) AS total FROM chaos GROUP BY c"
+    )
 
     server = ServerThread(
         db,
@@ -479,10 +497,32 @@ def run_chaos(
                 report.in_doubt_writes += 1
 
     if not stuck:
+        report.matview_consistent = _check_matview(db, report.errors)
         report.replay_identical = _check_replay(db, ledgers, report.errors)
     db.close()
     report.elapsed_seconds = time.monotonic() - started
     return report
+
+
+def _check_matview(db: Database, errors: List[str]) -> bool:
+    """View/base-table consistency after the run drains.
+
+    Whatever subset of in-doubt writes actually committed, the view's
+    finalized contents must be byte-identical to re-running its defining
+    query — a half-applied delta (states folded for some rows of an insert
+    but not others) or a missed invalidation would show up here.
+    """
+    view_rows = db.execute("SELECT c, cnt, total FROM chaos_by_c").rows
+    direct_rows = db.execute(
+        "SELECT c, count(*) AS cnt, sum(v) AS total FROM chaos GROUP BY c"
+    ).rows
+    if repr(view_rows) != repr(direct_rows):
+        errors.append(
+            "matview chaos_by_c diverged from its defining query: "
+            f"view={view_rows[:4]!r}... direct={direct_rows[:4]!r}..."
+        )
+        return False
+    return True
 
 
 def _check_replay(

@@ -82,20 +82,24 @@ from .expressions import (
     Star,
     WindowCall,
 )
+from . import matview as matview_module
 from .parser.ast_nodes import (
     AlterTableRenameStatement,
     AnalyzeStatement,
     CreateIndexStatement,
+    CreateMaterializedViewStatement,
     CreateTableAsStatement,
     CreateTableStatement,
     DeleteStatement,
     DropIndexStatement,
+    DropMaterializedViewStatement,
     DropTableStatement,
     ExplainStatement,
     FunctionSource,
     InsertStatement,
     Join,
     OrderItem,
+    RefreshMaterializedViewStatement,
     SelectItem,
     SelectStatement,
     Statement,
@@ -301,6 +305,12 @@ class Executor:
             result = self._execute_create_index(statement)
         elif isinstance(statement, DropIndexStatement):
             result = self._execute_drop_index(statement)
+        elif isinstance(statement, CreateMaterializedViewStatement):
+            result = self._execute_create_matview(statement)
+        elif isinstance(statement, DropMaterializedViewStatement):
+            result = self._execute_drop_matview(statement)
+        elif isinstance(statement, RefreshMaterializedViewStatement):
+            result = self._execute_refresh_matview(statement)
         elif isinstance(statement, AnalyzeStatement):
             result = self._execute_analyze(statement)
         elif isinstance(statement, ExplainStatement):
@@ -329,6 +339,8 @@ class Executor:
     # ------------------------------------------------------------------ FROM clause
 
     def _scan_table(self, ref: TableRef, stats: Optional[ExecutionStats] = None) -> _Relation:
+        if not self.catalog.has_table(ref.name) and self.catalog.has_matview(ref.name):
+            return self._scan_matview(ref, stats)
         table = self.catalog.get_table(ref.name)
         alias = ref.effective_alias
         columns = [(alias, name) for name in table.schema.names]
@@ -365,6 +377,19 @@ class Executor:
             distribution_type=distribution_type,
             estimated_rows=estimated,
         )
+
+    def _scan_matview(self, ref: TableRef, stats: Optional[ExecutionStats] = None) -> _Relation:
+        """Read a materialized view like a table: freshen if stale, finalize."""
+        view = self.catalog.get_matview(ref.name)
+        matview_module.ensure_fresh(self, view, stats)
+        rows = matview_module.read_rows(self, view)
+        columns = [(ref.effective_alias, name) for name in view.columns]
+        if stats is not None:
+            stats.rows_scanned_per_source.append(len(rows))
+            stats.scan_details.append(
+                ScanDetail(view.name, "matview", len(rows), estimated_rows=float(len(rows)))
+            )
+        return _Relation(columns, rows, [0] * len(rows), 1)
 
     def _scan_subquery(
         self, source: SubquerySource, parameters, stats: Optional[ExecutionStats] = None
@@ -1588,6 +1613,14 @@ class Executor:
 
     # ------------------------------------------------------------------ DDL / DML
 
+    def _require_base_table(self, name: str, operation: str) -> Table:
+        """Resolve a DML target, rejecting materialized views explicitly."""
+        if not self.catalog.has_table(name) and self.catalog.has_matview(name):
+            raise CatalogError(
+                f"cannot {operation} {name!r}: it is a materialized view"
+            )
+        return self.catalog.get_table(name)
+
     def _execute_create_table(self, statement: CreateTableStatement) -> ResultSet:
         if statement.if_not_exists and self.catalog.has_table(statement.name):
             return ResultSet([], [], rowcount=0)
@@ -1637,7 +1670,7 @@ class Executor:
         return ResultSet([], [], rowcount=len(result.rows), stats=result.stats)
 
     def _execute_insert(self, statement: InsertStatement, parameters) -> ResultSet:
-        table = self.catalog.get_table(statement.table)
+        table = self._require_base_table(statement.table, "INSERT into")
         functions = self._function_registry()
         context = RowContext({}, functions, parameters)
         rows: List[List[Any]] = []
@@ -1661,8 +1694,20 @@ class Executor:
                     full_row.append(row[position] if position is not None else None)
                 full_rows.append(full_row)
             rows = full_rows
+        watchers = self.catalog.incremental_matviews_on(table.name)
+        before_version = table._data_version
+        before_lengths = (
+            [len(table.segment_view(s)) for s in range(table.num_segments)]
+            if watchers
+            else None
+        )
         count = table.insert_many(rows)
-        return ResultSet([], [], rowcount=count)
+        stats = ExecutionStats(statement_kind="insert")
+        if before_lengths is not None:
+            matview_module.apply_insert_delta(
+                self, table, before_version, before_lengths, stats
+            )
+        return ResultSet([], [], rowcount=count, stats=stats)
 
     def _execute_update(self, statement: UpdateStatement, parameters) -> ResultSet:
         """UPDATE through the compiled-predicate path, rewriting in place.
@@ -1681,7 +1726,7 @@ class Executor:
         vector-compilable subset the match bitmap itself comes from the
         packed columns with no per-row predicate calls.
         """
-        table = self.catalog.get_table(statement.table)
+        table = self._require_base_table(statement.table, "UPDATE")
         relation = self._scan_table(TableRef(statement.table))
         env = self._compiler_env(relation, parameters)
         contexts = self._lazy_contexts(relation, parameters)
@@ -1771,7 +1816,7 @@ class Executor:
         return ResultSet([], [], rowcount=updated, stats=stats)
 
     def _execute_delete(self, statement: DeleteStatement, parameters) -> ResultSet:
-        table = self.catalog.get_table(statement.table)
+        table = self._require_base_table(statement.table, "DELETE from")
         if statement.where is None:
             count = len(table)
             table.truncate()
@@ -1847,7 +1892,7 @@ class Executor:
         return ResultSet([], [], rowcount=0)
 
     def _execute_truncate(self, statement: TruncateStatement) -> ResultSet:
-        table = self.catalog.get_table(statement.name)
+        table = self._require_base_table(statement.name, "TRUNCATE")
         count = len(table)
         table.truncate()
         return ResultSet([], [], rowcount=count)
@@ -1855,6 +1900,35 @@ class Executor:
     def _execute_alter(self, statement: AlterTableRenameStatement) -> ResultSet:
         self.catalog.rename_table(statement.old_name, statement.new_name)
         return ResultSet([], [], rowcount=0)
+
+    # ------------------------------------------------------------------ matview DDL
+
+    def _execute_create_matview(self, statement: CreateMaterializedViewStatement) -> ResultSet:
+        if self.catalog.has_matview(statement.name) or self.catalog.has_table(statement.name):
+            if statement.if_not_exists and self.catalog.has_matview(statement.name):
+                return ResultSet([], [], rowcount=0)
+            raise CatalogError(f"relation {statement.name!r} already exists")
+        view = matview_module.plan_matview(
+            self, statement.name, statement.sql or "", statement.select
+        )
+        # Materialize eagerly: validates the defining query end-to-end and
+        # leaves the view fresh for its first read.
+        matview_module.refresh(self, view)
+        self.catalog.create_matview(view)
+        stats = ExecutionStats(statement_kind="create_materialized_view")
+        stats.matview_recomputes = 1
+        return ResultSet([], [], rowcount=0, stats=stats)
+
+    def _execute_drop_matview(self, statement: DropMaterializedViewStatement) -> ResultSet:
+        for name in statement.names:
+            self.catalog.drop_matview(name, if_exists=statement.if_exists)
+        return ResultSet([], [], rowcount=0)
+
+    def _execute_refresh_matview(self, statement: RefreshMaterializedViewStatement) -> ResultSet:
+        view = self.catalog.get_matview(statement.name)
+        stats = ExecutionStats(statement_kind="refresh_materialized_view")
+        matview_module.refresh(self, view, stats)
+        return ResultSet([], [], rowcount=0, stats=stats)
 
     # ------------------------------------------------------------------ planner DDL
 

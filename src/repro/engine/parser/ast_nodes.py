@@ -30,6 +30,9 @@ __all__ = [
     "DropIndexStatement",
     "AnalyzeStatement",
     "ExplainStatement",
+    "CreateMaterializedViewStatement",
+    "DropMaterializedViewStatement",
+    "RefreshMaterializedViewStatement",
 ]
 
 
@@ -189,6 +192,27 @@ class CreateIndexStatement(Statement):
 class DropIndexStatement(Statement):
     names: List[str]
     if_exists: bool = False
+
+
+@dataclass
+class CreateMaterializedViewStatement(Statement):
+    """``CREATE MATERIALIZED VIEW name AS SELECT ...``."""
+
+    name: str
+    select: Statement  # SelectStatement or UnionStatement
+    sql: Optional[str] = None  # defining-query text, kept for observability
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropMaterializedViewStatement(Statement):
+    names: List[str]
+    if_exists: bool = False
+
+
+@dataclass
+class RefreshMaterializedViewStatement(Statement):
+    name: str
 
 
 @dataclass

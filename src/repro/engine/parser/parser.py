@@ -37,16 +37,19 @@ from .ast_nodes import (
     AnalyzeStatement,
     ColumnDefinition,
     CreateIndexStatement,
+    CreateMaterializedViewStatement,
     CreateTableAsStatement,
     CreateTableStatement,
     DeleteStatement,
     DropIndexStatement,
+    DropMaterializedViewStatement,
     DropTableStatement,
     ExplainStatement,
     FunctionSource,
     InsertStatement,
     Join,
     OrderItem,
+    RefreshMaterializedViewStatement,
     SelectItem,
     SelectStatement,
     Statement,
@@ -65,9 +68,12 @@ _TABLE_FUNCTIONS = {"generate_series"}
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token]) -> None:
+    def __init__(self, tokens: List[Token], sql: Optional[str] = None) -> None:
         self.tokens = tokens
         self.position = 0
+        # Original statement text, when available: lets CREATE MATERIALIZED
+        # VIEW capture its defining-query text for catalog observability.
+        self._sql = sql
 
     # -- token helpers -------------------------------------------------------
 
@@ -156,6 +162,11 @@ class _Parser:
             return self.parse_explain()
         if self.check_keyword("analyze"):
             return self.parse_analyze()
+        # "refresh" is not a reserved keyword (tables may use the name), so it
+        # only acts as a statement head in the exact REFRESH MATERIALIZED VIEW
+        # position, where no other statement can start.
+        if self.check("name", "refresh"):
+            return self.parse_refresh_matview()
         raise SQLSyntaxError(
             f"unsupported statement starting with {self.current.value!r}",
             self.current.position,
@@ -319,6 +330,8 @@ class _Parser:
         self.expect_keyword("create")
         if self.check_keyword("index"):
             return self.parse_create_index()
+        if self.check("name", "materialized"):
+            return self.parse_create_matview()
         temporary = bool(self.accept_keyword("temp", "temporary"))
         self.expect_keyword("table")
         if_not_exists = False
@@ -351,6 +364,33 @@ class _Parser:
             distributed_by=distributed_by,
             distributed_randomly=distributed_randomly,
         )
+
+    def parse_create_matview(self) -> CreateMaterializedViewStatement:
+        self.expect("name", "materialized")
+        self.expect("name", "view")
+        if_not_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("not")
+            self.expect_keyword("exists")
+            if_not_exists = True
+        name = self.expect_name()
+        self.expect_keyword("as")
+        start = self.current.position
+        select = self.parse_select_union()
+        sql = None
+        if self._sql is not None:
+            # Slice the defining-query text out of the original statement (the
+            # eof token's position is len(sql), so this also works unterminated).
+            sql = self._sql[start : self.current.position].strip().rstrip(";").strip()
+        return CreateMaterializedViewStatement(
+            name, select, sql=sql, if_not_exists=if_not_exists
+        )
+
+    def parse_refresh_matview(self) -> RefreshMaterializedViewStatement:
+        self.expect("name", "refresh")
+        self.expect("name", "materialized")
+        self.expect("name", "view")
+        return RefreshMaterializedViewStatement(self.expect_name())
 
     def _parse_distribution(self) -> Tuple[Optional[str], bool]:
         if not self.accept_keyword("distributed"):
@@ -478,8 +518,13 @@ class _Parser:
 
     def parse_drop(self) -> Statement:
         self.expect_keyword("drop")
-        dropping_index = bool(self.accept_keyword("index"))
-        if not dropping_index:
+        dropping_matview = False
+        if self.check("name", "materialized"):
+            self.advance()
+            self.expect("name", "view")
+            dropping_matview = True
+        dropping_index = False if dropping_matview else bool(self.accept_keyword("index"))
+        if not dropping_index and not dropping_matview:
             self.expect_keyword("table")
         if_exists = False
         if self.accept_keyword("if"):
@@ -488,6 +533,8 @@ class _Parser:
         names = [self.expect_name()]
         while self.accept("operator", ","):
             names.append(self.expect_name())
+        if dropping_matview:
+            return DropMaterializedViewStatement(names, if_exists)
         if dropping_index:
             return DropIndexStatement(names, if_exists)
         return DropTableStatement(names, if_exists)
@@ -790,7 +837,7 @@ class _Parser:
 
 def parse_statement(sql: str) -> Statement:
     """Parse a single SQL statement (a trailing semicolon is allowed)."""
-    parser = _Parser(tokenize(sql))
+    parser = _Parser(tokenize(sql), sql)
     statement = parser.parse_statement()
     parser.accept("operator", ";")
     if not parser.check("eof"):
@@ -803,7 +850,7 @@ def parse_statement(sql: str) -> Statement:
 
 def parse_script(sql: str) -> List[Statement]:
     """Parse a semicolon-separated sequence of statements."""
-    return _Parser(tokenize(sql)).parse_script()
+    return _Parser(tokenize(sql), sql).parse_script()
 
 
 def parse_expression(sql: str) -> Expression:

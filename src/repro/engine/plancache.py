@@ -441,6 +441,7 @@ class CachedPlan:
         "read_only",
         "catalog_version",
         "table_versions",
+        "matview_versions",
         "simple_plan",
         "hits",
     )
@@ -452,10 +453,13 @@ class CachedPlan:
         self.read_only = statement_is_read_only(statement)
         self.catalog_version = catalog.version
         self.table_versions: Dict[str, Tuple[int, int]] = {}
+        self.matview_versions: Dict[str, int] = {}
         for name in self.tables:
             if catalog.has_table(name):
                 table = catalog.get_table(name)
                 self.table_versions[name] = (table._data_version, len(table))
+            elif catalog.has_matview(name):
+                self.matview_versions[name] = catalog.get_matview(name).version
         self.simple_plan = SimpleSelectPlan.try_build(statement, catalog)
         self.hits = 0
 
@@ -474,6 +478,15 @@ class CachedPlan:
                 return False
             drift = catalog.get_table(name)._data_version - version
             if drift > max(AUTO_ANALYZE_MIN_MUTATIONS, AUTO_ANALYZE_FRACTION * row_count):
+                return False
+        # Materialized views invalidate strictly on *any* content change
+        # (delta fold, refresh, recompute): unlike base-table drift, which
+        # only skews cost estimates, a view-version bump means the cached
+        # plan would serve different rows.
+        for name, version in self.matview_versions.items():
+            if not catalog.has_matview(name):
+                return False
+            if catalog.get_matview(name).version != version:
                 return False
         return True
 

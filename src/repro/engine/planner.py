@@ -769,6 +769,18 @@ class _ExplainBuilder:
 
         if isinstance(item, TableRef):
             display = item.name if item.alias is None else f"{item.name} {item.alias}"
+            if not self.catalog.has_table(item.name) and self.catalog.has_matview(item.name):
+                view = self.catalog.get_matview(item.name)
+                estimate = (
+                    float(view.last_row_count) if view.last_row_count is not None else None
+                )
+                node = PlanNode("MatView Scan", f"on {display}", estimated_rows=estimate)
+                node.lines.append(
+                    f"Freshness: {'stale' if view.is_stale(self.catalog) else 'fresh'}"
+                )
+                node.lines.append(f"Maintenance: {view.strategy}")
+                self.scan_nodes.append(node)
+                return node
             if single_table_path is not None:
                 path = single_table_path
                 node = PlanNode(
@@ -903,7 +915,7 @@ class _ExplainBuilder:
             if (
                 single_path is None
                 and statement.where is not None
-                and node.label in ("Seq Scan", "Subquery Scan", "Function Scan")
+                and node.label in ("Seq Scan", "Subquery Scan", "Function Scan", "MatView Scan")
             ):
                 node.lines.append(f"Filter: {expression_sql(statement.where)}")
         else:

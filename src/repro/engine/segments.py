@@ -204,8 +204,8 @@ class AggregateTimings:
 class ScanDetail:
     """One base-relation scan as executed (backs EXPLAIN ANALYZE scan nodes)."""
 
-    source: str  #: table name (or function/subquery alias)
-    access: str  #: ``seq`` | ``index`` | ``subquery`` | ``function``
+    source: str  #: table name (or function/subquery/view alias)
+    access: str  #: ``seq`` | ``index`` | ``subquery`` | ``function`` | ``matview``
     #: Rows actually touched: the full relation for a sequential scan, only
     #: the probe results for an index scan.
     rows_touched: int = 0
@@ -286,6 +286,13 @@ class ExecutionStats:
     #: re-submissions after infra faults, and full worker-pool respawns.
     worker_retries: int = 0
     pool_respawns: int = 0
+    #: Materialized-view maintenance this statement performed: incremental
+    #: views that absorbed an INSERT delta by folding only the new rows into
+    #: their group states (O(delta) upkeep) ...
+    matview_deltas_applied: int = 0
+    #: ... versus full recomputes of a view's contents (REFRESH, or a read of
+    #: a view left stale by DELETE/UPDATE/TRUNCATE).
+    matview_recomputes: int = 0
 
     def note_parallel_fallback(
         self, reason: Optional[str], retries: int = 0, respawns: int = 0

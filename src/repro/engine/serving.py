@@ -928,6 +928,7 @@ class DatabaseServer:
             },
             "worker_pool": None if worker_pool is None else worker_pool.stats(),
             "plan_cache": None if cache is None else cache.stats(),
+            "matviews": self.database.catalog.matviews(),
         }
 
     # -- statement execution ------------------------------------------------
@@ -956,11 +957,19 @@ class DatabaseServer:
         return json_frame(_result_payload(result))
 
     @staticmethod
-    def _version_snapshot(catalog) -> Dict[str, int]:
-        return {
+    def _version_snapshot(catalog) -> Dict[str, Any]:
+        snapshot: Dict[str, Any] = {
             name: catalog.get_table(name)._data_version
             for name in catalog.table_names()
         }
+        for name in catalog.matview_names():
+            # Keyed off the view's *source* tables, not its content version:
+            # a read of a stale view lazily recomputes it (bumping the
+            # content version mid-read), which is not concurrent drift.
+            snapshot[f"matview:{name}"] = catalog.get_matview(name).snapshot_token(
+                catalog
+            )
+        return snapshot
 
     async def _admit(self, kind: str, run) -> bytes:
         """Admission control + lock + timeout around a worker-thread body."""

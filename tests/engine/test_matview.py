@@ -1,0 +1,387 @@
+"""Materialized views: creation, O(delta) upkeep, staleness, DDL semantics.
+
+The contract under test: a materialized view's finalized contents are
+byte-identical to running its defining query, whatever mix of incremental
+delta folds and full recomputes produced them; INSERTs into the base table
+maintain incremental views in O(delta); every other write leaves the view
+stale and the next read (or REFRESH) recomputes; and views behave like
+read-only tables everywhere else in the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError
+from repro.methods.linear_regression import install_linear_regression
+
+
+def _make_db(**kwargs):
+    db = Database(num_segments=kwargs.pop("num_segments", 2), **kwargs)
+    db.execute("CREATE TABLE t (k INTEGER, v INTEGER, label TEXT)")
+    db.load_rows(
+        "t",
+        [(i % 5, i * 10, "abc"[i % 3]) for i in range(20)],
+    )
+    return db
+
+
+VIEW_SQL = "SELECT k, count(*) AS n, sum(v) AS total FROM t GROUP BY k"
+
+
+def _assert_parity(db, view_name="mv", defining=VIEW_SQL):
+    view_rows = db.execute(f"SELECT * FROM {view_name}").rows
+    direct_rows = db.execute(defining).rows
+    assert repr(view_rows) == repr(direct_rows)
+
+
+# ---------------------------------------------------------------------------
+# Core lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_create_and_read_matches_defining_query():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    result = db.execute("SELECT * FROM mv")
+    assert result.columns == ["k", "n", "total"]
+    _assert_parity(db)
+
+
+def test_insert_folds_delta_without_recompute():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("SELECT * FROM mv")
+    view = db.catalog.get_matview("mv")
+    recomputes_before = view.recomputes
+    result = db.execute("INSERT INTO t VALUES (1, 999, 'x'), (7, 5, 'y')")
+    assert result.stats.matview_deltas_applied == 1
+    assert result.stats.matview_recomputes == 0
+    _assert_parity(db)
+    assert view.recomputes == recomputes_before  # read finalized, no rescan
+    assert view.deltas_applied == 1
+
+
+def test_new_group_from_delta_appears_in_scan_order():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("INSERT INTO t VALUES (77, 1, 'z')")
+    _assert_parity(db)
+
+
+def test_delete_marks_stale_and_read_recomputes():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    view = db.catalog.get_matview("mv")
+    db.execute("DELETE FROM t WHERE k = 1")
+    assert view.is_stale(db.catalog)
+    result = db.execute("SELECT * FROM mv")
+    assert result.stats.matview_recomputes == 1
+    assert not view.is_stale(db.catalog)
+    _assert_parity(db)
+
+
+def test_update_marks_stale():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("UPDATE t SET v = v + 1 WHERE k = 2")
+    assert db.catalog.get_matview("mv").is_stale(db.catalog)
+    _assert_parity(db)
+
+
+def test_refresh_statement_forces_recompute():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    view = db.catalog.get_matview("mv")
+    db.execute("UPDATE t SET v = 0 WHERE k = 0")
+    assert view.is_stale(db.catalog)
+    result = db.execute("REFRESH MATERIALIZED VIEW mv")
+    assert result.stats.matview_recomputes == 1
+    assert not view.is_stale(db.catalog)
+    _assert_parity(db)
+
+
+def test_where_and_having_respected():
+    db = _make_db()
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS "
+        "SELECT k, sum(v) AS total FROM t WHERE v > 30 GROUP BY k HAVING count(*) > 1"
+    )
+    _assert_parity(
+        db,
+        defining="SELECT k, sum(v) AS total FROM t WHERE v > 30 GROUP BY k HAVING count(*) > 1",
+    )
+    db.execute("INSERT INTO t VALUES (0, 31, 'q'), (0, 29, 'q'), (9, 100, 'q')")
+    _assert_parity(
+        db,
+        defining="SELECT k, sum(v) AS total FROM t WHERE v > 30 GROUP BY k HAVING count(*) > 1",
+    )
+
+
+def test_ungrouped_aggregate_view():
+    db = _make_db()
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT count(*) AS n, min(v) AS lo, max(v) AS hi FROM t"
+    )
+    _assert_parity(db, defining="SELECT count(*) AS n, min(v) AS lo, max(v) AS hi FROM t")
+    db.execute("INSERT INTO t VALUES (3, -5, 'a')")
+    _assert_parity(db, defining="SELECT count(*) AS n, min(v) AS lo, max(v) AS hi FROM t")
+
+
+def test_empty_base_table_view_has_aggregate_row():
+    db = Database(num_segments=2)
+    db.execute("CREATE TABLE empty_t (a INTEGER)")
+    db.execute("CREATE MATERIALIZED VIEW mv AS SELECT count(*) AS n FROM empty_t")
+    assert db.execute("SELECT * FROM mv").rows == [(0,)]
+    db.execute("INSERT INTO empty_t VALUES (1), (2)")
+    assert db.execute("SELECT * FROM mv").rows == [(2,)]
+
+
+# ---------------------------------------------------------------------------
+# Strategy selection and fallbacks
+# ---------------------------------------------------------------------------
+
+
+def test_join_view_uses_recompute_strategy():
+    db = _make_db()
+    db.execute("CREATE TABLE dim (k INTEGER, name TEXT)")
+    db.load_rows("dim", [(i, f"name{i}") for i in range(5)])
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS "
+        "SELECT dim.name, count(*) AS n FROM t JOIN dim ON t.k = dim.k GROUP BY dim.name"
+    )
+    view = db.catalog.get_matview("mv")
+    assert view.strategy == "recompute"
+    _assert_parity(
+        db,
+        defining=(
+            "SELECT dim.name, count(*) AS n FROM t JOIN dim ON t.k = dim.k GROUP BY dim.name"
+        ),
+    )
+    db.execute("INSERT INTO t VALUES (1, 1, 'x')")
+    _assert_parity(
+        db,
+        defining=(
+            "SELECT dim.name, count(*) AS n FROM t JOIN dim ON t.k = dim.k GROUP BY dim.name"
+        ),
+    )
+
+
+def test_order_by_and_distinct_views_recompute():
+    db = _make_db()
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv1 AS SELECT k, sum(v) AS s FROM t GROUP BY k ORDER BY k"
+    )
+    db.execute("CREATE MATERIALIZED VIEW mv2 AS SELECT DISTINCT label FROM t")
+    assert db.catalog.get_matview("mv1").strategy == "recompute"
+    assert db.catalog.get_matview("mv2").strategy == "recompute"
+    _assert_parity(db, "mv1", "SELECT k, sum(v) AS s FROM t GROUP BY k ORDER BY k")
+    _assert_parity(db, "mv2", "SELECT DISTINCT label FROM t")
+
+
+def test_projection_view_recomputes():
+    db = _make_db()
+    db.execute("CREATE MATERIALIZED VIEW mv AS SELECT k, v FROM t WHERE v > 50")
+    assert db.catalog.get_matview("mv").strategy == "recompute"
+    db.execute("INSERT INTO t VALUES (8, 80, 'x')")
+    _assert_parity(db, defining="SELECT k, v FROM t WHERE v > 50")
+
+
+def test_view_over_view():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("CREATE MATERIALIZED VIEW mv2 AS SELECT max(total) AS top FROM mv")
+    assert db.execute("SELECT * FROM mv2").rows == db.execute(
+        f"SELECT max(total) AS top FROM ({VIEW_SQL}) sub"
+    ).rows
+    db.execute("INSERT INTO t VALUES (1, 100000, 'x')")
+    assert db.execute("SELECT * FROM mv2").rows == db.execute(
+        f"SELECT max(total) AS top FROM ({VIEW_SQL}) sub"
+    ).rows
+
+
+def test_volatile_function_rejected_from_incremental():
+    db = _make_db()
+    db.execute(
+        "CREATE MATERIALIZED VIEW mv AS SELECT k, count(*) AS n FROM t WHERE random() >= 0 GROUP BY k"
+    )
+    assert db.catalog.get_matview("mv").strategy == "recompute"
+
+
+def test_parameter_in_definition_rejected():
+    db = _make_db()
+    with pytest.raises(CatalogError):
+        db.execute(
+            "CREATE MATERIALIZED VIEW mv AS SELECT count(*) FROM t WHERE k = %(k)s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# DDL semantics
+# ---------------------------------------------------------------------------
+
+
+def test_dml_against_view_rejected():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    for sql in (
+        "INSERT INTO mv VALUES (1, 2, 3)",
+        "UPDATE mv SET n = 0",
+        "DELETE FROM mv",
+        "TRUNCATE mv",
+    ):
+        with pytest.raises(CatalogError):
+            db.execute(sql)
+
+
+def test_name_collisions_both_directions():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    with pytest.raises(CatalogError):
+        db.execute("CREATE TABLE mv (a INTEGER)")
+    with pytest.raises(CatalogError):
+        db.execute(f"CREATE MATERIALIZED VIEW t AS {VIEW_SQL}")
+    with pytest.raises(CatalogError):
+        db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute(f"CREATE MATERIALIZED VIEW IF NOT EXISTS mv AS {VIEW_SQL}")  # no-op
+
+
+def test_drop_table_cascades_to_views():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("CREATE MATERIALIZED VIEW mv2 AS SELECT max(total) AS top FROM mv")
+    db.execute("DROP TABLE t")
+    assert not db.catalog.has_matview("mv")
+    assert not db.catalog.has_matview("mv2")
+
+
+def test_drop_matview():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("DROP MATERIALIZED VIEW mv")
+    assert not db.catalog.has_matview("mv")
+    with pytest.raises(CatalogError):
+        db.execute("DROP MATERIALIZED VIEW mv")
+    db.execute("DROP MATERIALIZED VIEW IF EXISTS mv")
+
+
+def test_rename_base_table_blocked_while_views_depend():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    with pytest.raises(CatalogError):
+        db.execute("ALTER TABLE t RENAME TO t2")
+    db.execute("DROP MATERIALIZED VIEW mv")
+    db.execute("ALTER TABLE t RENAME TO t2")  # now fine
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def test_catalog_matviews_listing():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("SELECT * FROM mv")
+    (entry,) = db.catalog.matviews()
+    assert entry["matviewname"] == "mv"
+    assert entry["definition"] == VIEW_SQL
+    assert entry["strategy"] == "incremental"
+    assert entry["rows"] == 5
+    assert entry["stale"] is False
+    db.execute("DELETE FROM t WHERE k = 0")
+    (entry,) = db.catalog.matviews()
+    assert entry["stale"] is True
+
+
+def test_explain_shows_matview_scan_and_freshness():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("SELECT * FROM mv")
+    lines = [row[0] for row in db.execute("EXPLAIN SELECT * FROM mv WHERE n > 1").rows]
+    assert any("MatView Scan on mv" in line for line in lines)
+    assert any("Freshness: fresh" in line for line in lines)
+    assert any("Maintenance: incremental" in line for line in lines)
+    assert any("Filter: n > 1" in line for line in lines)
+    db.execute("DELETE FROM t WHERE k = 1")
+    lines = [row[0] for row in db.execute("EXPLAIN SELECT * FROM mv").rows]
+    assert any("Freshness: stale" in line for line in lines)
+
+
+def test_half_applied_delta_never_observable():
+    db = _make_db()
+    db.execute(f"CREATE MATERIALIZED VIEW mv AS {VIEW_SQL}")
+    db.execute("SELECT * FROM mv")
+    view = db.catalog.get_matview("mv")
+
+    # Sabotage the fold so the next delta dies partway through.
+    original = view._plan
+    view._plan = None
+    import repro.engine.matview as matview_module
+
+    saved = matview_module._absorb_row
+
+    def exploding(*args, **kwargs):
+        raise RuntimeError("mid-fold crash")
+
+    matview_module._absorb_row = exploding
+    try:
+        db.execute("INSERT INTO t VALUES (1, 7, 'x')")  # insert must succeed
+    finally:
+        matview_module._absorb_row = saved
+    assert view.is_stale(db.catalog)  # force-staled, not half-applied
+    _assert_parity(db)  # next read recomputes from the base table
+
+
+# ---------------------------------------------------------------------------
+# Continuously fresh method kernels (the payoff demo)
+# ---------------------------------------------------------------------------
+
+
+def test_linregr_view_stays_fresh_under_insert_stream():
+    db = Database(num_segments=2)
+    install_linear_regression(db)
+    db.execute("CREATE TABLE obs (x DOUBLE PRECISION[], y DOUBLE PRECISION)")
+    db.execute(
+        "INSERT INTO obs VALUES (ARRAY[1.0, 2.0], 5.0), (ARRAY[2.0, 1.0], 4.0), "
+        "(ARRAY[3.0, 3.0], 12.0)"
+    )
+    db.execute("CREATE MATERIALIZED VIEW model AS SELECT linregr(y, x) AS fit FROM obs")
+    view = db.catalog.get_matview("model")
+    assert view.strategy == "incremental"
+    # Stream integer-valued observations in: float64 arithmetic on them is
+    # exact, so the folded states match a rescan bit-for-bit.
+    for step in range(6):
+        db.execute(
+            f"INSERT INTO obs VALUES (ARRAY[{step + 4}.0, {step}.0], {3 * step + 7}.0)"
+        )
+        view_fit = db.execute("SELECT * FROM model").rows
+        direct_fit = db.execute("SELECT linregr(y, x) AS fit FROM obs").rows
+        assert repr(view_fit) == repr(direct_fit)
+    assert view.deltas_applied == 6
+    assert view.recomputes == 1  # only the initial materialization
+
+
+def test_naive_bayes_statistics_view_stays_fresh():
+    db = Database(num_segments=2)
+    db.execute("CREATE TABLE samples (cls INTEGER, f DOUBLE PRECISION)")
+    db.load_rows("samples", [(i % 2, float(i)) for i in range(10)])
+    db.execute(
+        "CREATE MATERIALIZED VIEW class_stats AS "
+        "SELECT cls, count(*) AS n, sum(f) AS total, avg(f) AS mean "
+        "FROM samples GROUP BY cls"
+    )
+    defining = (
+        "SELECT cls, count(*) AS n, sum(f) AS total, avg(f) AS mean "
+        "FROM samples GROUP BY cls"
+    )
+    for i in range(10, 16):
+        db.execute(f"INSERT INTO samples VALUES ({i % 2}, {float(i)})")
+        assert repr(db.execute("SELECT * FROM class_stats").rows) == repr(
+            db.execute(defining).rows
+        )
+    # The per-class sufficient statistics feed a Gaussian NB prior/likelihood:
+    rows = db.execute("SELECT * FROM class_stats").rows
+    priors = {cls: n for cls, n, _, _ in rows}
+    assert priors == {0: 8, 1: 8}
